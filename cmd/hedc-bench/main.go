@@ -1,0 +1,75 @@
+// Command hedc-bench regenerates every table and figure of the paper's
+// evaluation and prints them in the paper's layout.
+//
+// Usage:
+//
+//	hedc-bench                  # run everything
+//	hedc-bench -exp fig4        # one experiment: fig4, fig5, table1,
+//	                            # table2, table3, approx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/schema"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|table1|table2|table3|approx")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+
+	if run("fig4") {
+		any = true
+		pts := bench.Figure4(bench.DefaultBrowseParams(), nil)
+		fmt.Println(bench.FormatBrowse("Figure 4 — browse throughput vs clients (1 middle-tier node)", pts))
+		fmt.Printf("paper: ~17 req/s peak at 16 clients, ~3 req/s at 96\n\n")
+	}
+	if run("fig5") {
+		any = true
+		pts := bench.Figure5(bench.DefaultBrowseParams(), nil)
+		fmt.Println(bench.FormatBrowse("Figure 5 — browse throughput vs middle-tier nodes (96 clients)", pts))
+		fmt.Printf("paper: 3 req/s at 1 node rising to 18 req/s (~120 DB queries/s) at 5 nodes\n\n")
+	}
+	if run("table1") {
+		any = true
+		p := bench.DefaultProcessingParams()
+		fmt.Println(bench.FormatTable1(bench.Table1(p, bench.ImagingWorkload())))
+		fmt.Printf("paper: 6027 / 3117 / 2059 / 1380 s\n\n")
+		fmt.Println(bench.FormatTable1(bench.Table1(p, bench.HistogramWorkload())))
+		fmt.Printf("paper: 960 / 655 / 841 / 821 / 438 s\n\n")
+	}
+	if run("table2") {
+		any = true
+		fmt.Println(bench.FormatCharacteristics(bench.WorkloadCharacteristics(bench.ImagingWorkload()), 2))
+	}
+	if run("table3") {
+		any = true
+		fmt.Println(bench.FormatCharacteristics(bench.WorkloadCharacteristics(bench.HistogramWorkload()), 3))
+	}
+	if run("approx") {
+		any = true
+		r, err := bench.RunApprox(300_000, schema.AnaLightcurve, 0.05)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "approx:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatApprox(r))
+		ri, err := bench.RunApproxImaging(60_000, 0.1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "approx imaging:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatApprox(ri))
+		fmt.Printf("paper (§3.4): approximation shortens holistic response time by >= 10x\n")
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

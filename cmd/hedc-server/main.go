@@ -1,0 +1,67 @@
+// Command hedc-server runs a full HEDC node: web interface at /, DM RPC at
+// /dm/ for remote DMs, StreamCorders and peers.
+//
+//	hedc-server -data /var/hedc -addr :8081 -load-days 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	hedc "repro"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "./hedc-data", "data directory (database + archives)")
+		addr     = flag.String("addr", ":8081", "HTTP listen address")
+		node     = flag.String("node", "hedc-0", "node name")
+		loadDays = flag.Int("load-days", 0, "generate and ingest this many synthetic mission days at startup")
+		seed     = flag.Int64("seed", 2002, "telemetry seed")
+		dayLen   = flag.Float64("day-length", 7200, "seconds of observation per synthetic day")
+		partDom  = flag.Bool("partition", false, "put the domain schema on a separate database instance")
+		importPw = flag.String("import-password", "import", "password of the system import account")
+	)
+	flag.Parse()
+
+	repo, err := hedc.Open(hedc.Config{
+		DataDir:         *data,
+		Node:            *node,
+		ImportPassword:  *importPw,
+		URLRoot:         "http://localhost" + *addr,
+		PartitionDomain: *partDom,
+		Logger:          log.New(os.Stderr, "hedc ", log.LstdFlags),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	for d := 1; d <= *loadDays; d++ {
+		reports, err := repo.LoadDay(d, hedc.MissionConfig{
+			Seed: *seed, DayLength: *dayLen, BackgroundRate: 5, Flares: -1, Bursts: -1,
+		}, 0)
+		if err != nil {
+			log.Fatalf("load day %d: %v", d, err)
+		}
+		var events int
+		for _, r := range reports {
+			events += r.Events
+		}
+		log.Printf("day %d: %d units, %d events", d, len(reports), events)
+	}
+	if err := repo.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	stopMaintenance := repo.Node().StartMaintenance(time.Minute)
+	defer stopMaintenance()
+
+	fmt.Printf("HEDC node %s serving on %s (data in %s)\n", *node, *addr, *data)
+	fmt.Printf("  web UI:  http://localhost%s/\n", *addr)
+	fmt.Printf("  DM RPC:  http://localhost%s/dm/\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, repo.Handler()))
+}

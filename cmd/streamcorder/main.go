@@ -1,0 +1,141 @@
+// Command streamcorder is the fat-client CLI: browse a remote HEDC node,
+// fetch and cache data objects, clone catalogs into a local repository,
+// and refine wavelet views progressively — all against the DM RPC surface
+// a server (or a peer StreamCorder) exposes at /dm/.
+//
+//	streamcorder -server http://localhost:8081 catalogs
+//	streamcorder -server http://localhost:8081 events cat-extended
+//	streamcorder -server http://localhost:8081 -v2 clone cat-extended
+//	streamcorder -server http://localhost:8081 fetch item-00000001
+//	streamcorder -server http://localhost:8081 progressive item-00000002
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dm"
+	"repro/internal/streamcorder"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "http://localhost:8081", "HEDC server base URL")
+		dir    = flag.String("dir", "./streamcorder-cache", "cache / clone directory")
+		v2     = flag.Bool("v2", false, "use the V2 cache (local DM + database clone)")
+		user   = flag.String("user", "", "log in as this user")
+		pass   = flag.String("password", "", "password for -user")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "commands: catalogs | events <catalog> | analyses <hle> | fetch <item> | modules <item> | clone <catalog> | progressive <view-item>")
+		os.Exit(2)
+	}
+
+	strategy := streamcorder.CacheV1
+	if *v2 {
+		strategy = streamcorder.CacheV2
+	}
+	c, err := streamcorder.New(streamcorder.Options{
+		API:      dm.NewRemote(*server+"/dm/", nil),
+		Strategy: strategy,
+		Dir:      *dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *v2 {
+		if err := c.InitClone("clone"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *user != "" {
+		if err := c.Login(*user, *pass); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "catalogs":
+		cats, err := c.ListCatalogs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cat := range cats {
+			fmt.Printf("%-16s %-20s %-10s %4d events  %s\n",
+				cat.ID, cat.Name, cat.Kind, cat.Members, cat.Description)
+		}
+	case "events":
+		requireArg(args, 2)
+		events, err := c.QueryHLEs(dm.HLEFilter{Catalog: args[1], Limit: 50})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, h := range events {
+			fmt.Printf("%-14s %-16s t=[%8.1f,%8.1f]s peak=%8.1f/s sig=%5.1f\n",
+				h.ID, h.KindHint, h.TStart, h.TStop, h.PeakRate, h.Significance)
+		}
+	case "analyses":
+		requireArg(args, 2)
+		anas, err := c.AnalysesForHLE(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, a := range anas {
+			fmt.Printf("%-14s %-12s %-10s photons=%d item=%s\n",
+				a.ID, a.Type, a.Status, a.NPhotons, a.ItemID)
+		}
+	case "fetch":
+		requireArg(args, 2)
+		item, err := c.FetchItem(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d bytes, format %s (cache hits %d, misses %d)\n",
+			item.ItemID, len(item.Bytes), item.Format,
+			c.Stats().CacheHits.Load(), c.Stats().CacheMisses.Load())
+	case "modules":
+		requireArg(args, 2)
+		out, err := c.RunModules(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, line := range out {
+			fmt.Println(line)
+		}
+	case "clone":
+		requireArg(args, 2)
+		if !*v2 {
+			log.Fatal("clone requires -v2")
+		}
+		hles, anas, err := c.CloneCatalog(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cloned %d events and %d analyses into %s\n", hles, anas, *dir)
+	case "progressive":
+		requireArg(args, 2)
+		curves, err := c.ProgressiveLightcurve(args[1], 64, []float64{0.05, 0.25, 1.0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, frac := range []float64{0.05, 0.25, 1.0} {
+			var total float64
+			for _, x := range curves[i] {
+				total += x
+			}
+			fmt.Printf("frac %.2f: %d bins, %.0f total counts\n", frac, len(curves[i]), total)
+		}
+	default:
+		log.Fatalf("unknown command %q", args[0])
+	}
+}
+
+func requireArg(args []string, n int) {
+	if len(args) < n {
+		log.Fatalf("command %s needs %d argument(s)", args[0], n-1)
+	}
+}

@@ -1,0 +1,77 @@
+package hedc
+
+// Smoke tests for the executables: build each command and drive the
+// non-server ones end to end. Skipped in -short mode (they shell out to
+// the Go toolchain).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T, name, binDir string) string {
+	t.Helper()
+	bin := filepath.Join(binDir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke tests skipped in short mode")
+	}
+	binDir := t.TempDir()
+	dataDir := t.TempDir()
+
+	// hedc-load ingests a synthetic day into a fresh repository.
+	load := buildCmd(t, "hedc-load", binDir)
+	out, err := exec.Command(load,
+		"-data", dataDir, "-days", "1", "-day-length", "1200",
+		"-background", "4", "-flares", "1", "-bursts", "0", "-saa=false",
+		"-unit-seconds", "1200").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hedc-load: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "catalog events") {
+		t.Fatalf("hedc-load output:\n%s", out)
+	}
+
+	// A second invocation appends a day to the same store (persistence).
+	out, err = exec.Command(load,
+		"-data", dataDir, "-days", "1", "-first-day", "2", "-day-length", "1200",
+		"-background", "4", "-flares", "1", "-bursts", "0", "-saa=false",
+		"-unit-seconds", "1200").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hedc-load day 2: %v\n%s", err, out)
+	}
+
+	// hedc-bench regenerates the deterministic tables instantly.
+	bench := buildCmd(t, "hedc-bench", binDir)
+	out, err = exec.Command(bench, "-exp", "table2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hedc-bench: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Requests      100", "Queries       300", "Edits         200"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("hedc-bench table2 missing %q:\n%s", want, out)
+		}
+	}
+	out, err = exec.Command(bench, "-exp", "table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("hedc-bench table1: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "S+C/2+1") {
+		t.Fatalf("hedc-bench table1 output:\n%s", out)
+	}
+
+	// The remaining commands at least build.
+	buildCmd(t, "hedc-server", binDir)
+	buildCmd(t, "streamcorder", binDir)
+}

@@ -1,0 +1,119 @@
+// Flarehunt is the paper's motivating workload (§2.2, §6.1): a scientist
+// browses the standard catalog for solar flares, runs the three standard
+// analyses (imaging, lightcurve, spectrogram) over the most significant
+// one — first approximated for interactive exploration, then exact — and
+// shares the results with the community by publishing them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hedc "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hedc-flarehunt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	repo, err := hedc.Open(hedc.Config{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	// Two observation days with busy flare activity.
+	for d := 1; d <= 2; d++ {
+		if _, err := repo.LoadDay(d, hedc.MissionConfig{
+			Seed: 7, DayLength: 3600, BackgroundRate: 5, Flares: 3, Bursts: 0,
+		}, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A scientist account with analysis rights.
+	if err := repo.CreateUser("ella", "hunt2", hedc.GroupScientist,
+		hedc.RightBrowse, hedc.RightDownload, hedc.RightAnalyze, hedc.RightUpload); err != nil {
+		log.Fatal(err)
+	}
+	sess, err := repo.Login("ella", "hunt2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hunt: flares from the standard catalog, most significant first.
+	flares, err := repo.Events(sess, hedc.Filter{Catalog: hedc.StandardCatalog, Kind: "flare"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(flares) == 0 {
+		log.Fatal("no flares in the standard catalog")
+	}
+	best := flares[0]
+	for _, f := range flares {
+		if f.Significance > best.Significance {
+			best = f
+		}
+	}
+	fmt.Printf("hunting %d flares; brightest: %s (%.1f sigma, t=[%.0f, %.0f]s)\n",
+		len(flares), best.ID, best.Significance, best.TStart, best.TStop)
+
+	// Interactive pass: approximated lightcurve from the wavelet views —
+	// the §3.4 order-of-magnitude shortcut.
+	quickID, err := repo.Analyze(sess, hedc.Lightcurve, best.ID, map[string]interface{}{
+		"use_view": true, "approx_frac": 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	quick, _ := repo.GetAnalysis(sess, quickID)
+	fmt.Printf("approximated lightcurve %s: peak %.0f (from %.0f%% of coefficients)\n",
+		quick.ID, quick.PeakValue, quick.ApproxFrac*100)
+
+	// The event looks real: run the exact standard trio.
+	for _, anaType := range []string{hedc.Lightcurve, hedc.Spectrogram, hedc.Imaging} {
+		params := map[string]interface{}{}
+		if anaType == hedc.Imaging {
+			params["image_size"] = 32
+			params["pixel_size"] = 64.0
+		}
+		// The §3.5 redundant-work check: reuse a committed result if one
+		// already exists before burning processing time.
+		id, err := repo.Analyze(sess, anaType, best.ID, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ana, _ := repo.GetAnalysis(sess, id)
+		switch anaType {
+		case hedc.Imaging:
+			fmt.Printf("%-12s %s: source at (%.0f, %.0f) arcsec\n", anaType, id, ana.PeakX, ana.PeakY)
+		default:
+			fmt.Printf("%-12s %s: %d photons, total %.0f\n", anaType, id, ana.NPhotons, ana.ResultTotal)
+		}
+		// Share with the community (§3.5: precomputed analyses spare
+		// everyone else the work).
+		if err := repo.Publish(sess, "ana", id); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Another scientist finds the work already done.
+	if err := repo.CreateUser("marc", "pw", hedc.GroupScientist,
+		hedc.RightBrowse, hedc.RightAnalyze); err != nil {
+		log.Fatal(err)
+	}
+	marc, err := repo.Login("marc", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := repo.Analyses(marc, best.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmarc sees %d shared analyses on %s without recomputing anything\n",
+		len(shared), best.ID)
+}

@@ -1,0 +1,118 @@
+// Grbsearch demonstrates the paper's "open system" argument (§3.2): RHESSI
+// is a solar instrument, but its detectors also see non-solar gamma-ray
+// bursts. A "solar flare only" repository could never answer this
+// question; HEDC can, because it stores events, not types — users define
+// their own event semantics over the raw data and build their own
+// catalogs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hedc "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hedc-grb-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	repo, err := hedc.Open(hedc.Config{DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	if _, err := repo.LoadDay(1, hedc.MissionConfig{
+		Seed: 5, DayLength: 5400, BackgroundRate: 4, Flares: 1, Bursts: 2,
+	}, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := repo.CreateUser("grbhunter", "pw", hedc.GroupScientist,
+		hedc.RightBrowse, hedc.RightDownload, hedc.RightAnalyze, hedc.RightUpload); err != nil {
+		log.Fatal(err)
+	}
+	sess, err := repo.Login("grbhunter", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The extended catalog's detection programs already flag candidate
+	// bursts heuristically — short, spectrally hard excursions.
+	candidates, err := repo.Events(sess, hedc.Filter{
+		Catalog: hedc.ExtendedCatalog, Kind: "gamma-ray-burst",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detection programs flagged %d burst candidates\n", len(candidates))
+
+	// The scientist applies her OWN criteria over all catalog events —
+	// no schema change, no new "type": just a different reading of the
+	// same tuples (§3.3: "there are only events").
+	all, err := repo.Events(sess, hedc.Filter{Catalog: hedc.ExtendedCatalog})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var myBursts []*hedc.Event
+	for _, e := range all {
+		dur := e.TStop - e.TStart
+		if dur > 0 && dur <= 120 && e.Significance >= 5 && e.KindHint != "quiet-period" {
+			myBursts = append(myBursts, e)
+		}
+	}
+	fmt.Printf("user-defined criteria (short + significant) match %d events\n", len(myBursts))
+	if len(myBursts) == 0 {
+		log.Fatal("no burst candidates for this seed")
+	}
+
+	// For each candidate, a hard-band histogram distinguishes bursts
+	// (flat, hard spectra: a large fraction of photons above 100 keV)
+	// from flares (steep, soft spectra: almost none).
+	var confirmed []*hedc.Event
+	for _, e := range myBursts {
+		anaID, err := repo.Analyze(sess, hedc.Histogram, e.ID, map[string]interface{}{
+			"emin": 100.0, "emax": 20000.0, "energy_bins": 16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ana, _ := repo.GetAnalysis(sess, anaID)
+		hardness := float64(ana.NPhotons) / float64(e.TotalCounts+1)
+		verdict := "probably solar"
+		if hardness > 0.05 {
+			verdict = "NON-SOLAR burst candidate"
+			confirmed = append(confirmed, e)
+		}
+		fmt.Printf("  %-14s hard/total = %4d/%5d (%.1f%%) -> %s\n",
+			e.ID, ana.NPhotons, e.TotalCounts, hardness*100, verdict)
+	}
+
+	// Events that survive go into the scientist's own burst catalog —
+	// exactly how HEDC lets research that the designers never anticipated
+	// organize itself.
+	node := repo.Node()
+	catID, err := node.DM.CreateCatalog(sess, "grb-candidates", "private",
+		"user-defined gamma-ray burst search", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(confirmed) == 0 {
+		confirmed = myBursts // keep the weaker candidates for follow-up
+	}
+	for _, e := range confirmed {
+		if err := node.DM.AddToCatalog(sess, catID, e.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mine, err := repo.Events(sess, hedc.Filter{Catalog: catID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npersonal catalog %s now holds %d burst candidates\n", catID, len(mine))
+}

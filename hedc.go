@@ -1,0 +1,217 @@
+// Package hedc is a reproduction of the RHESSI Experimental Data Center
+// (HEDC) described in "Scientific Data Repositories: Designing for a Moving
+// Target" (Stolte, von Praun, Alonso, Gross — SIGMOD 2003): a scientific
+// data warehouse that separates metadata (in an embedded relational
+// database) from bulk data (in file archives), and revolves around a
+// scalable middle tier of Data Management and Processing Logic components.
+//
+// A Repository is a full HEDC node. Typical use:
+//
+//	repo, err := hedc.Open(hedc.Config{DataDir: "/var/hedc"})
+//	...
+//	repo.LoadDay(1, hedc.MissionConfig{Seed: 42}, 0)  // ingest telemetry
+//	sess, _ := repo.ImportSession()
+//	events, _ := repo.Events(sess, hedc.Filter{Catalog: hedc.ExtendedCatalog})
+//	anaID, _ := repo.Analyze(sess, hedc.Lightcurve, events[0].ID, nil)
+//	http.ListenAndServe(":8080", repo.Handler())     // web UI + DM RPC
+//
+// The subpackages under internal/ implement every substrate from scratch:
+// the minidb relational engine, the FITS-style container format, the
+// synthetic RHESSI telemetry generator, the Haar wavelet codec behind
+// approximated analysis, file archives with name mapping, the DM and PL
+// middle-tier components, the web presentation tier, the StreamCorder fat
+// client and the synoptic remote search.
+package hedc
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dm"
+	"repro/internal/schema"
+	"repro/internal/synoptic"
+	"repro/internal/telemetry"
+)
+
+// Re-exported configuration and entity types. The aliases keep the public
+// surface in one import while the implementation stays in internal
+// packages.
+type (
+	// Config configures a Repository (see core.Config for field docs).
+	Config = core.Config
+	// MissionConfig parameterizes synthetic telemetry generation.
+	MissionConfig = telemetry.Config
+	// Session is an authenticated user context.
+	Session = dm.Session
+	// Filter narrows event queries.
+	Filter = dm.HLEFilter
+	// Event is a high level event (HLE) tuple.
+	Event = schema.HLE
+	// Analysis is an analysis (ANA) tuple.
+	Analysis = schema.ANA
+	// Catalog is a named event grouping.
+	Catalog = dm.Catalog
+	// LoadReport summarizes one ingested raw-data unit.
+	LoadReport = dm.LoadReport
+	// RemoteArchive is a synoptic-search endpoint.
+	RemoteArchive = synoptic.Endpoint
+	// PhoenixConfig parameterizes Phoenix-2 spectrogram generation.
+	PhoenixConfig = telemetry.PhoenixConfig
+	// PhoenixReport summarizes one spectrogram load.
+	PhoenixReport = dm.PhoenixReport
+)
+
+// Analysis types shipped with the system.
+const (
+	Imaging     = schema.AnaImaging
+	Lightcurve  = schema.AnaLightcurve
+	Spectrogram = schema.AnaSpectrogram
+	Histogram   = schema.AnaHistogram
+)
+
+// Well-known catalogs and accounts.
+const (
+	StandardCatalog = dm.StandardCat
+	ExtendedCatalog = dm.ExtendedCat
+	PhoenixCatalog  = dm.PhoenixCat
+	ImportUser      = dm.ImportUser
+)
+
+// User groups and rights for CreateUser.
+const (
+	GroupAdmin     = dm.GroupAdmin
+	GroupScientist = dm.GroupScientist
+	RightBrowse    = dm.RightBrowse
+	RightDownload  = dm.RightDownload
+	RightAnalyze   = dm.RightAnalyze
+	RightUpload    = dm.RightUpload
+)
+
+// Repository is a running HEDC node: resource management (database +
+// archives), application logic (DM + PL) and presentation (web handler).
+type Repository struct {
+	node *core.Node
+}
+
+// Open starts a repository rooted at cfg.DataDir.
+func Open(cfg Config) (*Repository, error) {
+	n, err := core.Start(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{node: n}, nil
+}
+
+// Close shuts the repository down, flushing the databases.
+func (r *Repository) Close() error { return r.node.Close() }
+
+// Checkpoint snapshots the databases and truncates the redo logs.
+func (r *Repository) Checkpoint() error { return r.node.Checkpoint() }
+
+// Node exposes the underlying assembly for advanced wiring (cluster
+// configurations, custom strategies, direct DM access).
+func (r *Repository) Node() *core.Node { return r.node }
+
+// Handler serves the web interface at / and the DM RPC surface at /dm/.
+func (r *Repository) Handler() http.Handler { return r.node.Handler() }
+
+// LoadDay generates one synthetic mission day and ingests its raw units.
+func (r *Repository) LoadDay(day int, mission MissionConfig, unitSeconds float64) ([]*LoadReport, error) {
+	return r.node.LoadDay(day, mission, unitSeconds)
+}
+
+// LoadPhoenix ingests one Phoenix-2 radio spectrogram — the second data
+// source (§2.2), with its own file format, absorbed by the same generic
+// machinery.
+func (r *Repository) LoadPhoenix(day, seq int, cfg PhoenixConfig) (*PhoenixReport, error) {
+	return r.node.DM.LoadPhoenix(telemetry.GeneratePhoenix(day, seq, cfg))
+}
+
+// CreateUser registers an account.
+func (r *Repository) CreateUser(user, password, group string, rights ...string) error {
+	return r.node.DM.CreateUser(user, password, group, rights...)
+}
+
+// Login authenticates a user.
+func (r *Repository) Login(user, password string) (*Session, error) {
+	return r.node.Login(user, password)
+}
+
+// ImportSession logs in the system import account.
+func (r *Repository) ImportSession() (*Session, error) { return r.node.ImportSession() }
+
+// Catalogs lists the catalogs visible to the session.
+func (r *Repository) Catalogs(s *Session) ([]*Catalog, error) {
+	return r.node.DM.ListCatalogs(s)
+}
+
+// Events queries high level events.
+func (r *Repository) Events(s *Session, f Filter) ([]*Event, error) {
+	return r.node.DM.QueryHLEs(s, f)
+}
+
+// Event fetches one event by id.
+func (r *Repository) Event(s *Session, id string) (*Event, error) {
+	return r.node.DM.GetHLE(s, id)
+}
+
+// CreateEvent records a user-defined event — HEDC's open data model lets
+// users "build their own catalogs of relevant data using any information
+// available in the raw data" (§3.3).
+func (r *Repository) CreateEvent(s *Session, e *Event) (string, error) {
+	return r.node.DM.CreateHLE(s, e)
+}
+
+// Analyses lists the analyses attached to an event.
+func (r *Repository) Analyses(s *Session, hleID string) ([]*Analysis, error) {
+	return r.node.DM.AnalysesForHLE(s, hleID)
+}
+
+// GetAnalysis fetches one analysis by id.
+func (r *Repository) GetAnalysis(s *Session, id string) (*Analysis, error) {
+	return r.node.DM.GetANA(s, id)
+}
+
+// FindExistingAnalysis returns a committed analysis with matching
+// parameters, if one is visible — the §3.5 redundant-work check.
+func (r *Repository) FindExistingAnalysis(s *Session, spec *Analysis) (*Analysis, error) {
+	return r.node.DM.FindExistingAnalysis(s, spec)
+}
+
+// Analyze runs one analysis to completion and returns the committed id.
+// params may carry tstart/tstop/emin/emax/time_bins/energy_bins/image_size/
+// pixel_size/approx_frac/use_view; the event's window is the default.
+func (r *Repository) Analyze(s *Session, anaType, hleID string, params map[string]interface{}) (string, error) {
+	return r.node.Analyze(s, anaType, hleID, params)
+}
+
+// Publish makes an event ("hle") or analysis ("ana") visible to all users.
+func (r *Repository) Publish(s *Session, kind, id string) error {
+	return r.node.DM.Publish(s, kind, id)
+}
+
+// ReadItem returns the file bytes behind an item reference (an analysis
+// image, a raw unit, a wavelet view), resolved through name mapping.
+func (r *Repository) ReadItem(s *Session, itemID string) ([]byte, error) {
+	data, _, err := r.node.DM.ReadItem(s, itemID)
+	return data, err
+}
+
+// Recalibrate bumps a raw unit's calibration version, flagging dependent
+// events (§3.1 versioning).
+func (r *Repository) Recalibrate(unitID, reason string) (int64, error) {
+	return r.node.DM.Recalibrate(unitID, reason)
+}
+
+// StaleAnalyses lists committed analyses computed against outdated
+// calibrations — the recomputation work-list.
+func (r *Repository) StaleAnalyses(s *Session) ([]*Analysis, error) {
+	return r.node.DM.StaleAnalyses(s)
+}
+
+// SynopticSearch queries the configured remote archives in parallel for
+// observations correlated with [t0, t1].
+func (r *Repository) SynopticSearch(ctx context.Context, t0, t1 float64) *synoptic.Report {
+	return r.node.Synoptic.Search(ctx, t0, t1)
+}

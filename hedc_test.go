@@ -1,0 +1,144 @@
+package hedc
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/synoptic"
+)
+
+func openRepo(t *testing.T) *Repository {
+	t.Helper()
+	repo, err := Open(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	return repo
+}
+
+func loadSmallDay(t *testing.T, repo *Repository) []*LoadReport {
+	t.Helper()
+	reports, err := repo.LoadDay(1, MissionConfig{
+		Seed: 7, DayLength: 1200, BackgroundRate: 4, Flares: 1, Bursts: 0,
+	}, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+func TestPublicAPIWorkflow(t *testing.T) {
+	repo := openRepo(t)
+	reports := loadSmallDay(t, repo)
+	if len(reports) == 0 || reports[0].Events == 0 {
+		t.Fatalf("reports = %+v", reports)
+	}
+
+	sess, err := repo.ImportSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats, err := repo.Catalogs(sess)
+	if err != nil || len(cats) != 2 {
+		t.Fatalf("catalogs = %v %v", cats, err)
+	}
+	events, err := repo.Events(sess, Filter{Catalog: ExtendedCatalog})
+	if err != nil || len(events) == 0 {
+		t.Fatalf("events = %v %v", events, err)
+	}
+	anaID, err := repo.Analyze(sess, Lightcurve, events[0].ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := repo.GetAnalysis(sess, anaID)
+	if err != nil || ana.NPhotons == 0 {
+		t.Fatalf("analysis = %+v %v", ana, err)
+	}
+	img, err := repo.ReadItem(sess, ana.ItemID)
+	if err != nil || len(img) == 0 {
+		t.Fatalf("image = %d bytes, %v", len(img), err)
+	}
+	// Redundant-work check through the facade.
+	found, err := repo.FindExistingAnalysis(sess, ana)
+	if err != nil || found == nil {
+		t.Fatalf("existing = %v %v", found, err)
+	}
+	// Versioning through the facade.
+	v, err := repo.Recalibrate(events[0].UnitID, "test recalibration")
+	if err != nil || v != 2 {
+		t.Fatalf("recalibrate = %d %v", v, err)
+	}
+	stale, err := repo.StaleAnalyses(sess)
+	if err != nil || len(stale) == 0 {
+		t.Fatalf("stale = %v %v", stale, err)
+	}
+}
+
+func TestUserManagementAndACL(t *testing.T) {
+	repo := openRepo(t)
+	loadSmallDay(t, repo)
+	if err := repo.CreateUser("zara", "pw", GroupScientist,
+		RightBrowse, RightAnalyze, RightUpload); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := repo.Login("zara", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := repo.CreateEvent(sess, &Event{
+		KindHint: "my-own-kind", TStart: 10, TStop: 20, Version: 1, CalibVersion: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Private until published.
+	if _, err := repo.Event(nil, id); err == nil {
+		t.Fatal("anonymous read of private event")
+	}
+	if err := repo.Publish(sess, "hle", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Event(nil, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynopticSearchThroughFacade(t *testing.T) {
+	arch := httptest.NewServer(&synoptic.ArchiveServer{Name: "soho", Entries: []synoptic.Entry{
+		{Title: "EIT image", Time: 42, URL: "http://x"},
+	}})
+	defer arch.Close()
+	repo, err := Open(Config{
+		DataDir:          t.TempDir(),
+		SynopticArchives: []RemoteArchive{{Name: "soho", URL: arch.URL}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	rep := repo.SynopticSearch(context.Background(), 0, 100)
+	if len(rep.Entries) != 1 || rep.Entries[0].Archive != "soho" {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPhoenixThroughFacade(t *testing.T) {
+	repo := openRepo(t)
+	rep, err := repo.LoadPhoenix(1, 0, PhoenixConfig{Seed: 17, Bursts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bursts == 0 {
+		t.Fatal("no radio bursts")
+	}
+	events, err := repo.Events(nil, Filter{Catalog: PhoenixCatalog})
+	if err != nil || len(events) != rep.Bursts {
+		t.Fatalf("phoenix events = %d %v", len(events), err)
+	}
+	data, err := repo.ReadItem(nil, events[0].ItemID)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("spectrogram = %d bytes %v", len(data), err)
+	}
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"bytes"
+	"image/gif"
+	"math"
+	"testing"
+
+	"repro/internal/fits"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+	"repro/internal/wavelet"
+)
+
+func flareDay(t *testing.T, seed int64) (*telemetry.Day, telemetry.Event) {
+	t.Helper()
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: seed, DayLength: 3600, BackgroundRate: 3, Flares: 1, Bursts: 0,
+	})
+	for _, e := range day.Events {
+		if e.Kind == telemetry.Flare {
+			return day, e
+		}
+	}
+	t.Fatal("no flare generated")
+	return nil, telemetry.Event{}
+}
+
+func TestLightcurvePeaksAtFlare(t *testing.T) {
+	day, flare := flareDay(t, 101)
+	res, err := Run(Params{
+		Type: schema.AnaLightcurve, TStart: 0, TStop: 3600, TimeBins: 180,
+	}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakX < flare.Start-60 || res.PeakX > flare.End()+60 {
+		t.Fatalf("lightcurve peak at %.0fs, flare spans %.0f..%.0f", res.PeakX, flare.Start, flare.End())
+	}
+	if res.NPhotons == 0 || res.Total == 0 {
+		t.Fatal("empty lightcurve")
+	}
+	if len(res.GIF) == 0 {
+		t.Fatal("no GIF rendered")
+	}
+}
+
+func TestImagingRecoversSourcePosition(t *testing.T) {
+	day, flare := flareDay(t, 202)
+	res, err := Run(Params{
+		Type:   schema.AnaImaging,
+		TStart: flare.Start, TStop: flare.End(),
+		ImageSize: 48, PixelSize: 48, // ±1150 arcsec field, coarse pixels
+		CenterX: 0, CenterY: 0,
+	}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back-projection should localize the source within ~2 pixels.
+	tol := 2 * 48.0
+	if math.Abs(res.PeakX-flare.X) > tol || math.Abs(res.PeakY-flare.Y) > tol {
+		t.Fatalf("imaging peak (%.0f, %.0f), true source (%.0f, %.0f)",
+			res.PeakX, res.PeakY, flare.X, flare.Y)
+	}
+}
+
+func TestSpectrogramShape(t *testing.T) {
+	day, _ := flareDay(t, 303)
+	res, err := Run(Params{
+		Type: schema.AnaSpectrogram, TStart: 0, TStop: 3600,
+		TimeBins: 64, EnergyBins: 16,
+	}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Grid) != 16 || len(res.Grid[0]) != 64 {
+		t.Fatalf("grid %dx%d", len(res.Grid), len(res.Grid[0]))
+	}
+	if res.Total != float64(res.NPhotons) {
+		t.Fatalf("total %v != photons %d", res.Total, res.NPhotons)
+	}
+}
+
+func TestHistogramSoftSpectrum(t *testing.T) {
+	day, _ := flareDay(t, 404)
+	res, err := Run(Params{
+		Type: schema.AnaHistogram, TStart: 0, TStop: 3600, EnergyBins: 24,
+	}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-law spectra put the histogram peak at low energies.
+	if res.PeakX > 30 {
+		t.Fatalf("histogram peak at %.1f keV, expected soft", res.PeakX)
+	}
+	h := res.Grid[0]
+	if h[0] <= h[len(h)-1] {
+		t.Fatal("spectrum should fall with energy")
+	}
+}
+
+func TestApproximatedLightcurveTracksFull(t *testing.T) {
+	day, _ := flareDay(t, 505)
+	full, err := Run(Params{Type: schema.AnaLightcurve, TStart: 0, TStop: 3600, TimeBins: 90}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Run(Params{Type: schema.AnaLightcurve, TStart: 0, TStop: 3600, TimeBins: 90, ApproxFrac: 0.1}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.NPhotons >= full.NPhotons/5 {
+		t.Fatalf("approx consumed %d photons, full %d: not subsampled", approx.NPhotons, full.NPhotons)
+	}
+	// Rescaled approximate totals should be within 25% of the full run.
+	if math.Abs(approx.Total-full.Total) > 0.25*full.Total {
+		t.Fatalf("approx total %v vs full %v", approx.Total, full.Total)
+	}
+	// Peak location should agree to within a few bins.
+	if math.Abs(approx.PeakX-full.PeakX) > 200 {
+		t.Fatalf("approx peak %v vs full %v", approx.PeakX, full.PeakX)
+	}
+}
+
+func TestRunOnViewMatchesRawBinned(t *testing.T) {
+	day, _ := flareDay(t, 606)
+	v := wavelet.BuildView(day.Photons, 0, 3600, 3, 20000, 64, 16, 1)
+	onView, err := RunOnView(Params{
+		Type: schema.AnaLightcurve, TStart: 0, TStop: 3600, TimeBins: 64, EnergyBins: 16,
+	}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Run(Params{
+		Type: schema.AnaLightcurve, TStart: 0, TStop: 3600, TimeBins: 64,
+	}, day.Photons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(onView.Total-raw.Total) > 0.02*raw.Total+1 {
+		t.Fatalf("view total %v vs raw %v", onView.Total, raw.Total)
+	}
+	if _, err := RunOnView(Params{Type: schema.AnaImaging, TStart: 0, TStop: 1}, v); err == nil {
+		t.Fatal("imaging on view accepted")
+	}
+}
+
+func TestGIFsAreValid(t *testing.T) {
+	day, _ := flareDay(t, 707)
+	for _, typ := range []string{schema.AnaImaging, schema.AnaLightcurve, schema.AnaSpectrogram, schema.AnaHistogram} {
+		p := Params{Type: typ, TStart: 0, TStop: 600, ImageSize: 16, PixelSize: 64}
+		res, err := Run(p, day.Photons)
+		if err != nil {
+			t.Fatalf("%s: %v", typ, err)
+		}
+		img, err := gif.Decode(bytes.NewReader(res.GIF))
+		if err != nil {
+			t.Fatalf("%s: invalid GIF: %v", typ, err)
+		}
+		b := img.Bounds()
+		if b.Dx() < 16 || b.Dy() < 16 {
+			t.Fatalf("%s: image %dx%d too small", typ, b.Dx(), b.Dy())
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := Run(Params{Type: "nope", TStart: 0, TStop: 1}, nil); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := Run(Params{Type: schema.AnaLightcurve, TStart: 5, TStop: 5}, nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := Run(Params{Type: schema.AnaLightcurve, TStart: 0, TStop: 1, EMin: 50, EMax: 10}, nil); err == nil {
+		t.Fatal("inverted energy window accepted")
+	}
+}
+
+func TestEmptyWindowProducesEmptyResult(t *testing.T) {
+	res, err := Run(Params{Type: schema.AnaLightcurve, TStart: 100000, TStop: 100100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NPhotons != 0 || res.Total != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(res.GIF) == 0 {
+		t.Fatal("even empty results render a picture")
+	}
+}
+
+func TestDetectEventsFindsFlare(t *testing.T) {
+	day, flare := flareDay(t, 808)
+	dets := DetectEvents(day.Photons, 0, 3600, DetectConfig{})
+	found := false
+	for _, d := range dets {
+		if d.KindHint == "flare" && d.TStart <= flare.Start+60 && d.TStop >= flare.Start {
+			found = true
+			if d.Significance < 4 {
+				t.Fatalf("weak detection: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("flare at %.0f..%.0f not detected; detections: %+v", flare.Start, flare.End(), dets)
+	}
+}
+
+func TestDetectEventsFindsBurst(t *testing.T) {
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 909, DayLength: 3600, BackgroundRate: 3, Flares: 0, Bursts: 1,
+	})
+	var burst telemetry.Event
+	for _, e := range day.Events {
+		if e.Kind == telemetry.GammaRayBurst {
+			burst = e
+		}
+	}
+	dets := DetectEvents(day.Photons, 0, 3600, DetectConfig{})
+	for _, d := range dets {
+		if d.TStart <= burst.Start+30 && d.TStop >= burst.Start {
+			if d.KindHint != "gamma-ray-burst" {
+				t.Logf("burst classified as %s (heuristic; acceptable)", d.KindHint)
+			}
+			return
+		}
+	}
+	t.Fatalf("burst at %.0f..%.0f not detected", burst.Start, burst.End())
+}
+
+func TestDetectQuietPeriods(t *testing.T) {
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 111, DayLength: telemetry.SAAPeriod * 2, BackgroundRate: 10,
+		Flares: 0, Bursts: 0, IncludeSAA: true,
+	})
+	dets := DetectEvents(day.Photons, 0, day.Length, DetectConfig{})
+	quiet := 0
+	for _, d := range dets {
+		if d.KindHint == "quiet-period" {
+			quiet++
+		}
+	}
+	if quiet < 2 {
+		t.Fatalf("found %d quiet periods, want >= 2 (SAA transits)", quiet)
+	}
+}
+
+func TestDetectNothingOnFlatBackground(t *testing.T) {
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 222, DayLength: 1800, BackgroundRate: 10, Flares: 0, Bursts: 0,
+	})
+	dets := DetectEvents(day.Photons, 0, 1800, DetectConfig{})
+	for _, d := range dets {
+		if d.KindHint != "quiet-period" && d.Significance > 6 {
+			t.Fatalf("spurious strong detection on flat background: %+v", d)
+		}
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if medianOf(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if medianOf([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if medianOf([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median")
+	}
+}
+
+func TestFitPowerLawRecoversGeneratorIndex(t *testing.T) {
+	// Generate a burst with a known spectral index and recover it.
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 1414, DayLength: 3600, BackgroundRate: 0.001, Flares: 1, Bursts: 0,
+	})
+	var flare telemetry.Event
+	for _, e := range day.Events {
+		if e.Kind == telemetry.Flare {
+			flare = e
+		}
+	}
+	var photons []fits.Photon
+	for _, p := range day.Photons {
+		if p.Time >= flare.Start && p.Time <= flare.End() {
+			photons = append(photons, p)
+		}
+	}
+	if len(photons) < 500 {
+		t.Skipf("only %d photons for this seed", len(photons))
+	}
+	gamma, n := FitPowerLaw(photons, telemetry.EnergyMin, telemetry.EnergyMax)
+	if n < 500 {
+		t.Fatalf("fit used %d photons", n)
+	}
+	if math.Abs(gamma-flare.SpectralIndex) > 0.15 {
+		t.Fatalf("fitted gamma %.2f, generator used %.2f", gamma, flare.SpectralIndex)
+	}
+}
+
+func TestFitPowerLawEdgeCases(t *testing.T) {
+	if g, n := FitPowerLaw(nil, 3, 100); g != 0 || n != 0 {
+		t.Fatalf("empty fit = %v %d", g, n)
+	}
+	if g, _ := FitPowerLaw(nil, -1, 100); g != 0 {
+		t.Fatal("invalid bounds accepted")
+	}
+	if g, _ := FitPowerLaw(nil, 100, 10); g != 0 {
+		t.Fatal("inverted bounds accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/gif"
+
+	"repro/internal/schema"
+)
+
+// Rendering turns result grids into the GIFs that the web pages and the
+// StreamCorder display — the pictoral content of the basic and extended
+// catalogs (§2.2). Heatmaps (imaging, spectrograms) use a heat palette;
+// 1-D results (lightcurves, histograms) are drawn as bar plots.
+
+// heatPalette builds a 256-entry black-red-yellow-white ramp.
+func heatPalette() color.Palette {
+	p := make(color.Palette, 256)
+	for i := range p {
+		t := float64(i) / 255
+		r := clamp8(3 * t)
+		g := clamp8(3*t - 1)
+		b := clamp8(3*t - 2)
+		p[i] = color.RGBA{r, g, b, 255}
+	}
+	return p
+}
+
+func clamp8(t float64) uint8 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 255
+	}
+	return uint8(t * 255)
+}
+
+// render dispatches on the analysis type.
+func render(anaType string, grid [][]float64) ([]byte, error) {
+	switch anaType {
+	case schema.AnaLightcurve, schema.AnaHistogram:
+		return renderBars(grid[0])
+	default:
+		return renderHeatmap(grid)
+	}
+}
+
+// renderHeatmap draws a 2-D grid scaled up to a readable size.
+func renderHeatmap(grid [][]float64) ([]byte, error) {
+	h := len(grid)
+	w := 0
+	if h > 0 {
+		w = len(grid[0])
+	}
+	if w == 0 || h == 0 {
+		grid = [][]float64{{0}}
+		w, h = 1, 1
+	}
+	scale := 1
+	for (w*scale < 128 || h*scale < 128) && scale < 64 {
+		scale++
+	}
+	maxV := 0.0
+	for _, row := range grid {
+		for _, x := range row {
+			if x > maxV {
+				maxV = x
+			}
+		}
+	}
+	img := image.NewPaletted(image.Rect(0, 0, w*scale, h*scale), heatPalette())
+	for y := 0; y < h*scale; y++ {
+		srcRow := grid[h-1-y/scale] // flip: row 0 at the bottom
+		for x := 0; x < w*scale; x++ {
+			v := srcRow[x/scale]
+			idx := 0
+			if maxV > 0 {
+				idx = int(v / maxV * 255)
+				if idx > 255 {
+					idx = 255
+				}
+			}
+			img.SetColorIndex(x, y, uint8(idx))
+		}
+	}
+	return encodeGIF(img)
+}
+
+// RenderSeries draws an arbitrary 1-D series as a bar-plot GIF. It is the
+// renderer user-submitted routines get for free when they return a series
+// without their own picture.
+func RenderSeries(series []float64) ([]byte, error) { return renderBars(series) }
+
+// renderBars draws a 1-D series as a bar plot with a baseline.
+func renderBars(series []float64) ([]byte, error) {
+	n := len(series)
+	if n == 0 {
+		series = []float64{0}
+		n = 1
+	}
+	const height = 128
+	barW := 1
+	for n*barW < 256 && barW < 16 {
+		barW++
+	}
+	w := n * barW
+	maxV := 0.0
+	for _, x := range series {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	pal := color.Palette{
+		color.RGBA{255, 255, 255, 255}, // background
+		color.RGBA{20, 40, 160, 255},   // bars
+		color.RGBA{0, 0, 0, 255},       // baseline
+	}
+	img := image.NewPaletted(image.Rect(0, 0, w, height), pal)
+	for i, x := range series {
+		barH := 0
+		if maxV > 0 {
+			barH = int(x / maxV * (height - 8))
+		}
+		for dx := 0; dx < barW; dx++ {
+			for dy := 0; dy < barH; dy++ {
+				img.SetColorIndex(i*barW+dx, height-2-dy, 1)
+			}
+		}
+	}
+	for x := 0; x < w; x++ {
+		img.SetColorIndex(x, height-1, 2)
+	}
+	return encodeGIF(img)
+}
+
+func encodeGIF(img *image.Paletted) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, img, nil); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,445 @@
+// Package archive implements HEDC's file store: the actual data (raw units
+// and derived products, mostly images) lives in file archives while only
+// meta data lives in the DBMS (§4.1). "All file data is read only" — an
+// archive enforces write-once semantics, keeps per-file CRC32 checksums in
+// a manifest, tracks capacity, and models the three storage tiers the paper
+// deploys: local disk (RAID), NFS-linked remote archives, and a tape
+// archive for data not needed on-line (§2.3).
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies the storage tier backing an archive.
+type Kind int
+
+// Archive kinds. Tape archives serve reads with a seek penalty; NFS adds a
+// small per-operation latency. Both are simulated with real sleeps scaled
+// down far below 2003 hardware, just enough for ablation benchmarks to rank
+// the tiers.
+const (
+	Disk Kind = iota
+	NFS
+	Tape
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Disk:
+		return "disk"
+	case NFS:
+		return "nfs"
+	case Tape:
+		return "tape"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// latency returns the simulated per-read penalty of the tier.
+func (k Kind) latency() time.Duration {
+	switch k {
+	case NFS:
+		return 200 * time.Microsecond
+	case Tape:
+		return 5 * time.Millisecond
+	}
+	return 0
+}
+
+// Errors reported by archives.
+var (
+	ErrOffline  = errors.New("archive: archive is offline")
+	ErrExists   = errors.New("archive: file already exists (file data is read only)")
+	ErrNotFound = errors.New("archive: file not found")
+	ErrFull     = errors.New("archive: capacity exhausted")
+	ErrCorrupt  = errors.New("archive: checksum mismatch")
+)
+
+type fileMeta struct {
+	size int64
+	crc  uint32
+}
+
+// Archive is one storage unit rooted at a directory.
+type Archive struct {
+	id   string
+	kind Kind
+	root string
+
+	mu       sync.RWMutex
+	online   bool
+	capacity int64 // bytes; 0 = unlimited
+	used     int64
+	files    map[string]fileMeta
+}
+
+const manifestName = "MANIFEST.crc"
+
+// New opens (or creates) an archive rooted at dir. capacityBytes of 0 means
+// unlimited. An existing manifest is loaded, so archives survive restarts.
+func New(id string, kind Kind, dir string, capacityBytes int64) (*Archive, error) {
+	if id == "" {
+		return nil, fmt.Errorf("archive: empty id")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	a := &Archive{
+		id: id, kind: kind, root: dir, online: true,
+		capacity: capacityBytes, files: make(map[string]fileMeta),
+	}
+	if err := a.loadManifest(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ID returns the archive identifier referenced by the location tables.
+func (a *Archive) ID() string { return a.id }
+
+// Kind returns the storage tier.
+func (a *Archive) Kind() Kind { return a.kind }
+
+// Root returns the archive's directory.
+func (a *Archive) Root() string { return a.root }
+
+// SetOnline flips the archive's availability; offline archives reject all
+// data operations (a disk being repaired or a tape dismounted, §4.3).
+func (a *Archive) SetOnline(v bool) {
+	a.mu.Lock()
+	a.online = v
+	a.mu.Unlock()
+}
+
+// Online reports availability.
+func (a *Archive) Online() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.online
+}
+
+// Used returns bytes stored; CapacityLeft returns remaining bytes
+// (MaxInt64 when unlimited).
+func (a *Archive) Used() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.used
+}
+
+// CapacityLeft returns the remaining capacity in bytes.
+func (a *Archive) CapacityLeft() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.capacity == 0 {
+		return 1<<63 - 1
+	}
+	return a.capacity - a.used
+}
+
+// Len returns the number of stored files.
+func (a *Archive) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.files)
+}
+
+// cleanRel validates a relative path (no escapes, no absolutes).
+func cleanRel(rel string) (string, error) {
+	if rel == "" || strings.HasPrefix(rel, "/") {
+		return "", fmt.Errorf("archive: invalid path %q", rel)
+	}
+	c := filepath.Clean(rel)
+	if c == "." || strings.HasPrefix(c, "..") {
+		return "", fmt.Errorf("archive: path %q escapes archive", rel)
+	}
+	return c, nil
+}
+
+// Store writes a new file. Overwrites are rejected: file data is read only.
+func (a *Archive) Store(rel string, data []byte) error {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.online {
+		return ErrOffline
+	}
+	if _, exists := a.files[rel]; exists {
+		return fmt.Errorf("%w: %s", ErrExists, rel)
+	}
+	if a.capacity > 0 && a.used+int64(len(data)) > a.capacity {
+		return fmt.Errorf("%w: %s needs %d bytes, %d left", ErrFull, rel, len(data), a.capacity-a.used)
+	}
+	abs := filepath.Join(a.root, rel)
+	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(abs, data, 0o444); err != nil {
+		return err
+	}
+	meta := fileMeta{size: int64(len(data)), crc: crc32.ChecksumIEEE(data)}
+	a.files[rel] = meta
+	a.used += meta.size
+	return a.appendManifest(rel, meta)
+}
+
+// Read returns the file's contents after verifying its checksum. Tape and
+// NFS tiers incur their access latency here.
+func (a *Archive) Read(rel string) ([]byte, error) {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.RLock()
+	online := a.online
+	meta, exists := a.files[rel]
+	a.mu.RUnlock()
+	if !online {
+		return nil, ErrOffline
+	}
+	if !exists {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, rel)
+	}
+	if d := a.kind.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	data, err := os.ReadFile(filepath.Join(a.root, rel))
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(data) != meta.crc {
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, rel)
+	}
+	return data, nil
+}
+
+// Open returns a reader over the file without checksum verification (used
+// for streaming large units). Prefer Read when integrity matters.
+func (a *Archive) Open(rel string) (io.ReadCloser, error) {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.RLock()
+	online := a.online
+	_, exists := a.files[rel]
+	a.mu.RUnlock()
+	if !online {
+		return nil, ErrOffline
+	}
+	if !exists {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, rel)
+	}
+	if d := a.kind.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	return os.Open(filepath.Join(a.root, rel))
+}
+
+// Stat returns the size of a stored file.
+func (a *Archive) Stat(rel string) (int64, error) {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return 0, err
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	meta, exists := a.files[rel]
+	if !exists {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, rel)
+	}
+	return meta.size, nil
+}
+
+// Exists reports whether the file is stored here.
+func (a *Archive) Exists(rel string) bool {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return false
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	_, ok := a.files[rel]
+	return ok
+}
+
+// Remove deletes a file. Only system processes (archive relocation,
+// purging, §5.2) call this; it is not exposed to users.
+func (a *Archive) Remove(rel string) error {
+	rel, err := cleanRel(rel)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.online {
+		return ErrOffline
+	}
+	meta, exists := a.files[rel]
+	if !exists {
+		return fmt.Errorf("%w: %s", ErrNotFound, rel)
+	}
+	if err := os.Remove(filepath.Join(a.root, rel)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	delete(a.files, rel)
+	a.used -= meta.size
+	return a.rewriteManifest()
+}
+
+// List returns stored paths in sorted order.
+func (a *Archive) List() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.files))
+	for p := range a.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Verify re-reads every file and checks it against the manifest, returning
+// the paths that fail.
+func (a *Archive) Verify() []string {
+	var bad []string
+	for _, p := range a.List() {
+		if _, err := a.Read(p); err != nil {
+			bad = append(bad, p)
+		}
+	}
+	return bad
+}
+
+// Manifest persistence: "path<TAB>size<TAB>crc" lines, appended on store,
+// rewritten on remove.
+
+func (a *Archive) manifestPath() string { return filepath.Join(a.root, manifestName) }
+
+func (a *Archive) appendManifest(rel string, meta fileMeta) error {
+	f, err := os.OpenFile(a.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(f, "%s\t%d\t%d\n", rel, meta.size, meta.crc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (a *Archive) rewriteManifest() error {
+	var sb strings.Builder
+	paths := make([]string, 0, len(a.files))
+	for p := range a.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		m := a.files[p]
+		fmt.Fprintf(&sb, "%s\t%d\t%d\n", p, m.size, m.crc)
+	}
+	return os.WriteFile(a.manifestPath(), []byte(sb.String()), 0o644)
+}
+
+func (a *Archive) loadManifest() error {
+	data, err := os.ReadFile(a.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return fmt.Errorf("archive: malformed manifest line %q", line)
+		}
+		size, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("archive: malformed manifest size in %q", line)
+		}
+		crc, err := strconv.ParseUint(parts[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("archive: malformed manifest crc in %q", line)
+		}
+		a.files[parts[0]] = fileMeta{size: size, crc: uint32(crc)}
+		a.used += size
+	}
+	return nil
+}
+
+// Copy moves one file's contents from src to dst (both ends verified).
+// The source is left untouched; deletion is the relocation process's
+// decision, taken only after the copy verifies (§5.2's compensation-aware
+// relocation workflow).
+func Copy(src, dst *Archive, rel string) error {
+	data, err := src.Read(rel)
+	if err != nil {
+		return err
+	}
+	if err := dst.Store(rel, data); err != nil {
+		return err
+	}
+	if _, err := dst.Read(rel); err != nil {
+		return fmt.Errorf("archive: copy verification failed: %w", err)
+	}
+	return nil
+}
+
+// Set is a registry of archives keyed by id — the in-memory mirror of the
+// operational section's archive-status table.
+type Set struct {
+	mu       sync.RWMutex
+	archives map[string]*Archive
+}
+
+// NewSet returns an empty registry.
+func NewSet() *Set { return &Set{archives: make(map[string]*Archive)} }
+
+// Add registers an archive; duplicate ids are rejected.
+func (s *Set) Add(a *Archive) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.archives[a.ID()]; dup {
+		return fmt.Errorf("archive: duplicate archive id %s", a.ID())
+	}
+	s.archives[a.ID()] = a
+	return nil
+}
+
+// Get returns the archive with the given id, or nil.
+func (s *Set) Get(id string) *Archive {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.archives[id]
+}
+
+// IDs returns registered archive ids in sorted order.
+func (s *Set) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.archives))
+	for id := range s.archives {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,297 @@
+// Package core assembles a complete HEDC node from the substrates: the
+// metadata database(s), file archives, the Data Management and Processing
+// Logic components, the web presentation tier and the synoptic searcher —
+// the 3-tier architecture of Figure 1, in one process, exactly as the
+// production deployment ran ("we use a single server for the core of the
+// system", §1), while remaining transparently extensible to a cluster via
+// DM call redirection.
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/dm"
+	"repro/internal/minidb"
+	"repro/internal/pl"
+	"repro/internal/schema"
+	"repro/internal/synoptic"
+	"repro/internal/telemetry"
+	"repro/internal/web"
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// DataDir is the node's root directory (database, archives). Empty
+	// means fully in-memory/temporary storage for the database and a
+	// required explicit ArchiveDir.
+	DataDir string
+	// Node names this instance (default "hedc-0").
+	Node string
+	// ImportPassword protects the system import account (default "import").
+	ImportPassword string
+	// URLRoot is the externally visible base URL for download links.
+	URLRoot string
+	// PartitionDomain puts the domain schema on a second database instance
+	// (vertical partitioning, §5.2).
+	PartitionDomain bool
+	// IDLServers is the interpreter pool size (default 2, as deployed).
+	IDLServers int
+	// Workers is the PL dispatch pool (default 4); MaxInSystem the
+	// admission limit (default 20, §8.1).
+	Workers     int
+	MaxInSystem int
+	// InvokeTimeout bounds one analysis execution (default 5 min).
+	InvokeTimeout time.Duration
+	// SynopticArchives lists remote archives for the synoptic search.
+	SynopticArchives []synoptic.Endpoint
+	// Logger for operational messages (nil = discard).
+	Logger *log.Logger
+}
+
+// Node is a running HEDC instance.
+type Node struct {
+	cfg Config
+
+	MetaDB   *minidb.DB
+	DomainDB *minidb.DB // == MetaDB unless partitioned
+	DM       *dm.DM
+	Dir      *pl.Directory
+	Manager  *pl.Manager
+	Frontend *pl.Frontend
+	Web      *web.Server
+	Synoptic *synoptic.Searcher
+}
+
+// Start builds and wires a node.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Node == "" {
+		cfg.Node = "hedc-0"
+	}
+	if cfg.ImportPassword == "" {
+		cfg.ImportPassword = "import"
+	}
+	if cfg.IDLServers <= 0 {
+		cfg.IDLServers = 2
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	n := &Node{cfg: cfg}
+
+	dbDir, domainDir, archDir := "", "", ""
+	if cfg.DataDir != "" {
+		dbDir = filepath.Join(cfg.DataDir, "db")
+		domainDir = filepath.Join(cfg.DataDir, "db-domain")
+		archDir = filepath.Join(cfg.DataDir, "archive")
+	}
+
+	var err error
+	if cfg.PartitionDomain {
+		n.MetaDB, err = minidb.Open(dbDir, schema.GenericSchemas()...)
+		if err != nil {
+			return nil, err
+		}
+		n.DomainDB, err = minidb.Open(domainDir, schema.DomainSchemas()...)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		n.MetaDB, err = minidb.Open(dbDir, schema.AllSchemas()...)
+		if err != nil {
+			return nil, err
+		}
+		n.DomainDB = n.MetaDB
+	}
+
+	if archDir == "" {
+		return nil, fmt.Errorf("core: DataDir is required (archives need a directory)")
+	}
+	arch, err := archive.New("disk-0", archive.Disk, archDir, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	dmOpts := dm.Options{
+		Node:           cfg.Node + "/dm",
+		MetaDB:         n.MetaDB,
+		DefaultArchive: "disk-0",
+		URLRoot:        cfg.URLRoot,
+		Logger:         cfg.Logger,
+	}
+	if cfg.PartitionDomain {
+		dmOpts.DomainDB = n.DomainDB
+	}
+	n.DM, err = dm.Open(dmOpts)
+	if err != nil {
+		return nil, err
+	}
+	alreadyRegistered := n.MetaDB.TableLen(schema.TableLocArchives) > 0
+	if alreadyRegistered {
+		if err := n.DM.Archives().Add(arch); err != nil {
+			return nil, err
+		}
+	} else if err := n.DM.RegisterArchive(arch, "/archives/disk-0"); err != nil {
+		return nil, err
+	}
+	if err := n.DM.Bootstrap(cfg.ImportPassword); err != nil {
+		return nil, err
+	}
+
+	// Processing tier.
+	n.Dir = pl.NewDirectory()
+	n.Manager, err = pl.NewManager(cfg.Node+"/mgr", "server", cfg.IDLServers, pl.Routines(), cfg.InvokeTimeout)
+	if err != nil {
+		return nil, err
+	}
+	n.Dir.RegisterManager(n.Manager, "server")
+	n.Frontend = pl.NewFrontend(n.Dir, cfg.Workers, cfg.MaxInSystem)
+	for _, s := range pl.NewAnalysisStrategies(n.DM) {
+		n.Frontend.RegisterStrategy(s)
+	}
+
+	// Record the deployed topology in the administrative schema (§4.1).
+	for _, svc := range [][3]string{
+		{cfg.Node + "/dm", "dm", cfg.Node},
+		{cfg.Node + "/pl", "pl", cfg.Node},
+		{cfg.Node + "/mgr", "idl", "server"},
+		{cfg.Node + "/web", "web", cfg.Node},
+	} {
+		if err := n.DM.RegisterService(svc[0], svc[1], svc[2]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Presentation tier.
+	n.Synoptic = synoptic.NewSearcher(cfg.SynopticArchives, 0)
+	n.Web = web.New(web.Config{
+		API: dm.Local{DM: n.DM}, Frontend: n.Frontend, LocalDM: n.DM,
+		Synoptic: n.Synoptic, Node: cfg.Node,
+	})
+	return n, nil
+}
+
+// Handler serves the whole node over HTTP: the web interface at /, the DM
+// RPC surface at /dm/ (for remote DMs, StreamCorders and peers).
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", n.Web.Handler())
+	mux.Handle("/dm/", dm.NewServer(dm.Local{DM: n.DM}, "/dm/").Mux())
+	return mux
+}
+
+// StartMaintenance launches the node's housekeeping loop: service
+// heartbeats into the administrative schema and periodic database
+// checkpoints. It returns a stop function.
+func (n *Node) StartMaintenance(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				for _, suffix := range []string{"/dm", "/pl", "/mgr", "/web"} {
+					_ = n.DM.ServiceHeartbeat(n.cfg.Node + suffix)
+				}
+				if err := n.Checkpoint(); err != nil {
+					n.cfg.Logger.Printf("maintenance checkpoint: %v", err)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+// Close flushes databases and shuts down processing.
+func (n *Node) Close() error {
+	n.Frontend.Close()
+	err := n.MetaDB.Close()
+	if n.DomainDB != n.MetaDB {
+		if derr := n.DomainDB.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// Checkpoint snapshots the databases.
+func (n *Node) Checkpoint() error {
+	if err := n.MetaDB.Checkpoint(); err != nil {
+		return err
+	}
+	if n.DomainDB != n.MetaDB {
+		return n.DomainDB.Checkpoint()
+	}
+	return nil
+}
+
+// LoadDay generates (or accepts) one synthetic mission day and ingests its
+// units. unitSeconds controls segmentation (0 = 4 units per day).
+func (n *Node) LoadDay(dayNum int, tcfg telemetry.Config, unitSeconds float64) ([]*dm.LoadReport, error) {
+	day := telemetry.GenerateDay(dayNum, tcfg)
+	if unitSeconds <= 0 {
+		unitSeconds = day.Length / 4
+	}
+	var reports []*dm.LoadReport
+	for _, u := range telemetry.SegmentDay(day, unitSeconds) {
+		rep, err := n.DM.LoadUnit(u)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Login authenticates a user for programmatic use of the node.
+func (n *Node) Login(user, password string) (*dm.Session, error) {
+	return n.DM.Authenticate(user, password, "127.0.0.1", dm.SessionANA)
+}
+
+// ImportSession logs in the system import account.
+func (n *Node) ImportSession() (*dm.Session, error) {
+	return n.Login(dm.ImportUser, n.cfg.ImportPassword)
+}
+
+// Analyze submits one analysis and waits for it, returning the committed
+// analysis id — the programmatic equivalent of the web UI's execute form.
+func (n *Node) Analyze(sess *dm.Session, anaType, hleID string, params map[string]interface{}) (string, error) {
+	if params == nil {
+		params = map[string]interface{}{}
+	}
+	if _, ok := params["tstart"]; !ok {
+		h, err := n.DM.GetHLE(sess, hleID)
+		if err != nil {
+			return "", err
+		}
+		params["tstart"], params["tstop"] = h.TStart, h.TStop
+	}
+	params["hle_id"] = hleID
+	ticket, err := n.Frontend.Submit(&pl.Request{
+		Type: anaType, Session: sess, Params: params,
+	})
+	if err != nil {
+		return "", err
+	}
+	return ticket.Wait(context.Background())
+}

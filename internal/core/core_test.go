@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+func smallTelemetry() telemetry.Config {
+	return telemetry.Config{Seed: 31, DayLength: 1200, BackgroundRate: 4, Flares: 1, Bursts: 0}
+}
+
+func startNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	n, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func TestNodeFullPipeline(t *testing.T) {
+	n := startNode(t, Config{})
+	reports, err := n.LoadDay(1, smallTelemetry(), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Events == 0 {
+		t.Fatalf("reports = %+v", reports)
+	}
+	sess, err := n.ImportSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anaID, err := n.Analyze(sess, schema.AnaLightcurve, reports[0].HLEs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana, err := n.DM.GetANA(sess, anaID)
+	if err != nil || ana.NPhotons == 0 {
+		t.Fatalf("ana = %+v %v", ana, err)
+	}
+}
+
+func TestNodeHTTPServesWebAndRPC(t *testing.T) {
+	n := startNode(t, Config{})
+	if _, err := n.LoadDay(1, smallTelemetry(), 1200); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+
+	// Web tier answers.
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "Extended catalog") {
+		t.Fatalf("web: %d", resp.StatusCode)
+	}
+	// DM RPC answers on the same listener.
+	remote := dm.NewRemote(ts.URL+"/dm/", nil)
+	cats, err := remote.ListCatalogs("", "")
+	if err != nil || len(cats) != 2 {
+		t.Fatalf("rpc: %v %v", cats, err)
+	}
+}
+
+func TestNodePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	n, err := Start(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := n.LoadDay(1, smallTelemetry(), 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := reports[0].Events
+	if err := n.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := Start(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	hles, err := n2.DM.QueryHLEs(nil, dm.HLEFilter{Catalog: dm.ExtendedCat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hles) != events {
+		t.Fatalf("after restart: %d events, want %d", len(hles), events)
+	}
+	// Files still resolve and read after restart.
+	sess, err := n2.ImportSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	photons, _, err := n2.DM.RawPhotons(sess, 0, 1200)
+	if err != nil || len(photons) == 0 {
+		t.Fatalf("raw photons after restart: %d %v", len(photons), err)
+	}
+}
+
+func TestNodePartitionedDomain(t *testing.T) {
+	n := startNode(t, Config{PartitionDomain: true})
+	if n.MetaDB == n.DomainDB {
+		t.Fatal("domain not partitioned")
+	}
+	if _, err := n.LoadDay(1, smallTelemetry(), 1200); err != nil {
+		t.Fatal(err)
+	}
+	if n.DomainDB.TableLen(schema.TableHLE) == 0 {
+		t.Fatal("no HLEs in the domain partition")
+	}
+	if n.MetaDB.TableLen(schema.TableHLE) != -1 {
+		t.Fatal("HLE table leaked into the meta partition")
+	}
+}
+
+func TestNodeRequiresDataDir(t *testing.T) {
+	if _, err := Start(Config{DataDir: ""}); err == nil {
+		t.Fatal("node started without a data directory")
+	}
+}
+
+func TestNodeRegistersServices(t *testing.T) {
+	n := startNode(t, Config{Node: "svc-test"})
+	services, err := n.DM.Services("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]bool{}
+	for _, s := range services {
+		types[s.Type] = true
+		if s.Status != "online" {
+			t.Fatalf("service %s status %s", s.ID, s.Status)
+		}
+	}
+	for _, want := range []string{"dm", "pl", "idl", "web"} {
+		if !types[want] {
+			t.Fatalf("service type %q not registered (have %v)", want, types)
+		}
+	}
+}
+
+// TestNodeSoak exercises the whole node concurrently: browsers hammer the
+// web tier while analyses run through the PL and a second day loads
+// through the DM — the closest in-process analogue of the paper's mixed
+// production workload.
+func TestNodeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	n := startNode(t, Config{Workers: 4, IDLServers: 2})
+	reports, err := n.LoadDay(1, smallTelemetry(), 1200)
+	if err != nil || reports[0].Events == 0 {
+		t.Fatalf("load: %v", err)
+	}
+	hleID := reports[0].HLEs[0]
+	sess, err := n.ImportSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+
+	errs := make(chan error, 32)
+	var wg sync.WaitGroup
+
+	// Browsers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				for _, path := range []string{"/", "/catalog?id=" + dm.ExtendedCat, "/hle?id=" + hleID, "/viz"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						errs <- err
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- fmt.Errorf("%s -> %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Analysts.
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				anaType := schema.AnaHistogram
+				if (i+j)%2 == 1 {
+					anaType = schema.AnaLightcurve
+				}
+				if _, err := n.Analyze(sess, anaType, hleID, map[string]interface{}{
+					"energy_bins": 8 + i + j, // distinct params: no dedup
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// A second day loads mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := n.LoadDay(2, smallTelemetry(), 1200); err != nil {
+			errs <- err
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Everything committed: 10 analyses on the event.
+	anas, err := n.DM.AnalysesForHLE(sess, hleID)
+	if err != nil || len(anas) != 10 {
+		t.Fatalf("analyses = %d %v", len(anas), err)
+	}
+}
+
+func TestMaintenanceLoop(t *testing.T) {
+	n := startNode(t, Config{Node: "mx"})
+	before, err := n.DM.Services("dm")
+	if err != nil || len(before) != 1 {
+		t.Fatalf("services = %v %v", before, err)
+	}
+	stop := n.StartMaintenance(10 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after, err := n.DM.Services("dm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after[0].Heartbeat > before[0].Heartbeat {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never advanced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	// Checkpoint ran: the snapshot exists.
+	if n.MetaDB.Stats().Checkpoints == 0 {
+		t.Fatal("maintenance never checkpointed")
+	}
+}

@@ -1,0 +1,307 @@
+// Package dataviz implements HEDC's interactive database visualization
+// (§6.3): "reorganize the catalogs as a number of multi-dimensional arrays
+// and allow users to specify ranges in any of the dimensions. Based on
+// these ranges the information is then presented in a compact and efficient
+// manner using density (number of tuples per bin) and extent (location and
+// extent of each tuple or cluster of tuples) plots."
+//
+// Arrays are pre-sorted by the most relevant attributes, partitioned across
+// the dimensions into the equivalent of materialized views, and wavelet
+// encoded so that decoding (and progressive refinement) happens at the
+// client — "otherwise interactive exploration would require a very powerful
+// server".
+package dataviz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/wavelet"
+)
+
+// Dimension selects an HLE attribute as a plot axis.
+type Dimension string
+
+// Supported axes over the event catalog.
+const (
+	DimTStart       Dimension = "tstart"
+	DimDuration     Dimension = "duration"
+	DimPeakRate     Dimension = "peak_rate"
+	DimSignificance Dimension = "significance"
+	DimEnergy       Dimension = "emax"
+	DimTotalCounts  Dimension = "total_counts"
+)
+
+// value extracts the dimension from an event.
+func (d Dimension) value(h *schema.HLE) (float64, error) {
+	switch d {
+	case DimTStart:
+		return h.TStart, nil
+	case DimDuration:
+		return h.TStop - h.TStart, nil
+	case DimPeakRate:
+		return h.PeakRate, nil
+	case DimSignificance:
+		return h.Significance, nil
+	case DimEnergy:
+		return h.EMax, nil
+	case DimTotalCounts:
+		return float64(h.TotalCounts), nil
+	}
+	return 0, fmt.Errorf("dataviz: unknown dimension %q", d)
+}
+
+// Log reports whether the axis is better binned logarithmically.
+func (d Dimension) Log() bool {
+	switch d {
+	case DimPeakRate, DimTotalCounts, DimEnergy:
+		return true
+	}
+	return false
+}
+
+// Array is a catalog reorganized as a 2-D array over two attributes:
+// the pre-processed, sorted structure that range selections and plots
+// slice into.
+type Array struct {
+	X, Y   Dimension
+	XMin   float64
+	XMax   float64
+	YMin   float64
+	YMax   float64
+	XBins  int
+	YBins  int
+	Tuples []Point // sorted by X then Y: the §6.3 pre-sorting
+}
+
+// Point is one catalog tuple projected onto the two plot dimensions.
+type Point struct {
+	ID   string
+	X, Y float64
+}
+
+// BuildArray projects events onto (x, y) and sorts them.
+func BuildArray(events []*schema.HLE, x, y Dimension, xBins, yBins int) (*Array, error) {
+	if xBins < 1 {
+		xBins = 64
+	}
+	if yBins < 1 {
+		yBins = 64
+	}
+	a := &Array{X: x, Y: y, XBins: xBins, YBins: yBins}
+	for _, h := range events {
+		xv, err := x.value(h)
+		if err != nil {
+			return nil, err
+		}
+		yv, err := y.value(h)
+		if err != nil {
+			return nil, err
+		}
+		a.Tuples = append(a.Tuples, Point{ID: h.ID, X: xv, Y: yv})
+	}
+	sort.Slice(a.Tuples, func(i, j int) bool {
+		if a.Tuples[i].X != a.Tuples[j].X {
+			return a.Tuples[i].X < a.Tuples[j].X
+		}
+		return a.Tuples[i].Y < a.Tuples[j].Y
+	})
+	if len(a.Tuples) > 0 {
+		a.XMin, a.XMax = a.Tuples[0].X, a.Tuples[len(a.Tuples)-1].X
+		a.YMin, a.YMax = math.Inf(1), math.Inf(-1)
+		for _, p := range a.Tuples {
+			a.YMin = math.Min(a.YMin, p.Y)
+			a.YMax = math.Max(a.YMax, p.Y)
+		}
+	}
+	return a, nil
+}
+
+// Range restricts a plot to a sub-rectangle; zero-valued ranges mean the
+// full extent ("users specify ranges in any of the dimensions").
+type Range struct {
+	XLo, XHi float64
+	YLo, YHi float64
+	Set      bool
+}
+
+func (a *Array) bounds(r Range) (xlo, xhi, ylo, yhi float64) {
+	if !r.Set {
+		return a.XMin, a.XMax, a.YMin, a.YMax
+	}
+	return r.XLo, r.XHi, r.YLo, r.YHi
+}
+
+// axisPos maps v into [0, bins) under linear or log scaling.
+func axisPos(v, lo, hi float64, bins int, logScale bool) int {
+	if hi <= lo {
+		return 0
+	}
+	var t float64
+	if logScale && lo > 0 {
+		t = (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	} else {
+		t = (v - lo) / (hi - lo)
+	}
+	i := int(t * float64(bins))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bins {
+		i = bins - 1
+	}
+	return i
+}
+
+// Density returns the tuples-per-bin matrix for the selected range
+// (row-major, [yBins][xBins], row 0 = lowest Y).
+func (a *Array) Density(r Range) [][]float64 {
+	xlo, xhi, ylo, yhi := a.bounds(r)
+	grid := make([][]float64, a.YBins)
+	for i := range grid {
+		grid[i] = make([]float64, a.XBins)
+	}
+	// The tuples are sorted by X: binary-search the window.
+	lo := sort.Search(len(a.Tuples), func(i int) bool { return a.Tuples[i].X >= xlo })
+	for _, p := range a.Tuples[lo:] {
+		if p.X > xhi {
+			break
+		}
+		if p.Y < ylo || p.Y > yhi {
+			continue
+		}
+		xi := axisPos(p.X, xlo, xhi, a.XBins, a.X.Log())
+		yi := axisPos(p.Y, ylo, yhi, a.YBins, a.Y.Log())
+		grid[yi][xi]++
+	}
+	return grid
+}
+
+// Cluster is one entry of an extent plot: the location and spread of a
+// group of tuples that share a density cell region.
+type Cluster struct {
+	N                int
+	XCenter, YCenter float64
+	XSpread, YSpread float64 // half-extents
+	Members          []string
+}
+
+// Extent groups the selected tuples by density cell and summarizes each
+// non-empty cell's location and extent.
+func (a *Array) Extent(r Range) []Cluster {
+	xlo, xhi, ylo, yhi := a.bounds(r)
+	type agg struct {
+		n          int
+		sx, sy     float64
+		minx, maxx float64
+		miny, maxy float64
+		members    []string
+	}
+	cells := make(map[[2]int]*agg)
+	lo := sort.Search(len(a.Tuples), func(i int) bool { return a.Tuples[i].X >= xlo })
+	for _, p := range a.Tuples[lo:] {
+		if p.X > xhi {
+			break
+		}
+		if p.Y < ylo || p.Y > yhi {
+			continue
+		}
+		key := [2]int{
+			axisPos(p.X, xlo, xhi, a.XBins, a.X.Log()),
+			axisPos(p.Y, ylo, yhi, a.YBins, a.Y.Log()),
+		}
+		c := cells[key]
+		if c == nil {
+			c = &agg{minx: p.X, maxx: p.X, miny: p.Y, maxy: p.Y}
+			cells[key] = c
+		}
+		c.n++
+		c.sx += p.X
+		c.sy += p.Y
+		c.minx = math.Min(c.minx, p.X)
+		c.maxx = math.Max(c.maxx, p.X)
+		c.miny = math.Min(c.miny, p.Y)
+		c.maxy = math.Max(c.maxy, p.Y)
+		c.members = append(c.members, p.ID)
+	}
+	out := make([]Cluster, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, Cluster{
+			N:       c.n,
+			XCenter: c.sx / float64(c.n),
+			YCenter: c.sy / float64(c.n),
+			XSpread: (c.maxx - c.minx) / 2,
+			YSpread: (c.maxy - c.miny) / 2,
+			Members: c.members,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		if out[i].XCenter != out[j].XCenter {
+			return out[i].XCenter < out[j].XCenter
+		}
+		return out[i].YCenter < out[j].YCenter
+	})
+	return out
+}
+
+// Partition splits the array into nParts X-ranges and wavelet-encodes each
+// part's density — the "partitioned ... equivalent of materialized views"
+// that clients download and decode locally, progressively (§6.3).
+type Partition struct {
+	XLo, XHi float64
+	Enc      *wavelet.Encoded
+	Tuples   int
+}
+
+// Partitions encodes the array's density in nParts column strips, keeping
+// the given wavelet coefficient fraction.
+func (a *Array) Partitions(nParts int, keep float64) []Partition {
+	if nParts < 1 {
+		nParts = 1
+	}
+	out := make([]Partition, 0, nParts)
+	step := (a.XMax - a.XMin) / float64(nParts)
+	if step <= 0 {
+		step = 1
+	}
+	for i := 0; i < nParts; i++ {
+		xlo := a.XMin + float64(i)*step
+		xhi := xlo + step
+		if i == nParts-1 {
+			xhi = a.XMax
+		}
+		r := Range{XLo: xlo, XHi: xhi, YLo: a.YMin, YHi: a.YMax, Set: true}
+		grid := a.Density(r)
+		n := 0
+		for _, row := range grid {
+			for _, v := range row {
+				n += int(v)
+			}
+		}
+		out = append(out, Partition{
+			XLo: xlo, XHi: xhi,
+			Enc:    wavelet.Encode2D(grid, keep),
+			Tuples: n,
+		})
+	}
+	return out
+}
+
+// DecodeDensity reconstructs a partition's (approximated) density at the
+// given coefficient fraction, clamping negative artifacts.
+func (p Partition) DecodeDensity(frac float64) [][]float64 {
+	grid := p.Enc.Decode2D(frac)
+	for _, row := range grid {
+		for i, v := range row {
+			if v < 0 {
+				row[i] = 0
+			}
+		}
+	}
+	return grid
+}

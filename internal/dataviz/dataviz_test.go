@@ -1,0 +1,250 @@
+package dataviz
+
+import (
+	"bytes"
+	"fmt"
+	"image/gif"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+func testEvents(n int) []*schema.HLE {
+	events := make([]*schema.HLE, n)
+	for i := range events {
+		start := float64(i * 100)
+		events[i] = &schema.HLE{
+			ID:           fmt.Sprintf("hle-%04d", i),
+			TStart:       start,
+			TStop:        start + 50 + float64(i%7)*20,
+			PeakRate:     10 + float64((i*37)%500),
+			Significance: float64(i%40) + 1,
+			EMax:         100 + float64(i%9)*1000,
+			TotalCounts:  int64(100 + i*13),
+		}
+	}
+	return events
+}
+
+func TestBuildArraySortedAndBounded(t *testing.T) {
+	a, err := BuildArray(testEvents(200), DimTStart, DimPeakRate, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tuples) != 200 {
+		t.Fatalf("tuples = %d", len(a.Tuples))
+	}
+	for i := 1; i < len(a.Tuples); i++ {
+		if a.Tuples[i].X < a.Tuples[i-1].X {
+			t.Fatal("tuples not sorted by X")
+		}
+	}
+	if a.XMin != 0 || a.XMax != 19900 {
+		t.Fatalf("x bounds = [%v, %v]", a.XMin, a.XMax)
+	}
+	if _, err := BuildArray(testEvents(1), "nope", DimPeakRate, 8, 8); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+}
+
+func TestDensityConservesTuples(t *testing.T) {
+	events := testEvents(500)
+	a, _ := BuildArray(events, DimTStart, DimSignificance, 40, 20)
+	grid := a.Density(Range{})
+	var total float64
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != 500 {
+		t.Fatalf("density sums to %v, want 500", total)
+	}
+}
+
+func TestDensityRangeSelection(t *testing.T) {
+	events := testEvents(200)
+	a, _ := BuildArray(events, DimTStart, DimSignificance, 40, 20)
+	// Half the X range should hold about half the tuples.
+	r := Range{XLo: 0, XHi: a.XMax / 2, YLo: a.YMin, YHi: a.YMax, Set: true}
+	grid := a.Density(r)
+	var total float64
+	for _, row := range grid {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total < 90 || total > 110 {
+		t.Fatalf("half-range density = %v, want ~100", total)
+	}
+}
+
+func TestExtentClustersCoverSelection(t *testing.T) {
+	events := testEvents(300)
+	a, _ := BuildArray(events, DimTStart, DimPeakRate, 16, 8)
+	clusters := a.Extent(Range{})
+	var members int
+	for _, c := range clusters {
+		members += c.N
+		if len(c.Members) != c.N {
+			t.Fatalf("cluster bookkeeping: %d members vs N=%d", len(c.Members), c.N)
+		}
+		if c.XSpread < 0 || c.YSpread < 0 {
+			t.Fatalf("negative spread: %+v", c)
+		}
+	}
+	if members != 300 {
+		t.Fatalf("clusters cover %d tuples, want 300", members)
+	}
+	// Sorted by descending membership.
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i].N > clusters[i-1].N {
+			t.Fatal("clusters not sorted by size")
+		}
+	}
+}
+
+func TestPartitionsEncodeAndDecode(t *testing.T) {
+	events := testEvents(400)
+	a, _ := BuildArray(events, DimTStart, DimSignificance, 32, 16)
+	parts := a.Partitions(4, 0.3)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	var covered int
+	for i, p := range parts {
+		covered += p.Tuples
+		if i > 0 && parts[i-1].XHi != p.XLo {
+			t.Fatal("partition gap")
+		}
+		grid := p.DecodeDensity(1)
+		var sum float64
+		for _, row := range grid {
+			for _, v := range row {
+				sum += v
+			}
+		}
+		if math.Abs(sum-float64(p.Tuples)) > float64(p.Tuples)*0.3+5 {
+			t.Fatalf("partition %d decodes to %v tuples, want ~%d", i, sum, p.Tuples)
+		}
+	}
+	if covered != 400 {
+		t.Fatalf("partitions cover %d tuples", covered)
+	}
+	// Progressive refinement is monotone in L2 against the full decode.
+	full := parts[0].DecodeDensity(1)
+	prevErr := math.Inf(1)
+	for _, frac := range []float64{0.2, 0.6, 1.0} {
+		approx := parts[0].DecodeDensity(frac)
+		var e float64
+		for y := range full {
+			for x := range full[y] {
+				d := full[y][x] - approx[y][x]
+				e += d * d
+			}
+		}
+		if e > prevErr+1e-9 {
+			t.Fatalf("refinement increased error at frac %v", frac)
+		}
+		prevErr = e
+	}
+}
+
+func TestLogAxes(t *testing.T) {
+	if !DimPeakRate.Log() || DimTStart.Log() {
+		t.Fatal("axis scaling flags wrong")
+	}
+	// Log binning spreads a power-law-ish attribute across bins.
+	events := testEvents(300)
+	a, _ := BuildArray(events, DimTStart, DimPeakRate, 8, 8)
+	grid := a.Density(Range{})
+	occupied := 0
+	for _, row := range grid {
+		for _, v := range row {
+			if v > 0 {
+				occupied++
+			}
+		}
+	}
+	if occupied < 8 {
+		t.Fatalf("only %d occupied cells: log binning collapsed", occupied)
+	}
+}
+
+func TestRenderDensityAndExtentProduceGIFs(t *testing.T) {
+	events := testEvents(150)
+	a, _ := BuildArray(events, DimTStart, DimPeakRate, 32, 16)
+	dens, err := RenderDensity(a.Density(Range{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gif.Decode(bytes.NewReader(dens)); err != nil {
+		t.Fatalf("density gif invalid: %v", err)
+	}
+	ext, err := RenderExtent(a.Extent(Range{}), a.XMin, a.XMax, a.YMin, a.YMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := gif.Decode(bytes.NewReader(ext))
+	if err != nil {
+		t.Fatalf("extent gif invalid: %v", err)
+	}
+	if img.Bounds().Dx() != 256 {
+		t.Fatalf("extent image %v", img.Bounds())
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	a, err := BuildArray(nil, DimTStart, DimPeakRate, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid := a.Density(Range{}); len(grid) != 8 {
+		t.Fatal("density shape wrong for empty catalog")
+	}
+	if clusters := a.Extent(Range{}); len(clusters) != 0 {
+		t.Fatal("phantom clusters")
+	}
+	if _, err := RenderDensity(a.Density(Range{})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: density over any range never exceeds the total tuple count and
+// every counted tuple lies within the range.
+func TestQuickDensityWithinRange(t *testing.T) {
+	events := testEvents(120)
+	a, _ := BuildArray(events, DimTStart, DimSignificance, 16, 16)
+	check := func(xloRaw, xhiRaw, yloRaw, yhiRaw uint16) bool {
+		xlo := float64(xloRaw) / 65535 * a.XMax
+		xhi := float64(xhiRaw) / 65535 * a.XMax
+		if xlo > xhi {
+			xlo, xhi = xhi, xlo
+		}
+		ylo := float64(yloRaw) / 65535 * a.YMax
+		yhi := float64(yhiRaw) / 65535 * a.YMax
+		if ylo > yhi {
+			ylo, yhi = yhi, ylo
+		}
+		grid := a.Density(Range{XLo: xlo, XHi: xhi, YLo: ylo, YHi: yhi, Set: true})
+		var got float64
+		for _, row := range grid {
+			for _, v := range row {
+				got += v
+			}
+		}
+		// Reference count.
+		var want float64
+		for _, p := range a.Tuples {
+			if p.X >= xlo && p.X <= xhi && p.Y >= ylo && p.Y <= yhi {
+				want++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

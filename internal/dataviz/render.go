@@ -1,0 +1,124 @@
+package dataviz
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/gif"
+	"math"
+)
+
+// RenderDensity draws a density grid as a heatmap GIF (log color scale so
+// sparse catalogs stay readable).
+func RenderDensity(grid [][]float64) ([]byte, error) {
+	h := len(grid)
+	w := 0
+	if h > 0 {
+		w = len(grid[0])
+	}
+	if w == 0 {
+		grid = [][]float64{{0}}
+		w, h = 1, 1
+	}
+	scale := 1
+	for (w*scale < 192 || h*scale < 192) && scale < 32 {
+		scale++
+	}
+	maxV := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	pal := make(color.Palette, 256)
+	for i := range pal {
+		t := float64(i) / 255
+		pal[i] = color.RGBA{
+			R: uint8(255 * math.Min(1, 2*t)),
+			G: uint8(255 * t * t),
+			B: uint8(255 * (1 - t) * 0.6),
+			A: 255,
+		}
+	}
+	img := image.NewPaletted(image.Rect(0, 0, w*scale, h*scale), pal)
+	logMax := math.Log1p(maxV)
+	for y := 0; y < h*scale; y++ {
+		row := grid[h-1-y/scale]
+		for x := 0; x < w*scale; x++ {
+			idx := 0
+			if logMax > 0 {
+				idx = int(math.Log1p(row[x/scale]) / logMax * 255)
+			}
+			img.SetColorIndex(x, y, uint8(idx))
+		}
+	}
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, img, nil); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RenderExtent draws clusters as rectangles (center ± spread) over the
+// plot range, sized by membership.
+func RenderExtent(clusters []Cluster, xlo, xhi, ylo, yhi float64) ([]byte, error) {
+	const w, h = 256, 256
+	pal := color.Palette{
+		color.RGBA{250, 250, 245, 255}, // background
+		color.RGBA{40, 70, 160, 255},   // outline
+		color.RGBA{150, 170, 220, 255}, // fill
+		color.RGBA{0, 0, 0, 255},       // frame
+	}
+	img := image.NewPaletted(image.Rect(0, 0, w, h), pal)
+	for x := 0; x < w; x++ {
+		img.SetColorIndex(x, 0, 3)
+		img.SetColorIndex(x, h-1, 3)
+	}
+	for y := 0; y < h; y++ {
+		img.SetColorIndex(0, y, 3)
+		img.SetColorIndex(w-1, y, 3)
+	}
+	px := func(v, lo, hi float64, span int) int {
+		if hi <= lo {
+			return 0
+		}
+		p := int((v - lo) / (hi - lo) * float64(span-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= span {
+			p = span - 1
+		}
+		return p
+	}
+	for _, c := range clusters {
+		x0 := px(c.XCenter-c.XSpread, xlo, xhi, w)
+		x1 := px(c.XCenter+c.XSpread, xlo, xhi, w)
+		y0 := h - 1 - px(c.YCenter+c.YSpread, ylo, yhi, h)
+		y1 := h - 1 - px(c.YCenter-c.YSpread, ylo, yhi, h)
+		if x1-x0 < 2 {
+			x1 = x0 + 2
+		}
+		if y1-y0 < 2 {
+			y1 = y0 + 2
+		}
+		for y := y0; y <= y1 && y < h; y++ {
+			for x := x0; x <= x1 && x < w; x++ {
+				ci := uint8(2)
+				if y == y0 || y == y1 || x == x0 || x == x1 {
+					ci = 1
+				}
+				if img.ColorIndexAt(x, y) == 0 || ci == 1 {
+					img.SetColorIndex(x, y, ci)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gif.Encode(&buf, img, nil); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

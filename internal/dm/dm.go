@@ -1,0 +1,325 @@
+// Package dm implements HEDC's Data Management component: the middle-tier
+// layer that "controls and optimizes access to the data" and "hides
+// specific details like file formats and the specific data type required by
+// analysis programs behind interfaces" (§2.3).
+//
+// The DM is layered (§5.2):
+//
+//   - The I/O layer abstracts storage type and location: database adapters
+//     translate structured query objects into engine plans, the file
+//     adapter talks to archives, dynamic name construction (§4.3) resolves
+//     item ids to files/URLs, and vertical partitioning routes tables to
+//     different database instances.
+//   - The semantic layer enforces access rules and referential consistency
+//     and implements entity services: HLE/ANA/catalog creation, analysis
+//     import, publication, deletion with dependency checks.
+//   - The process layer combines both into workflows: raw-data loading
+//     (with event detection, catalog generation and wavelet view
+//     construction), archive relocation with compensation, purging.
+//
+// Sessions, connection pools and call redirection (local or remote DM
+// execution over HTTP) complete the picture (§5.3–5.4).
+package dm
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// Options configures a DM node.
+type Options struct {
+	Node     string     // node name, e.g. "dm-0"
+	MetaDB   *minidb.DB // generic part of the schema (and domain, if DomainDB nil)
+	DomainDB *minidb.DB // optional vertical partition for the domain tables
+	Archives *archive.Set
+	// DefaultArchive receives newly stored files.
+	DefaultArchive string
+	// URLRoot is the [root] element for URL name construction (§4.3).
+	URLRoot string
+	// Pool sizes (defaults 8/4/2, the split of §5.3).
+	QueryPool, UpdatePool, AuthPool int
+	// Logger receives operational messages (nil = standard logger).
+	Logger *log.Logger
+}
+
+// Stats counts DM activity; experiments and tests read it.
+type Stats struct {
+	Requests       atomic.Int64 // semantic-layer entry points served
+	Queries        atomic.Int64 // database queries issued
+	Edits          atomic.Int64 // database mutations issued
+	FilesStored    atomic.Int64
+	FilesRead      atomic.Int64
+	BytesStored    atomic.Int64
+	BytesRead      atomic.Int64
+	NameLookups    atomic.Int64
+	CacheHits      atomic.Int64 // session-cache hits
+	CacheMisses    atomic.Int64
+	AccessDenied   atomic.Int64
+	RedirectsOut   atomic.Int64 // calls shipped to a remote DM
+	RedirectsIn    atomic.Int64 // calls served on behalf of a remote caller
+	EventsDetected atomic.Int64
+	UnitsLoaded    atomic.Int64
+}
+
+// DM is one Data Management node.
+type DM struct {
+	node     string
+	meta     *minidb.DB
+	domain   *minidb.DB
+	archives *archive.Set
+	defArch  string
+	urlRoot  string
+	logger   *log.Logger
+
+	pools map[*minidb.DB]*dbPools
+
+	sessions *sessionCache
+
+	seqMu  sync.Mutex
+	seqHi  map[string]int64 // next unpersisted id per prefix
+	seqMax map[string]int64 // persisted ceiling per prefix
+
+	viewOnce sync.Once
+	viewErr  error
+
+	stats Stats
+}
+
+type dbPools struct {
+	query  *minidb.Pool
+	update *minidb.Pool
+	auth   *minidb.Pool
+}
+
+// Open wires a DM node. The databases must already contain the schema
+// tables (see internal/schema).
+func Open(opts Options) (*DM, error) {
+	if opts.MetaDB == nil {
+		return nil, fmt.Errorf("dm: MetaDB is required")
+	}
+	if opts.Archives == nil {
+		opts.Archives = archive.NewSet()
+	}
+	if opts.Node == "" {
+		opts.Node = "dm-0"
+	}
+	if opts.QueryPool <= 0 {
+		opts.QueryPool = 8
+	}
+	if opts.UpdatePool <= 0 {
+		opts.UpdatePool = 4
+	}
+	if opts.AuthPool <= 0 {
+		opts.AuthPool = 2
+	}
+	if opts.Logger == nil {
+		opts.Logger = log.Default()
+	}
+	d := &DM{
+		node:     opts.Node,
+		meta:     opts.MetaDB,
+		domain:   opts.DomainDB,
+		archives: opts.Archives,
+		defArch:  opts.DefaultArchive,
+		urlRoot:  opts.URLRoot,
+		logger:   opts.Logger,
+		pools:    make(map[*minidb.DB]*dbPools),
+		sessions: newSessionCache(),
+		seqHi:    make(map[string]int64),
+		seqMax:   make(map[string]int64),
+	}
+	if d.domain == nil {
+		d.domain = d.meta
+	}
+	for _, db := range []*minidb.DB{d.meta, d.domain} {
+		if _, done := d.pools[db]; done {
+			continue
+		}
+		qp, err := minidb.NewPool(db, "query", opts.QueryPool)
+		if err != nil {
+			return nil, err
+		}
+		up, err := minidb.NewPool(db, "update", opts.UpdatePool)
+		if err != nil {
+			return nil, err
+		}
+		ap, err := minidb.NewPool(db, "auth", opts.AuthPool)
+		if err != nil {
+			return nil, err
+		}
+		d.pools[db] = &dbPools{query: qp, update: up, auth: ap}
+	}
+	if err := d.loadSequences(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Node returns the node name.
+func (d *DM) Node() string { return d.node }
+
+// Stats exposes the counter block.
+func (d *DM) Stats() *Stats { return &d.stats }
+
+// Archives exposes the archive registry (process-layer tools use it).
+func (d *DM) Archives() *archive.Set { return d.archives }
+
+// MetaDB and DomainDB expose the underlying engines for diagnostics.
+func (d *DM) MetaDB() *minidb.DB   { return d.meta }
+func (d *DM) DomainDB() *minidb.DB { return d.domain }
+
+// routeDB implements vertical partitioning: domain tables go to the domain
+// database instance, everything else to the meta instance (§5.2: "data
+// requests for certain parts of a database schema are routed to a
+// different DBMS").
+func (d *DM) routeDB(table string) *minidb.DB {
+	switch table {
+	case schema.TableHLE, schema.TableANA, schema.TableCatalog,
+		schema.TableCatalogMembers, schema.TableRawUnits,
+		schema.TableViews, schema.TableVersions:
+		return d.domain
+	default:
+		return d.meta
+	}
+}
+
+// query runs a read through the routed database's query pool, counting it.
+func (d *DM) query(q minidb.Query) (*minidb.Result, error) {
+	db := d.routeDB(q.Table)
+	res, err := db.Query(q)
+	if err == nil {
+		d.stats.Queries.Add(1)
+	}
+	return res, err
+}
+
+// exec runs fn inside a transaction on the routed database, counting each
+// mutation it performs via the returned edit counter.
+func (d *DM) exec(table string, fn func(tx *minidb.Txn) error) error {
+	db := d.routeDB(table)
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// nextID hands out "prefix-n" identifiers using a hi-lo allocator: the
+// persisted ceiling in admin_config moves in blocks, so restarts never
+// reuse ids and allocation rarely touches the database.
+func (d *DM) nextID(prefix string) (string, error) {
+	const block = 64
+	d.seqMu.Lock()
+	defer d.seqMu.Unlock()
+	n := d.seqHi[prefix]
+	if n >= d.seqMax[prefix] {
+		newMax := d.seqMax[prefix] + block
+		if err := d.persistSequence(prefix, newMax); err != nil {
+			return "", err
+		}
+		d.seqMax[prefix] = newMax
+	}
+	d.seqHi[prefix] = n + 1
+	return fmt.Sprintf("%s-%08d", prefix, n), nil
+}
+
+func seqKey(prefix string) string { return "seq." + prefix }
+
+func (d *DM) loadSequences() error {
+	res, err := d.meta.Query(minidb.Query{
+		Table: schema.TableConfig,
+		Where: []minidb.Pred{{Col: "section", Op: minidb.OpEq, Val: minidb.S("sequence")}},
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		key, val := row[0].Str(), row[2].Str()
+		var prefix string
+		var max int64
+		if _, err := fmt.Sscanf(key, "seq.%s", &prefix); err != nil {
+			continue
+		}
+		if _, err := fmt.Sscanf(val, "%d", &max); err != nil {
+			continue
+		}
+		d.seqHi[prefix] = max // resume past the persisted ceiling
+		d.seqMax[prefix] = max
+	}
+	return nil
+}
+
+func (d *DM) persistSequence(prefix string, max int64) error {
+	key := seqKey(prefix)
+	res, err := d.meta.Query(minidb.Query{
+		Table: schema.TableConfig,
+		Where: []minidb.Pred{{Col: "key", Op: minidb.OpEq, Val: minidb.S(key)}},
+	})
+	if err != nil {
+		return err
+	}
+	val := fmt.Sprintf("%d", max)
+	row := minidb.Row{minidb.S(key), minidb.S("sequence"), minidb.S(val), minidb.Null()}
+	if len(res.RowIDs) > 0 {
+		return d.meta.Update(schema.TableConfig, res.RowIDs[0], row)
+	}
+	_, err = d.meta.Insert(schema.TableConfig, row)
+	return err
+}
+
+// logOp writes to the operational log table and the process logger.
+func (d *DM) logOp(level, component, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	d.logger.Printf("[%s] %s %s: %s", d.node, level, component, msg)
+	id, err := d.nextID("log")
+	if err != nil {
+		return
+	}
+	var logID int64
+	fmt.Sscanf(id, "log-%d", &logID)
+	_, _ = d.meta.Insert(schema.TableLogs, minidb.Row{
+		minidb.I(logID),
+		minidb.F(float64(time.Now().UnixNano()) / 1e9),
+		minidb.S(level),
+		minidb.S(component),
+		minidb.S(msg),
+	})
+}
+
+// recordLineage appends a lineage row for an entity or item (§3.1 lineage
+// tracking). Lineage lives in the generic part of the schema (meta
+// database), so it is written outside domain-entity transactions.
+func (d *DM) recordLineage(itemID, parent, operation string, version int64, detail string) error {
+	id, err := d.nextID("lin")
+	if err != nil {
+		return err
+	}
+	var n int64
+	fmt.Sscanf(id, "lin-%d", &n)
+	parentVal := minidb.Null()
+	if parent != "" {
+		parentVal = minidb.S(parent)
+	}
+	detailVal := minidb.Null()
+	if detail != "" {
+		detailVal = minidb.S(detail)
+	}
+	_, err = d.meta.Insert(schema.TableLineage, minidb.Row{
+		minidb.I(n), minidb.S(itemID), parentVal, minidb.S(operation),
+		minidb.I(version), minidb.F(nowSecs()), detailVal,
+	})
+	if err == nil {
+		d.stats.Edits.Add(1)
+	}
+	return err
+}
+
+func nowSecs() float64 { return float64(time.Now().UnixNano()) / 1e9 }

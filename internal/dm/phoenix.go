@@ -1,0 +1,135 @@
+package dm
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// Phoenix-2 ingestion: the second data source (§2.2). The spectrometer's
+// PHX2 files have nothing in common with RHESSI's photon-list FITS units,
+// yet loading them touches only this file — the generic machinery (name
+// mapping, catalogs, HLE tuples, access control) absorbs the new source
+// unchanged, which is precisely the §3.1 design claim.
+
+// PhoenixCat is the catalog holding identified radio events ("The Phoenix
+// catalog contains spectrograms for around 3000 identified solar events
+// and is part of the extended catalog").
+const PhoenixCat = "cat-phoenix"
+
+// PhoenixReport summarizes one spectrogram load.
+type PhoenixReport struct {
+	FileID string
+	ItemID string
+	Bytes  int64
+	Bursts int
+	HLEs   []string
+}
+
+// ensurePhoenix creates the Phoenix catalog and the PHX2 transform row on
+// first use.
+func (d *DM) ensurePhoenix() error {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableCatalog, Count: true,
+		Where: []minidb.Pred{{Col: "catalog_id", Op: minidb.OpEq, Val: minidb.S(PhoenixCat)}},
+	})
+	if err != nil {
+		return err
+	}
+	if res.Count > 0 {
+		return nil
+	}
+	sys := d.systemSession()
+	id, err := d.CreateCatalog(sys, "Phoenix catalog", "extended",
+		"radio events identified in Phoenix-2 spectrograms", true)
+	if err != nil {
+		return err
+	}
+	// Rebrand to the well-known id.
+	row, err := d.query(minidb.Query{
+		Table: schema.TableCatalog,
+		Where: []minidb.Pred{{Col: "catalog_id", Op: minidb.OpEq, Val: minidb.S(id)}},
+	})
+	if err != nil || len(row.Rows) == 0 {
+		return fmt.Errorf("dm: phoenix catalog bootstrap failed: %v", err)
+	}
+	updated := row.Rows[0].Clone()
+	updated[0] = minidb.S(PhoenixCat)
+	if err := d.routeDB(schema.TableCatalog).Update(schema.TableCatalog, row.RowIDs[0], updated); err != nil {
+		return err
+	}
+	// The new format's transform entry (§4.3 name mapping stays generic).
+	_, err = d.meta.Insert(schema.TableLocTransforms, minidb.Row{
+		minidb.S("phx2"), minidb.S("phx2-decode"), minidb.S("Phoenix-2 radio spectrogram"),
+	})
+	return err
+}
+
+// LoadPhoenix ingests one spectrogram: the PHX2 file is archived under the
+// generic name mapping, radio bursts are detected, and each becomes a
+// public HLE in both the Phoenix and the extended catalogs.
+func (d *DM) LoadPhoenix(p *telemetry.PhoenixSpectrogram) (*PhoenixReport, error) {
+	d.stats.Requests.Add(1)
+	if err := d.ensurePhoenix(); err != nil {
+		return nil, err
+	}
+	fileID := p.Name()
+	// Reject double loads via the lineage table (phoenix files have no
+	// raw_units tuple — they are not photon units).
+	dup, err := d.query(minidb.Query{
+		Table: schema.TableLineage, Count: true,
+		Where: []minidb.Pred{{Col: "item_id", Op: minidb.OpEq, Val: minidb.S(fileID)}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dup.Count > 0 {
+		return nil, fmt.Errorf("dm: phoenix file %s already loaded", fileID)
+	}
+
+	data := p.Encode()
+	itemID, err := d.nextID("item")
+	if err != nil {
+		return nil, err
+	}
+	if err := d.StoreItemFiles(itemID, ImportUser, true, []StoredFile{
+		{Suffix: ".phx2", Format: "phx2", Data: data},
+	}); err != nil {
+		return nil, err
+	}
+	rep := &PhoenixReport{FileID: fileID, ItemID: itemID, Bytes: int64(len(data))}
+
+	sys := d.systemSession()
+	for _, b := range telemetry.DetectRadioBursts(p, 0) {
+		h := &schema.HLE{
+			Version: 1, Public: true,
+			Label:    fmt.Sprintf("%s radio burst t=%.0fs", fileID, b.TStart),
+			KindHint: "radio-burst",
+			TStart:   b.TStart, TStop: b.TStop,
+			// The energy columns carry the radio band in MHz for this
+			// source; the schema stays unchanged (events, not types, §3.3).
+			EMin: b.FreqLoMHz, EMax: b.FreqHiMHz,
+			PeakRate: b.Peak, Day: int64(p.Day),
+			ItemID: itemID, Quality: 3,
+			Origin: "phoenix", CalibVersion: 1,
+		}
+		hleID, err := d.CreateHLE(sys, h)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddToCatalog(sys, PhoenixCat, hleID); err != nil {
+			return nil, err
+		}
+		if err := d.AddToCatalog(sys, ExtendedCat, hleID); err != nil {
+			return nil, err
+		}
+		rep.Bursts++
+		rep.HLEs = append(rep.HLEs, hleID)
+		d.stats.EventsDetected.Add(1)
+	}
+	_ = d.recordLineage(fileID, "", "load", 1, fmt.Sprintf("phoenix %d bursts", rep.Bursts))
+	d.logOp("info", "load", "phoenix %s: %d bytes, %d radio bursts", fileID, rep.Bytes, rep.Bursts)
+	return rep, nil
+}

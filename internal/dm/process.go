@@ -1,0 +1,467 @@
+package dm
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/fits"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+	"repro/internal/wavelet"
+)
+
+// Process layer (§5.2): workflows combining I/O-layer operations with
+// semantic-layer services — raw data preparation, event filtering, entity
+// association and catalog generation. Data loading implements §2.2's
+// pipeline: raw units are stored, searched "for interesting events, using
+// programs that detect a wider range of events such as solar flares, gamma
+// ray bursts, or quiet periods", analyzed into catalog entries, and
+// pre-processed into wavelet-compressed range-partitioned views (§3.4).
+
+// Well-known ids created by Bootstrap.
+const (
+	ImportUser     = "import"
+	StandardCat    = "cat-standard"
+	ExtendedCat    = "cat-extended"
+	ViewPartitions = 4
+	ViewTimeBins   = 64
+	ViewEnergyBins = 16
+	ViewKeep       = 0.15
+)
+
+// systemSession returns the internal context used by loading and other
+// background processes; its tuples are owned by the import user
+// ("HEDC's catalogs, e.g., contain tuples created by an import user, and
+// are later made public", §5.5).
+func (d *DM) systemSession() *Session {
+	return &Session{
+		Token: "system", User: ImportUser, Group: GroupAdmin,
+		Rights: map[string]bool{
+			RightBrowse: true, RightDownload: true, RightAnalyze: true, RightUpload: true,
+		},
+		Kind: SessionHLE,
+	}
+}
+
+// Bootstrap seeds a fresh repository: the import user, name-mapping roots
+// and transforms, and the standard + extended catalogs. It is idempotent.
+func (d *DM) Bootstrap(importPassword string) error {
+	if res, err := d.query(minidb.Query{
+		Table: schema.TableUsers, Count: true,
+		Where: []minidb.Pred{{Col: "user_id", Op: minidb.OpEq, Val: minidb.S(ImportUser)}},
+	}); err != nil {
+		return err
+	} else if res.Count > 0 {
+		return nil // already bootstrapped
+	}
+	if err := d.CreateUser(ImportUser, importPassword, GroupAdmin,
+		RightBrowse, RightDownload, RightAnalyze, RightUpload); err != nil {
+		return err
+	}
+	err := d.exec(schema.TableLocRoots, func(tx *minidb.Txn) error {
+		for _, r := range [][2]string{
+			{schema.NameFile, ""},
+			{schema.NameURL, d.urlRoot},
+			{schema.NameTuple, "hedc"},
+		} {
+			if _, err := tx.Insert(schema.TableLocRoots, minidb.Row{minidb.S(r[0]), minidb.S(r[1])}); err != nil {
+				return err
+			}
+		}
+		for _, tr := range [][3]string{
+			{"fits.gz", "gunzip", "gzip-compressed FITS raw unit"},
+			{"wavelet", "wavelet-decode", "compressed range-partitioned view"},
+			{"gif", "none", "rendered analysis image"},
+			{"log", "none", "process log"},
+			{"params", "none", "analysis parameter record"},
+		} {
+			if _, err := tx.Insert(schema.TableLocTransforms, minidb.Row{
+				minidb.S(tr[0]), minidb.S(tr[1]), minidb.S(tr[2]),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sys := d.systemSession()
+	mk := func(wantID, name, kind, desc string) error {
+		id, err := d.CreateCatalog(sys, name, kind, desc, true)
+		if err != nil {
+			return err
+		}
+		// Rewrite to the well-known id so clients can hard-link to it.
+		res, err := d.query(minidb.Query{
+			Table: schema.TableCatalog,
+			Where: []minidb.Pred{{Col: "catalog_id", Op: minidb.OpEq, Val: minidb.S(id)}},
+		})
+		if err != nil || len(res.Rows) == 0 {
+			return fmt.Errorf("dm: bootstrap catalog %s: %v", name, err)
+		}
+		row := res.Rows[0].Clone()
+		row[0] = minidb.S(wantID)
+		return d.routeDB(schema.TableCatalog).Update(schema.TableCatalog, res.RowIDs[0], row)
+	}
+	if err := mk(StandardCat, "Standard catalog", "standard",
+		"events flagged during pre-processing at the ground station"); err != nil {
+		return err
+	}
+	if err := mk(ExtendedCat, "Extended catalog", "extended",
+		"events found by HEDC's wider-ranging detection programs"); err != nil {
+		return err
+	}
+	d.logOp("info", "bootstrap", "repository initialized")
+	return nil
+}
+
+// LoadReport summarizes one raw-unit load.
+type LoadReport struct {
+	UnitID   string
+	ItemID   string
+	Photons  int
+	RawBytes int64
+	Views    int
+	Events   int
+	HLEs     []string
+}
+
+// LoadUnit ingests one raw-data unit: the gzip-FITS file is archived with
+// location entries, a raw_units tuple is created, wavelet views are
+// pre-computed, and detection programs populate the catalogs.
+func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
+	d.stats.Requests.Add(1)
+	unitID := u.Name()
+	if res, err := d.query(minidb.Query{
+		Table: schema.TableRawUnits, Count: true,
+		Where: []minidb.Pred{{Col: "unit_id", Op: minidb.OpEq, Val: minidb.S(unitID)}},
+	}); err != nil {
+		return nil, err
+	} else if res.Count > 0 {
+		return nil, fmt.Errorf("dm: unit %s already loaded", unitID)
+	}
+
+	// 1. Archive the raw file.
+	var raw bytes.Buffer
+	zw := gzip.NewWriter(&raw)
+	if err := u.FITS().Encode(zw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	itemID, err := d.nextID("item")
+	if err != nil {
+		return nil, err
+	}
+	if err := d.StoreItemFiles(itemID, ImportUser, true, []StoredFile{
+		{Suffix: ".fits.gz", Format: "fits.gz", Data: raw.Bytes()},
+	}); err != nil {
+		return nil, err
+	}
+
+	// 2. The raw_units tuple.
+	err = d.exec(schema.TableRawUnits, func(tx *minidb.Txn) error {
+		_, err := tx.Insert(schema.TableRawUnits, minidb.Row{
+			minidb.S(unitID), minidb.I(int64(u.Day)), minidb.I(int64(u.Seq)),
+			minidb.F(u.TStart), minidb.F(u.TStop), minidb.I(int64(len(u.Photons))),
+			minidb.I(1), minidb.S(itemID),
+		})
+		return err
+	})
+	if err != nil {
+		d.dropItem(itemID)
+		return nil, err
+	}
+	d.stats.Edits.Add(1)
+	_ = d.recordLineage(unitID, "", "load", 1, fmt.Sprintf("%d photons", len(u.Photons)))
+
+	report := &LoadReport{
+		UnitID: unitID, ItemID: itemID,
+		Photons: len(u.Photons), RawBytes: int64(raw.Len()),
+	}
+
+	// 3. Wavelet views (§3.4 pre-processing).
+	views := wavelet.PartitionViews(u.Photons, u.TStart, u.TStop,
+		telemetry.EnergyMin, telemetry.EnergyMax,
+		ViewPartitions, ViewTimeBins, ViewEnergyBins, ViewKeep)
+	for i, v := range views {
+		viewItem, err := d.nextID("item")
+		if err != nil {
+			return nil, err
+		}
+		if err := d.StoreItemFiles(viewItem, ImportUser, true, []StoredFile{
+			{Suffix: ".wav", Format: "wavelet", Data: v.Enc.Bytes()},
+		}); err != nil {
+			return nil, err
+		}
+		viewID := fmt.Sprintf("%s-v%02d", unitID, i)
+		err = d.exec(schema.TableViews, func(tx *minidb.Txn) error {
+			_, err := tx.Insert(schema.TableViews, minidb.Row{
+				minidb.S(viewID), minidb.S(unitID),
+				minidb.F(v.TStart), minidb.F(v.TStop),
+				minidb.F(v.EMin), minidb.F(v.EMax),
+				minidb.I(int64(v.TimeBins)), minidb.I(int64(v.EnergyBins)),
+				minidb.F(ViewKeep), minidb.S(viewItem),
+			})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.stats.Edits.Add(1)
+		report.Views++
+	}
+
+	// 4. Detection programs populate the catalogs (§2.2): flares join the
+	// standard and extended catalogs, everything else the extended one.
+	sys := d.systemSession()
+	detections := analysis.DetectEvents(u.Photons, u.TStart, u.TStop, analysis.DetectConfig{})
+	for _, det := range detections {
+		h := &schema.HLE{
+			Version: 1, Public: true,
+			Label:    fmt.Sprintf("%s %s t=%.0fs", unitID, det.KindHint, det.TStart),
+			KindHint: det.KindHint,
+			TStart:   det.TStart, TStop: det.TStop,
+			EMin: telemetry.EnergyMin, EMax: telemetry.EnergyMax,
+			PeakRate: det.PeakRate, TotalCounts: det.TotalCounts,
+			Background: det.Background, Significance: det.Significance,
+			UnitID: unitID, Day: int64(u.Day), Quality: 3,
+			Origin: "auto", CalibVersion: 1,
+		}
+		hleID, err := d.CreateHLE(sys, h)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddToCatalog(sys, ExtendedCat, hleID); err != nil {
+			return nil, err
+		}
+		if det.KindHint == "flare" {
+			if err := d.AddToCatalog(sys, StandardCat, hleID); err != nil {
+				return nil, err
+			}
+		}
+		report.Events++
+		report.HLEs = append(report.HLEs, hleID)
+		d.stats.EventsDetected.Add(1)
+	}
+	d.stats.UnitsLoaded.Add(1)
+	_ = d.RecordUsage("units_loaded", 1, ImportUser)
+	_ = d.RecordUsage("photons_loaded", float64(report.Photons), ImportUser)
+	d.logOp("info", "load", "unit %s: %d photons, %d views, %d events",
+		unitID, report.Photons, report.Views, report.Events)
+	return report, nil
+}
+
+// UnitInfo is a raw_units row in struct form.
+type UnitInfo struct {
+	UnitID       string
+	Day          int64
+	Seq          int64
+	TStart       float64
+	TStop        float64
+	Photons      int64
+	CalibVersion int64
+	ItemID       string
+}
+
+// UnitsInRange lists loaded units whose windows overlap [t0, t1).
+func (d *DM) UnitsInRange(t0, t1 float64) ([]*UnitInfo, error) {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableRawUnits,
+		Where: []minidb.Pred{{Col: "tstart", Op: minidb.OpLt, Val: minidb.F(t1)}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*UnitInfo
+	for _, row := range res.Rows {
+		u := &UnitInfo{
+			UnitID: row[0].Str(), Day: row[1].Int(), Seq: row[2].Int(),
+			TStart: row[3].Float(), TStop: row[4].Float(),
+			Photons: row[5].Int(), CalibVersion: row[6].Int(), ItemID: row[7].Str(),
+		}
+		if u.TStop <= t0 {
+			continue
+		}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TStart < out[j].TStart })
+	return out, nil
+}
+
+// RawPhotons reads and decodes the raw units overlapping [t0, t1),
+// returning the photons within the window. This is the I/O path the
+// processing tests stress: the caller never sees file formats or archive
+// locations (§2.3).
+func (d *DM) RawPhotons(s *Session, t0, t1 float64) ([]fits.Photon, int64, error) {
+	units, err := d.UnitsInRange(t0, t1)
+	if err != nil {
+		return nil, 0, err
+	}
+	var photons []fits.Photon
+	var bytesRead int64
+	for _, u := range units {
+		data, _, err := d.ReadItem(s, u.ItemID)
+		if err != nil {
+			return nil, 0, err
+		}
+		bytesRead += int64(len(data))
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, 0, fmt.Errorf("dm: unit %s: %w", u.UnitID, err)
+		}
+		f, err := fits.Decode(zr)
+		zr.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("dm: unit %s: %w", u.UnitID, err)
+		}
+		parsed, err := telemetry.ParseUnit(f)
+		if err != nil {
+			return nil, 0, fmt.Errorf("dm: unit %s: %w", u.UnitID, err)
+		}
+		for _, p := range parsed.Photons {
+			if p.Time >= t0 && p.Time < t1 {
+				photons = append(photons, p)
+			}
+		}
+	}
+	sort.Slice(photons, func(i, j int) bool { return photons[i].Time < photons[j].Time })
+	return photons, bytesRead, nil
+}
+
+// ViewsInRange returns the stored wavelet views overlapping [t0, t1),
+// decoded and ready for approximated analysis.
+func (d *DM) ViewsInRange(s *Session, t0, t1 float64) ([]*wavelet.View, error) {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableViews,
+		Where: []minidb.Pred{{Col: "tstart", Op: minidb.OpLt, Val: minidb.F(t1)}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*wavelet.View
+	for _, row := range res.Rows {
+		tstop := row[3].Float()
+		if tstop <= t0 {
+			continue
+		}
+		data, _, err := d.ReadItem(s, row[9].Str())
+		if err != nil {
+			return nil, err
+		}
+		enc, err := wavelet.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &wavelet.View{
+			TStart: row[2].Float(), TStop: tstop,
+			EMin: row[4].Float(), EMax: row[5].Float(),
+			TimeBins: int(row[6].Int()), EnergyBins: int(row[7].Int()),
+			Enc: enc,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TStart < out[j].TStart })
+	return out, nil
+}
+
+// Recalibrate bumps a unit's calibration version — "it is to be expected
+// that the raw data will be recalibrated several times. Accordingly, the
+// raw data and all the derived data based on it must be versioned" (§3.1).
+// Dependent HLEs are marked with the new version so analyses can be
+// selectively recomputed.
+func (d *DM) Recalibrate(unitID, reason string) (int64, error) {
+	d.stats.Requests.Add(1)
+	res, err := d.query(minidb.Query{
+		Table: schema.TableRawUnits,
+		Where: []minidb.Pred{{Col: "unit_id", Op: minidb.OpEq, Val: minidb.S(unitID)}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, fmt.Errorf("dm: no such unit %s", unitID)
+	}
+	row := res.Rows[0].Clone()
+	newVersion := row[6].Int() + 1
+	row[6] = minidb.I(newVersion)
+	if err := d.routeDB(schema.TableRawUnits).Update(schema.TableRawUnits, res.RowIDs[0], row); err != nil {
+		return 0, err
+	}
+	d.stats.Edits.Add(1)
+
+	// Version record.
+	vid, err := d.nextID("ver")
+	if err != nil {
+		return 0, err
+	}
+	var vn int64
+	fmt.Sscanf(vid, "ver-%d", &vn)
+	err = d.exec(schema.TableVersions, func(tx *minidb.Txn) error {
+		_, err := tx.Insert(schema.TableVersions, minidb.Row{
+			minidb.I(vn), minidb.S("unit"), minidb.S(unitID),
+			minidb.I(newVersion), minidb.F(nowSecs()), minidb.S(reason),
+		})
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	d.stats.Edits.Add(1)
+
+	// Mark dependent HLEs as based on stale calibration.
+	hles, err := d.query(minidb.Query{
+		Table: schema.TableHLE,
+		Where: []minidb.Pred{{Col: "unit_id", Op: minidb.OpEq, Val: minidb.S(unitID)}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, hrow := range hles.Rows {
+		updated := hrow.Clone()
+		updated[1] = minidb.I(newVersion) // version
+		updated[22] = minidb.F(nowSecs()) // modified
+		if err := d.routeDB(schema.TableHLE).Update(schema.TableHLE, hles.RowIDs[i], updated); err != nil {
+			return 0, err
+		}
+		d.stats.Edits.Add(1)
+	}
+	_ = d.recordLineage(unitID, "", "recalibrate", newVersion, reason)
+	d.logOp("info", "recalibrate", "unit %s -> v%d (%d HLEs flagged): %s",
+		unitID, newVersion, len(hles.Rows), reason)
+	return newVersion, nil
+}
+
+// StaleAnalyses lists committed analyses whose calibration version lags the
+// unit they were computed from — the recomputation work-list of §3.1.
+func (d *DM) StaleAnalyses(s *Session) ([]*schema.ANA, error) {
+	d.stats.Requests.Add(1)
+	res, err := d.query(minidb.Query{
+		Table: schema.TableANA,
+		Where: []minidb.Pred{{Col: "status", Op: minidb.OpEq, Val: minidb.S(schema.AnaCommitted)}},
+		Or:    visibilityOr(s),
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*schema.ANA
+	for _, row := range res.Rows {
+		a, err := schema.ANAFromRow(row)
+		if err != nil {
+			return nil, err
+		}
+		h, err := d.GetHLE(s, a.HLEID)
+		if err != nil {
+			continue
+		}
+		if h.Version > a.CalibVersion {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}

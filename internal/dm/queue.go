@@ -1,0 +1,103 @@
+package dm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Asynchronous execution (§5.4): "a DM might decide to place a request in
+// an execution queue, send the request to a pool of worker threads for
+// asynchronous execution or execute the call directly." ExecQueue is that
+// pool; the data-loading and relocation processes use it so long-running
+// work never blocks interactive callers.
+
+// Future is the handle of an enqueued call.
+type Future struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the call completes or ctx expires.
+func (f *Future) Wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done reports completion without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ExecQueue is a bounded worker pool.
+type ExecQueue struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	queued    atomic.Int64
+	executed  atomic.Int64
+	rejected  atomic.Int64
+	closeOnce sync.Once
+}
+
+// NewExecQueue starts workers goroutines draining a queue of the given
+// depth.
+func NewExecQueue(workers, depth int) *ExecQueue {
+	if workers < 1 {
+		workers = 2
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	q := &ExecQueue{jobs: make(chan func(), depth)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				job()
+				q.executed.Add(1)
+			}
+		}()
+	}
+	return q
+}
+
+// Enqueue schedules fn for asynchronous execution. A full queue rejects
+// rather than blocks — the caller can then "execute the call directly".
+func (q *ExecQueue) Enqueue(fn func() error) (*Future, error) {
+	f := &Future{done: make(chan struct{})}
+	job := func() {
+		defer close(f.done)
+		f.err = fn()
+	}
+	select {
+	case q.jobs <- job:
+		q.queued.Add(1)
+		return f, nil
+	default:
+		q.rejected.Add(1)
+		return nil, fmt.Errorf("dm: execution queue full")
+	}
+}
+
+// Close drains the queue and stops the workers. Safe to call twice.
+func (q *ExecQueue) Close() {
+	q.closeOnce.Do(func() { close(q.jobs) })
+	q.wg.Wait()
+}
+
+// Stats returns (queued, executed, rejected).
+func (q *ExecQueue) Stats() (queued, executed, rejected int64) {
+	return q.queued.Load(), q.executed.Load(), q.rejected.Load()
+}

@@ -1,0 +1,458 @@
+package dm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// Call redirection (§5.4): "there is the possibility of redirecting calls
+// from one DM component to another. We use this feature to increase
+// capacity in HEDC by adding more nodes to the system." The wire protocol
+// is JSON over HTTP (the paper used RMI and HTTP between its Java
+// components). Every method of the API interface has a remote counterpart;
+// callers go through Dispatcher and cannot tell where execution happened.
+
+// rpc envelope shared by all methods.
+type rpcEnvelope struct {
+	Token string          `json:"token,omitempty"`
+	IP    string          `json:"ip,omitempty"`
+	Args  json.RawMessage `json:"args,omitempty"`
+}
+
+type rpcReply struct {
+	Error  string          `json:"error,omitempty"`
+	Denied bool            `json:"denied,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Server exposes a DM node's API over HTTP under prefix (default "/dm/").
+type Server struct {
+	api    API
+	dm     *DM // for the redirects-in counter; may be nil
+	prefix string
+}
+
+// NewServer wraps an API for remote callers.
+func NewServer(api API, prefix string) *Server {
+	if prefix == "" {
+		prefix = "/dm/"
+	}
+	s := &Server{api: api, prefix: prefix}
+	if l, ok := api.(Local); ok {
+		s.dm = l.DM
+	}
+	return s
+}
+
+// Mux returns an http handler serving the DM RPC endpoints.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc(s.prefix, s.handle)
+	return mux
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	method := r.URL.Path[len(s.prefix):]
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var env rpcEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.dm != nil {
+		s.dm.stats.RedirectsIn.Add(1)
+	}
+	result, err := s.dispatch(method, env)
+	reply := rpcReply{}
+	if err != nil {
+		reply.Error = err.Error()
+		reply.Denied = IsDenied(err)
+	} else {
+		raw, merr := json.Marshal(result)
+		if merr != nil {
+			reply.Error = merr.Error()
+		} else {
+			reply.Result = raw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply)
+}
+
+func decodeArgs(env rpcEnvelope, into interface{}) error {
+	if len(env.Args) == 0 {
+		return fmt.Errorf("dm: rpc call missing args")
+	}
+	return json.Unmarshal(env.Args, into)
+}
+
+func (s *Server) dispatch(method string, env rpcEnvelope) (interface{}, error) {
+	switch method {
+	case "authenticate":
+		var a struct{ User, Password, Kind string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.Authenticate(a.User, a.Password, env.IP, a.Kind)
+	case "logout":
+		return nil, s.api.Logout(env.Token)
+	case "query-hles":
+		var f HLEFilter
+		if err := decodeArgs(env, &f); err != nil {
+			return nil, err
+		}
+		return s.api.QueryHLEs(env.Token, env.IP, f)
+	case "count-hles":
+		var f HLEFilter
+		if err := decodeArgs(env, &f); err != nil {
+			return nil, err
+		}
+		return s.api.CountHLEs(env.Token, env.IP, f)
+	case "get-hle":
+		var a struct{ ID string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.GetHLE(env.Token, env.IP, a.ID)
+	case "analyses-for-hle":
+		var a struct{ ID string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.AnalysesForHLE(env.Token, env.IP, a.ID)
+	case "get-ana":
+		var a struct{ ID string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.GetANA(env.Token, env.IP, a.ID)
+	case "list-catalogs":
+		return s.api.ListCatalogs(env.Token, env.IP)
+	case "create-hle":
+		var h schema.HLE
+		if err := decodeArgs(env, &h); err != nil {
+			return nil, err
+		}
+		return s.api.CreateHLE(env.Token, env.IP, &h)
+	case "import-analysis":
+		var a struct {
+			ANA   *schema.ANA
+			Files []StoredFile
+		}
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.ImportAnalysis(env.Token, env.IP, a.ANA, a.Files)
+	case "find-existing-analysis":
+		var spec schema.ANA
+		if err := decodeArgs(env, &spec); err != nil {
+			return nil, err
+		}
+		return s.api.FindExistingAnalysis(env.Token, env.IP, &spec)
+	case "publish":
+		var a struct{ Kind, ID string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return nil, s.api.Publish(env.Token, env.IP, a.Kind, a.ID)
+	case "read-item":
+		var a struct{ ItemID string }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.ReadItem(env.Token, env.IP, a.ItemID)
+	case "units-in-range":
+		var a struct{ T0, T1 float64 }
+		if err := decodeArgs(env, &a); err != nil {
+			return nil, err
+		}
+		return s.api.UnitsInRange(env.Token, env.IP, a.T0, a.T1)
+	}
+	return nil, fmt.Errorf("dm: unknown rpc method %q", method)
+}
+
+// Remote is an API implementation that ships every call to a DM server.
+type Remote struct {
+	BaseURL string // e.g. "http://node-2:8080/dm/"
+	Client  *http.Client
+	// Source DM (optional) counts outgoing redirects.
+	Source *DM
+}
+
+var _ API = (*Remote)(nil)
+
+// NewRemote builds a remote API endpoint with a sane default client.
+func NewRemote(baseURL string, source *DM) *Remote {
+	return &Remote{
+		BaseURL: baseURL,
+		Client:  &http.Client{Timeout: 30 * time.Second},
+		Source:  source,
+	}
+}
+
+func (r *Remote) call(method, token, ip string, args, result interface{}) error {
+	if r.Source != nil {
+		r.Source.stats.RedirectsOut.Add(1)
+	}
+	env := rpcEnvelope{Token: token, IP: ip}
+	if args != nil {
+		raw, err := json.Marshal(args)
+		if err != nil {
+			return err
+		}
+		env.Args = raw
+	} else {
+		env.Args = json.RawMessage("{}")
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	resp, err := r.Client.Post(r.BaseURL+method, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dm: remote call %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dm: remote call %s: http %d", method, resp.StatusCode)
+	}
+	var reply rpcReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return fmt.Errorf("dm: remote call %s: %w", method, err)
+	}
+	if reply.Error != "" {
+		if reply.Denied {
+			return errDenied("remote", reply.Error)
+		}
+		return fmt.Errorf("%s", reply.Error)
+	}
+	if result != nil && len(reply.Result) > 0 {
+		return json.Unmarshal(reply.Result, result)
+	}
+	return nil
+}
+
+// Authenticate implements API.
+func (r *Remote) Authenticate(user, password, ip, kind string) (*SessionInfo, error) {
+	var out SessionInfo
+	err := r.call("authenticate", "", ip, struct{ User, Password, Kind string }{user, password, kind}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Logout implements API.
+func (r *Remote) Logout(token string) error {
+	return r.call("logout", token, "", struct{}{}, nil)
+}
+
+// QueryHLEs implements API.
+func (r *Remote) QueryHLEs(token, ip string, f HLEFilter) ([]*schema.HLE, error) {
+	var out []*schema.HLE
+	if err := r.call("query-hles", token, ip, f, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountHLEs implements API.
+func (r *Remote) CountHLEs(token, ip string, f HLEFilter) (int, error) {
+	var out int
+	if err := r.call("count-hles", token, ip, f, &out); err != nil {
+		return 0, err
+	}
+	return out, nil
+}
+
+// GetHLE implements API.
+func (r *Remote) GetHLE(token, ip, id string) (*schema.HLE, error) {
+	var out schema.HLE
+	if err := r.call("get-hle", token, ip, struct{ ID string }{id}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AnalysesForHLE implements API.
+func (r *Remote) AnalysesForHLE(token, ip, hleID string) ([]*schema.ANA, error) {
+	var out []*schema.ANA
+	if err := r.call("analyses-for-hle", token, ip, struct{ ID string }{hleID}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetANA implements API.
+func (r *Remote) GetANA(token, ip, id string) (*schema.ANA, error) {
+	var out schema.ANA
+	if err := r.call("get-ana", token, ip, struct{ ID string }{id}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListCatalogs implements API.
+func (r *Remote) ListCatalogs(token, ip string) ([]*Catalog, error) {
+	var out []*Catalog
+	if err := r.call("list-catalogs", token, ip, struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CreateHLE implements API.
+func (r *Remote) CreateHLE(token, ip string, h *schema.HLE) (string, error) {
+	var out string
+	if err := r.call("create-hle", token, ip, h, &out); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// ImportAnalysis implements API.
+func (r *Remote) ImportAnalysis(token, ip string, a *schema.ANA, files []StoredFile) (string, error) {
+	var out string
+	err := r.call("import-analysis", token, ip, struct {
+		ANA   *schema.ANA
+		Files []StoredFile
+	}{a, files}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// FindExistingAnalysis implements API.
+func (r *Remote) FindExistingAnalysis(token, ip string, spec *schema.ANA) (*schema.ANA, error) {
+	var out *schema.ANA
+	if err := r.call("find-existing-analysis", token, ip, spec, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Publish implements API.
+func (r *Remote) Publish(token, ip, kind, id string) error {
+	return r.call("publish", token, ip, struct{ Kind, ID string }{kind, id}, nil)
+}
+
+// ReadItem implements API.
+func (r *Remote) ReadItem(token, ip, itemID string) (*ItemData, error) {
+	var out ItemData
+	if err := r.call("read-item", token, ip, struct{ ItemID string }{itemID}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UnitsInRange implements API.
+func (r *Remote) UnitsInRange(token, ip string, t0, t1 float64) ([]*UnitInfo, error) {
+	var out []*UnitInfo
+	if err := r.call("units-in-range", token, ip, struct{ T0, T1 float64 }{t0, t1}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dispatcher routes API calls to the local node or a remote one according
+// to its policy. ForceLocal overrides per call site ("the calling methods
+// ... can use overwrites to, e.g., force local execution", §5.4).
+type Dispatcher struct {
+	LocalAPI  API
+	RemoteAPI API
+	// UseRemote decides per method name; nil means always local.
+	UseRemote func(method string) bool
+}
+
+// pick returns the API to use for a method.
+func (d *Dispatcher) pick(method string) API {
+	if d.RemoteAPI != nil && d.UseRemote != nil && d.UseRemote(method) {
+		return d.RemoteAPI
+	}
+	return d.LocalAPI
+}
+
+var _ API = (*Dispatcher)(nil)
+
+// Authenticate implements API.
+func (d *Dispatcher) Authenticate(user, password, ip, kind string) (*SessionInfo, error) {
+	return d.pick("authenticate").Authenticate(user, password, ip, kind)
+}
+
+// Logout implements API.
+func (d *Dispatcher) Logout(token string) error { return d.pick("logout").Logout(token) }
+
+// QueryHLEs implements API.
+func (d *Dispatcher) QueryHLEs(token, ip string, f HLEFilter) ([]*schema.HLE, error) {
+	return d.pick("query-hles").QueryHLEs(token, ip, f)
+}
+
+// CountHLEs implements API.
+func (d *Dispatcher) CountHLEs(token, ip string, f HLEFilter) (int, error) {
+	return d.pick("count-hles").CountHLEs(token, ip, f)
+}
+
+// GetHLE implements API.
+func (d *Dispatcher) GetHLE(token, ip, id string) (*schema.HLE, error) {
+	return d.pick("get-hle").GetHLE(token, ip, id)
+}
+
+// AnalysesForHLE implements API.
+func (d *Dispatcher) AnalysesForHLE(token, ip, hleID string) ([]*schema.ANA, error) {
+	return d.pick("analyses-for-hle").AnalysesForHLE(token, ip, hleID)
+}
+
+// GetANA implements API.
+func (d *Dispatcher) GetANA(token, ip, id string) (*schema.ANA, error) {
+	return d.pick("get-ana").GetANA(token, ip, id)
+}
+
+// ListCatalogs implements API.
+func (d *Dispatcher) ListCatalogs(token, ip string) ([]*Catalog, error) {
+	return d.pick("list-catalogs").ListCatalogs(token, ip)
+}
+
+// CreateHLE implements API.
+func (d *Dispatcher) CreateHLE(token, ip string, h *schema.HLE) (string, error) {
+	return d.pick("create-hle").CreateHLE(token, ip, h)
+}
+
+// ImportAnalysis implements API.
+func (d *Dispatcher) ImportAnalysis(token, ip string, a *schema.ANA, files []StoredFile) (string, error) {
+	return d.pick("import-analysis").ImportAnalysis(token, ip, a, files)
+}
+
+// FindExistingAnalysis implements API.
+func (d *Dispatcher) FindExistingAnalysis(token, ip string, spec *schema.ANA) (*schema.ANA, error) {
+	return d.pick("find-existing-analysis").FindExistingAnalysis(token, ip, spec)
+}
+
+// Publish implements API.
+func (d *Dispatcher) Publish(token, ip, kind, id string) error {
+	return d.pick("publish").Publish(token, ip, kind, id)
+}
+
+// ReadItem implements API.
+func (d *Dispatcher) ReadItem(token, ip, itemID string) (*ItemData, error) {
+	return d.pick("read-item").ReadItem(token, ip, itemID)
+}
+
+// UnitsInRange implements API.
+func (d *Dispatcher) UnitsInRange(token, ip string, t0, t1 float64) ([]*UnitInfo, error) {
+	return d.pick("units-in-range").UnitsInRange(token, ip, t0, t1)
+}

@@ -1,0 +1,142 @@
+package dm
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// Retention: the process-layer workflow that moves aging data down the
+// storage hierarchy. The paper's deployment keeps recent raw files on
+// disk, archives to CDs, and parks "data files that are not needed
+// on-line" on a tape archive (§2.3); "data refresh and purging rules" live
+// in the administrative section of the schema (§4.1), and physical
+// relocation is a compensating process-layer workflow (§5.2).
+
+// RetentionRule says: raw units of mission days older than MaxAgeDays
+// (relative to the newest loaded day) migrate to ToArchive.
+type RetentionRule struct {
+	MaxAgeDays int64
+	ToArchive  string
+}
+
+const retentionKey = "retention.raw_units"
+
+// SetRetentionRule persists the rule in the administrative config table.
+func (d *DM) SetRetentionRule(r RetentionRule) error {
+	if r.MaxAgeDays < 0 || r.ToArchive == "" {
+		return fmt.Errorf("dm: invalid retention rule %+v", r)
+	}
+	if d.archives.Get(r.ToArchive) == nil {
+		return fmt.Errorf("dm: retention target %q not mounted", r.ToArchive)
+	}
+	val := fmt.Sprintf("%d:%s", r.MaxAgeDays, r.ToArchive)
+	res, err := d.query(minidb.Query{
+		Table: schema.TableConfig,
+		Where: []minidb.Pred{{Col: "key", Op: minidb.OpEq, Val: minidb.S(retentionKey)}},
+	})
+	if err != nil {
+		return err
+	}
+	row := minidb.Row{
+		minidb.S(retentionKey), minidb.S("purge"), minidb.S(val),
+		minidb.S("raw units older than N days migrate to the named archive"),
+	}
+	if len(res.RowIDs) > 0 {
+		err = d.meta.Update(schema.TableConfig, res.RowIDs[0], row)
+	} else {
+		_, err = d.meta.Insert(schema.TableConfig, row)
+	}
+	if err == nil {
+		d.stats.Edits.Add(1)
+	}
+	return err
+}
+
+// RetentionRuleSet reads the persisted rule (nil if none configured).
+func (d *DM) RetentionRuleSet() (*RetentionRule, error) {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableConfig,
+		Where: []minidb.Pred{{Col: "key", Op: minidb.OpEq, Val: minidb.S(retentionKey)}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil
+	}
+	var r RetentionRule
+	if _, err := fmt.Sscanf(res.Rows[0][2].Str(), "%d:%s", &r.MaxAgeDays, &r.ToArchive); err != nil {
+		return nil, fmt.Errorf("dm: malformed retention rule %q", res.Rows[0][2].Str())
+	}
+	return &r, nil
+}
+
+// RetentionReport summarizes one ApplyRetention run.
+type RetentionReport struct {
+	Considered int
+	Migrated   int
+	Failed     int
+	BytesMoved int64
+}
+
+// ApplyRetention runs the configured rule: every raw unit whose mission day
+// is older than (newest day - MaxAgeDays) has its files relocated to the
+// rule's archive. Relocation goes item by item through RelocateItem, so a
+// failure mid-run leaves every unit either fully moved or fully in place —
+// and the system keeps serving reads throughout (§4.3).
+func (d *DM) ApplyRetention() (*RetentionReport, error) {
+	rule, err := d.RetentionRuleSet()
+	if err != nil {
+		return nil, err
+	}
+	if rule == nil {
+		return nil, fmt.Errorf("dm: no retention rule configured")
+	}
+	rep := &RetentionReport{}
+
+	// Newest day on record.
+	newest, err := d.query(minidb.Query{
+		Table:   schema.TableRawUnits,
+		OrderBy: []minidb.Order{{Col: "day", Desc: true}},
+		Limit:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(newest.Rows) == 0 {
+		return rep, nil
+	}
+	cutoff := newest.Rows[0][1].Int() - rule.MaxAgeDays
+
+	old, err := d.query(minidb.Query{
+		Table: schema.TableRawUnits,
+		Where: []minidb.Pred{{Col: "day", Op: minidb.OpLt, Val: minidb.I(cutoff)}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range old.Rows {
+		rep.Considered++
+		itemID := row[7].Str()
+		rn, err := d.Resolve(itemID, schema.NameFile)
+		if err != nil {
+			rep.Failed++
+			continue
+		}
+		if rn.ArchiveID == rule.ToArchive {
+			continue // already migrated
+		}
+		if err := d.RelocateItem(itemID, rule.ToArchive); err != nil {
+			rep.Failed++
+			d.logOp("warn", "retention", "unit %s: %v", row[0].Str(), err)
+			continue
+		}
+		rep.Migrated++
+		rep.BytesMoved += rn.Bytes
+	}
+	d.logOp("info", "retention", "cutoff day %d: %d considered, %d migrated, %d failed",
+		cutoff, rep.Considered, rep.Migrated, rep.Failed)
+	return rep, nil
+}

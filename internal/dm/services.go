@@ -1,0 +1,144 @@
+package dm
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// Service registry: the administrative section tracks "available services
+// (type, location, prerequisites); connected clients (type, IP, status)"
+// (§4.1). Components register at startup and heartbeat while alive, so
+// operators can see the deployed topology in the database itself.
+
+// ServiceInfo is one admin_services row in struct form.
+type ServiceInfo struct {
+	ID        string
+	Type      string // dm | pl | idl | web | client
+	Location  string
+	Status    string
+	Heartbeat float64
+}
+
+// RegisterService upserts a service row with a fresh heartbeat.
+func (d *DM) RegisterService(id, typ, location string) error {
+	if id == "" || typ == "" {
+		return fmt.Errorf("dm: service registration needs id and type")
+	}
+	res, err := d.query(minidb.Query{
+		Table: schema.TableServices,
+		Where: []minidb.Pred{{Col: "service_id", Op: minidb.OpEq, Val: minidb.S(id)}},
+	})
+	if err != nil {
+		return err
+	}
+	row := minidb.Row{
+		minidb.S(id), minidb.S(typ), minidb.S(location),
+		minidb.Null(), minidb.S("online"), minidb.F(nowSecs()),
+	}
+	if len(res.RowIDs) > 0 {
+		err = d.routeDB(schema.TableServices).Update(schema.TableServices, res.RowIDs[0], row)
+	} else {
+		_, err = d.routeDB(schema.TableServices).Insert(schema.TableServices, row)
+	}
+	if err == nil {
+		d.stats.Edits.Add(1)
+	}
+	return err
+}
+
+// ServiceHeartbeat refreshes a service's liveness timestamp.
+func (d *DM) ServiceHeartbeat(id string) error {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableServices,
+		Where: []minidb.Pred{{Col: "service_id", Op: minidb.OpEq, Val: minidb.S(id)}},
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.RowIDs) == 0 {
+		return fmt.Errorf("dm: heartbeat from unregistered service %s", id)
+	}
+	row := res.Rows[0].Clone()
+	row[5] = minidb.F(nowSecs())
+	if err := d.routeDB(schema.TableServices).Update(schema.TableServices, res.RowIDs[0], row); err != nil {
+		return err
+	}
+	d.stats.Edits.Add(1)
+	return nil
+}
+
+// MarkServiceOffline flips a service's status without removing its row.
+func (d *DM) MarkServiceOffline(id string) error {
+	res, err := d.query(minidb.Query{
+		Table: schema.TableServices,
+		Where: []minidb.Pred{{Col: "service_id", Op: minidb.OpEq, Val: minidb.S(id)}},
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.RowIDs) == 0 {
+		return fmt.Errorf("dm: unknown service %s", id)
+	}
+	row := res.Rows[0].Clone()
+	row[4] = minidb.S("offline")
+	return d.routeDB(schema.TableServices).Update(schema.TableServices, res.RowIDs[0], row)
+}
+
+// Services lists registered services, optionally filtered by type.
+func (d *DM) Services(typ string) ([]ServiceInfo, error) {
+	q := minidb.Query{Table: schema.TableServices, OrderBy: []minidb.Order{{Col: "service_id"}}}
+	if typ != "" {
+		q.Where = []minidb.Pred{{Col: "type", Op: minidb.OpEq, Val: minidb.S(typ)}}
+	}
+	res, err := d.query(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServiceInfo, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		out = append(out, ServiceInfo{
+			ID: row[0].Str(), Type: row[1].Str(), Location: row[2].Str(),
+			Status: row[4].Str(), Heartbeat: row[5].Float(),
+		})
+	}
+	return out, nil
+}
+
+// RecordUsage appends a monitoring row to the operational section's usage
+// table ("monitoring information such as usage statistics or audit
+// trails", §4.1). Process-layer workflows call it; per-request paths do
+// not, to keep the §7.2 request anatomy intact.
+func (d *DM) RecordUsage(metric string, value float64, user string) error {
+	id, err := d.nextID("usage")
+	if err != nil {
+		return err
+	}
+	var n int64
+	fmt.Sscanf(id, "usage-%d", &n)
+	userVal := minidb.Null()
+	if user != "" {
+		userVal = minidb.S(user)
+	}
+	_, err = d.meta.Insert(schema.TableUsage, minidb.Row{
+		minidb.I(n), minidb.F(nowSecs()), minidb.S(metric), minidb.F(value), userVal,
+	})
+	if err == nil {
+		d.stats.Edits.Add(1)
+	}
+	return err
+}
+
+// UsageTotals sums recorded values per metric.
+func (d *DM) UsageTotals() (map[string]float64, error) {
+	res, err := d.query(minidb.Query{Table: schema.TableUsage})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, row := range res.Rows {
+		out[row[2].Str()] += row[3].Float()
+	}
+	return out, nil
+}

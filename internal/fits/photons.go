@@ -1,0 +1,70 @@
+package fits
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Photon is one detector record of the RHESSI raw data: "a list of photon
+// impacts on the detectors, with an energy and a time tag attached to each
+// record" (§3.4), plus which of the nine germanium detectors (and which
+// segment) registered it.
+type Photon struct {
+	Time     float64 // seconds since mission epoch
+	Energy   float64 // keV (3 keV soft X-ray .. 20 MeV gamma)
+	Detector uint8   // 0..8: the nine rotating modulation collimators
+	Segment  uint8   // 0 front, 1 rear
+}
+
+const photonRecordSize = 18 // 8 time + 8 energy + 1 detector + 1 segment
+
+// EncodePhotons builds an HDU holding a binary photon-event table.
+func EncodePhotons(photons []Photon) *HDU {
+	data := make([]byte, len(photons)*photonRecordSize)
+	for i, p := range photons {
+		off := i * photonRecordSize
+		binary.LittleEndian.PutUint64(data[off:], math.Float64bits(p.Time))
+		binary.LittleEndian.PutUint64(data[off+8:], math.Float64bits(p.Energy))
+		data[off+16] = p.Detector
+		data[off+17] = p.Segment
+	}
+	h := NewHDU(data)
+	h.SetString("EXTNAME", "PHOTONS", "binary photon-event table")
+	h.SetInt("NPHOTON", int64(len(photons)), "photon record count")
+	h.SetInt("RECSIZE", photonRecordSize, "bytes per record")
+	if len(photons) > 0 {
+		h.SetFloat("TSTART", photons[0].Time, "first photon time [s]")
+		h.SetFloat("TSTOP", photons[len(photons)-1].Time, "last photon time [s]")
+	}
+	return h
+}
+
+// DecodePhotons parses a photon-event table HDU.
+func DecodePhotons(h *HDU) ([]Photon, error) {
+	if name, _ := h.GetString("EXTNAME"); name != "PHOTONS" {
+		return nil, fmt.Errorf("fits: HDU %q is not a photon table", name)
+	}
+	rec, ok := h.GetInt("RECSIZE")
+	if !ok || rec != photonRecordSize {
+		return nil, fmt.Errorf("fits: unsupported photon record size %d", rec)
+	}
+	if len(h.Data)%photonRecordSize != 0 {
+		return nil, fmt.Errorf("fits: photon table length %d not a record multiple", len(h.Data))
+	}
+	n := len(h.Data) / photonRecordSize
+	if want, ok := h.GetInt("NPHOTON"); ok && want != int64(n) {
+		return nil, fmt.Errorf("fits: NPHOTON %d disagrees with data length (%d records)", want, n)
+	}
+	photons := make([]Photon, n)
+	for i := range photons {
+		off := i * photonRecordSize
+		photons[i] = Photon{
+			Time:     math.Float64frombits(binary.LittleEndian.Uint64(h.Data[off:])),
+			Energy:   math.Float64frombits(binary.LittleEndian.Uint64(h.Data[off+8:])),
+			Detector: h.Data[off+16],
+			Segment:  h.Data[off+17],
+		}
+	}
+	return photons, nil
+}

@@ -1,0 +1,427 @@
+package minidb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	snapshotName  = "snapshot.mdb"
+	walName       = "wal.log"
+	snapshotMagic = "MDBSNAP1"
+)
+
+// DB is a collection of tables with transactional mutation, a redo log, and
+// snapshot checkpoints. Reads run under a shared lock; a transaction holds
+// the exclusive lock from Begin to Commit/Rollback, giving serializable
+// isolation with no dirty reads (the single-writer discipline HEDC's DM
+// enforces around entities, §4.4).
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	order   []string // table creation order, for deterministic snapshots
+	dir     string   // "" means memory-only
+	wal     *walWriter
+	nextTxn uint64
+	views   map[string]*matView
+
+	stats Stats
+}
+
+// Stats counts engine activity. All fields are atomically maintained;
+// read them through DB.Stats.
+type Stats struct {
+	Queries        atomic.Int64
+	CountQueries   atomic.Int64
+	FullScans      atomic.Int64
+	IndexEqScans   atomic.Int64
+	IndexRanges    atomic.Int64
+	FullIndexScans atomic.Int64
+	RowsScanned    atomic.Int64
+	Inserts        atomic.Int64
+	Updates        atomic.Int64
+	Deletes        atomic.Int64
+	Commits        atomic.Int64
+	Rollbacks      atomic.Int64
+	Checkpoints    atomic.Int64
+	ViewRefreshes  atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Queries        int64
+	CountQueries   int64
+	FullScans      int64
+	IndexEqScans   int64
+	IndexRanges    int64
+	FullIndexScans int64
+	RowsScanned    int64
+	Inserts        int64
+	Updates        int64
+	Deletes        int64
+	Commits        int64
+	Rollbacks      int64
+	Checkpoints    int64
+	ViewRefreshes  int64
+}
+
+// Stats returns a point-in-time copy of the engine counters.
+func (db *DB) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Queries:        db.stats.Queries.Load(),
+		CountQueries:   db.stats.CountQueries.Load(),
+		FullScans:      db.stats.FullScans.Load(),
+		IndexEqScans:   db.stats.IndexEqScans.Load(),
+		IndexRanges:    db.stats.IndexRanges.Load(),
+		FullIndexScans: db.stats.FullIndexScans.Load(),
+		RowsScanned:    db.stats.RowsScanned.Load(),
+		Inserts:        db.stats.Inserts.Load(),
+		Updates:        db.stats.Updates.Load(),
+		Deletes:        db.stats.Deletes.Load(),
+		Commits:        db.stats.Commits.Load(),
+		Rollbacks:      db.stats.Rollbacks.Load(),
+		Checkpoints:    db.stats.Checkpoints.Load(),
+		ViewRefreshes:  db.stats.ViewRefreshes.Load(),
+	}
+}
+
+// Open creates or reopens a database. dir == "" gives a memory-only
+// database. Schemas are authoritative and come from code (HEDC splits them
+// into a generic and a domain-specific part; see internal/schema): tables
+// present on disk but absent from schemas are dropped, new tables start
+// empty. On reopen, the snapshot is loaded and the redo log replayed, so
+// all committed transactions survive a crash.
+func Open(dir string, schemas ...*Schema) (*DB, error) {
+	db := &DB{tables: make(map[string]*Table), dir: dir}
+	for _, s := range schemas {
+		if _, dup := db.tables[s.Name]; dup {
+			return nil, fmt.Errorf("minidb: duplicate table %s", s.Name)
+		}
+		t, err := newTable(s)
+		if err != nil {
+			return nil, err
+		}
+		db.tables[s.Name] = t
+		db.order = append(db.order, s.Name)
+	}
+	if dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := db.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
+		return nil, err
+	}
+	if err := db.replayWal(filepath.Join(dir, walName)); err != nil {
+		return nil, err
+	}
+	w, err := openWalWriter(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	return db, nil
+}
+
+// Close flushes and closes the redo log.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.close()
+	db.wal = nil
+	return err
+}
+
+// TableNames returns table names in creation order.
+func (db *DB) TableNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// TableLen returns the live row count of a table (-1 if unknown table).
+func (db *DB) TableLen(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return -1
+	}
+	return t.Len()
+}
+
+// Schema returns the schema of the named table, or nil.
+func (db *DB) Schema(name string) *Schema {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil
+	}
+	return t.schema
+}
+
+// Query plans and executes q under a shared lock.
+func (db *DB) Query(q Query) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queryLocked(q)
+}
+
+func (db *DB) queryLocked(q Query) (*Result, error) {
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no such table %s", q.Table)
+	}
+	res, err := execQuery(t, q)
+	if err != nil {
+		return nil, err
+	}
+	db.stats.Queries.Add(1)
+	if q.Count {
+		db.stats.CountQueries.Add(1)
+	}
+	switch res.Plan.Kind {
+	case PlanFullScan:
+		db.stats.FullScans.Add(1)
+	case PlanIndexEq:
+		db.stats.IndexEqScans.Add(1)
+	case PlanIndexRange:
+		db.stats.IndexRanges.Add(1)
+	case PlanFullIndexScan:
+		db.stats.FullIndexScans.Add(1)
+	}
+	db.stats.RowsScanned.Add(int64(res.Plan.RowsScanned))
+	return res, nil
+}
+
+// Get returns a copy of the row at rowid in the named table (nil if absent).
+func (db *DB) Get(table string, rowid int64) (Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no such table %s", table)
+	}
+	r := t.get(rowid)
+	if r == nil {
+		return nil, nil
+	}
+	return r.Clone(), nil
+}
+
+// Insert runs a single-statement transaction inserting one row.
+func (db *DB) Insert(table string, r Row) (int64, error) {
+	txn := db.Begin()
+	rowid, err := txn.Insert(table, r)
+	if err != nil {
+		txn.Rollback()
+		return 0, err
+	}
+	return rowid, txn.Commit()
+}
+
+// Update runs a single-statement transaction replacing one row.
+func (db *DB) Update(table string, rowid int64, r Row) error {
+	txn := db.Begin()
+	if err := txn.Update(table, rowid, r); err != nil {
+		txn.Rollback()
+		return err
+	}
+	return txn.Commit()
+}
+
+// Delete runs a single-statement transaction deleting one row.
+func (db *DB) Delete(table string, rowid int64) error {
+	txn := db.Begin()
+	if err := txn.Delete(table, rowid); err != nil {
+		txn.Rollback()
+		return err
+	}
+	return txn.Commit()
+}
+
+// Checkpoint writes a snapshot of all tables and truncates the redo log.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return nil
+	}
+	tmp := filepath.Join(db.dir, snapshotName+".tmp")
+	if err := db.writeSnapshot(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotName)); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; start a fresh log.
+	if db.wal != nil {
+		if err := db.wal.close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(filepath.Join(db.dir, walName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	w, err := openWalWriter(filepath.Join(db.dir, walName))
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.stats.Checkpoints.Add(1)
+	return nil
+}
+
+func (db *DB) writeSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	var b bytes.Buffer
+	b.WriteString(snapshotMagic)
+	putUvarint(&b, uint64(len(db.order)))
+	for _, name := range db.order {
+		t := db.tables[name]
+		putString(&b, name)
+		putUvarint(&b, uint64(len(t.rows)))
+		putUvarint(&b, uint64(t.live))
+		t.scanAll(func(rowid int64, r Row) bool {
+			putVarint(&b, rowid)
+			putUvarint(&b, uint64(len(r)))
+			for _, v := range r {
+				encodeValue(&b, v)
+			}
+			return true
+		})
+	}
+	if _, err := bw.Write(b.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (db *DB) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("minidb: %s is not a snapshot", path)
+	}
+	r := bytes.NewReader(data[len(snapshotMagic):])
+	nTables, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	for ti := uint64(0); ti < nTables; ti++ {
+		name, err := getString(r)
+		if err != nil {
+			return err
+		}
+		heapLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		live, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		t := db.tables[name] // nil means table was dropped from the schema
+		for li := uint64(0); li < live; li++ {
+			rowid, err := binary.ReadVarint(r)
+			if err != nil {
+				return err
+			}
+			nCols, err := binary.ReadUvarint(r)
+			if err != nil {
+				return err
+			}
+			row := make(Row, nCols)
+			for ci := range row {
+				if row[ci], err = decodeValue(r); err != nil {
+					return err
+				}
+			}
+			if t == nil {
+				continue
+			}
+			row, err = t.padForSchema(row)
+			if err != nil {
+				return fmt.Errorf("minidb: snapshot load: %w", err)
+			}
+			if err := t.insertAt(rowid, row); err != nil {
+				return fmt.Errorf("minidb: snapshot load: %w", err)
+			}
+		}
+		if t != nil {
+			for uint64(len(t.rows)) < heapLen {
+				t.rows = append(t.rows, nil) // preserve rowid allocation
+			}
+		}
+	}
+	return nil
+}
+
+func (db *DB) replayWal(path string) error {
+	ops, err := readWal(path)
+	if err != nil {
+		return err
+	}
+	pending := make(map[uint64][]walOp)
+	for _, op := range ops {
+		if op.txn > db.nextTxn {
+			db.nextTxn = op.txn
+		}
+		if op.kind != walCommit {
+			pending[op.txn] = append(pending[op.txn], op)
+			continue
+		}
+		for _, p := range pending[op.txn] {
+			t, ok := db.tables[p.table]
+			if !ok {
+				continue // table dropped from the schema
+			}
+			row := p.row
+			if p.kind != walDelete {
+				if row, err = t.padForSchema(row); err != nil {
+					return fmt.Errorf("minidb: wal replay: %w", err)
+				}
+			}
+			switch p.kind {
+			case walInsert:
+				err = t.insertAt(p.rowid, row)
+			case walUpdate:
+				err = t.update(p.rowid, row)
+			case walDelete:
+				err = t.delete(p.rowid)
+			}
+			if err != nil {
+				return fmt.Errorf("minidb: wal replay: %w", err)
+			}
+		}
+		delete(pending, op.txn)
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+package minidb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates predicate operators.
+type Op uint8
+
+// Predicate operators. OpBetween is inclusive on both ends; OpPrefix applies
+// to strings only.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween
+	OpPrefix
+)
+
+// String returns the operator spelling used in diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "between"
+	case OpPrefix:
+		return "prefix"
+	}
+	return "?"
+}
+
+// Pred is one conjunct of a query's WHERE clause.
+type Pred struct {
+	Col string
+	Op  Op
+	Val Value
+	Hi  Value // upper bound for OpBetween
+}
+
+// Match reports whether value v satisfies the predicate.
+func (p Pred) Match(v Value) bool {
+	switch p.Op {
+	case OpEq:
+		return Compare(v, p.Val) == 0
+	case OpNe:
+		return Compare(v, p.Val) != 0
+	case OpLt:
+		return Compare(v, p.Val) < 0
+	case OpLe:
+		return Compare(v, p.Val) <= 0
+	case OpGt:
+		return Compare(v, p.Val) > 0
+	case OpGe:
+		return Compare(v, p.Val) >= 0
+	case OpBetween:
+		return Compare(v, p.Val) >= 0 && Compare(v, p.Hi) <= 0
+	case OpPrefix:
+		return v.T == StringType && strings.HasPrefix(v.S, p.Val.Str())
+	}
+	return false
+}
+
+// Order is one ORDER BY term.
+type Order struct {
+	Col  string
+	Desc bool
+}
+
+// Query is a structured query: conjunctive predicates, ordering, paging and
+// projection over one table. This is the "collection objects instead of SQL"
+// API of the DM (§5.4): the engine parses, verifies and plans it without any
+// SQL text, so schema changes never ripple into callers.
+type Query struct {
+	Table string
+	Where []Pred
+	// Or is an optional disjunctive group ANDed with Where: a row matches
+	// when it satisfies every Where predicate and at least one Or
+	// predicate. HEDC's access control appends exactly this shape —
+	// "public = true OR owner = <user>" — to queries over the domain
+	// tables (§5.5).
+	Or      []Pred
+	OrderBy []Order
+	Offset  int
+	Limit   int // 0 means unlimited
+	Project []string
+	Count   bool // return only the number of matching rows
+}
+
+// PlanKind classifies how a query was executed.
+type PlanKind uint8
+
+// Plan kinds, from cheapest to most expensive. PlanFullIndexScan is an index
+// scan with an open-ended bound (the paper's "full index scan", §7.2);
+// PlanFullScan reads the heap.
+const (
+	PlanIndexEq PlanKind = iota
+	PlanIndexRange
+	PlanFullIndexScan
+	PlanFullScan
+)
+
+// String names the plan kind.
+func (k PlanKind) String() string {
+	switch k {
+	case PlanIndexEq:
+		return "index-eq"
+	case PlanIndexRange:
+		return "index-range"
+	case PlanFullIndexScan:
+		return "full-index-scan"
+	case PlanFullScan:
+		return "full-scan"
+	}
+	return "?"
+}
+
+// PlanInfo describes the executed plan for observability and tests.
+type PlanInfo struct {
+	Kind        PlanKind
+	Index       string // column whose index drove the scan ("" for full scan)
+	RowsScanned int    // index entries or heap rows visited
+}
+
+// Result carries query output. For Count queries only Count is set.
+type Result struct {
+	Cols   []string
+	Rows   []Row
+	RowIDs []int64
+	Count  int
+	Plan   PlanInfo
+}
+
+// execQuery plans and runs q against t.
+func execQuery(t *Table, q Query) (*Result, error) {
+	res := &Result{}
+	colIdx := make(map[string]int, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		colIdx[c.Name] = i
+	}
+	for _, p := range q.Where {
+		if _, ok := colIdx[p.Col]; !ok {
+			return nil, fmt.Errorf("minidb: table %s has no column %s", t.schema.Name, p.Col)
+		}
+	}
+	for _, p := range q.Or {
+		if _, ok := colIdx[p.Col]; !ok {
+			return nil, fmt.Errorf("minidb: table %s has no or-column %s", t.schema.Name, p.Col)
+		}
+	}
+	for _, o := range q.OrderBy {
+		if _, ok := colIdx[o.Col]; !ok {
+			return nil, fmt.Errorf("minidb: table %s has no order column %s", t.schema.Name, o.Col)
+		}
+	}
+
+	driver, kind := choosePlan(t, q)
+	res.Plan.Kind = kind
+	if driver >= 0 {
+		res.Plan.Index = q.Where[driver].Col
+	}
+
+	// orderedByIndex: single ORDER BY term on the driving index column.
+	orderedByIndex := false
+	desc := false
+	if driver >= 0 && len(q.OrderBy) == 1 && q.OrderBy[0].Col == q.Where[driver].Col {
+		orderedByIndex = true
+		desc = q.OrderBy[0].Desc
+	}
+	if driver >= 0 && len(q.OrderBy) == 0 {
+		orderedByIndex = true // index order is as good as any
+	}
+
+	// canStopEarly: results already ordered, so offset+limit bounds the scan.
+	canStopEarly := orderedByIndex && q.Limit > 0 && !q.Count
+	want := q.Offset + q.Limit
+
+	var matched []int64
+	collect := func(rowid int64, r Row) bool {
+		for i, p := range q.Where {
+			if i == driver {
+				continue // guaranteed by scan bounds except residual checks below
+			}
+			if !p.Match(r[colIdx[p.Col]]) {
+				return true
+			}
+		}
+		if len(q.Or) > 0 {
+			any := false
+			for _, p := range q.Or {
+				if p.Match(r[colIdx[p.Col]]) {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return true
+			}
+		}
+		matched = append(matched, rowid)
+		return !(canStopEarly && len(matched) >= want)
+	}
+
+	switch {
+	case driver >= 0:
+		p := q.Where[driver]
+		idx := t.indexes[p.Col]
+		lo, hi := indexBounds(p)
+		visit := func(e entry) bool {
+			res.Plan.RowsScanned++
+			r := t.get(e.rowid)
+			if r == nil {
+				return true
+			}
+			// Residual check for operators the bounds only approximate.
+			if p.Op == OpPrefix && !p.Match(e.key) {
+				return false // past the prefix region: stop
+			}
+			if (p.Op == OpGt || p.Op == OpLt) && !p.Match(e.key) {
+				return true // boundary entry excluded by the strict operator
+			}
+			return collect(e.rowid, r)
+		}
+		if desc {
+			idx.tree.scanDesc(lo, hi, visit)
+		} else {
+			idx.tree.scanRange(lo, hi, visit)
+		}
+	default:
+		t.scanAll(func(rowid int64, r Row) bool {
+			res.Plan.RowsScanned++
+			return collect(rowid, r)
+		})
+	}
+
+	if q.Count {
+		res.Count = len(matched)
+		return res, nil
+	}
+
+	// Sort when the index order does not already satisfy ORDER BY.
+	if len(q.OrderBy) > 0 && !orderedByIndex {
+		ords := make([]int, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			ords[i] = colIdx[o.Col]
+		}
+		sort.SliceStable(matched, func(a, b int) bool {
+			ra, rb := t.get(matched[a]), t.get(matched[b])
+			for i, ci := range ords {
+				c := Compare(ra[ci], rb[ci])
+				if q.OrderBy[i].Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return matched[a] < matched[b]
+		})
+	}
+
+	// Paging.
+	if q.Offset > 0 {
+		if q.Offset >= len(matched) {
+			matched = nil
+		} else {
+			matched = matched[q.Offset:]
+		}
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+
+	// Projection.
+	proj := q.Project
+	if len(proj) == 0 {
+		proj = make([]string, len(t.schema.Columns))
+		for i, c := range t.schema.Columns {
+			proj[i] = c.Name
+		}
+	}
+	pidx := make([]int, len(proj))
+	for i, name := range proj {
+		ci, ok := colIdx[name]
+		if !ok {
+			return nil, fmt.Errorf("minidb: table %s has no projected column %s", t.schema.Name, name)
+		}
+		pidx[i] = ci
+	}
+	res.Cols = proj
+	res.RowIDs = matched
+	res.Rows = make([]Row, len(matched))
+	for i, rowid := range matched {
+		src := t.get(rowid)
+		out := make(Row, len(pidx))
+		for j, ci := range pidx {
+			out[j] = src[ci]
+		}
+		res.Rows[i] = out
+	}
+	res.Count = len(matched)
+	return res, nil
+}
+
+// choosePlan picks the predicate whose index drives the scan. It returns the
+// predicate position (or -1) and the plan classification.
+func choosePlan(t *Table, q Query) (int, PlanKind) {
+	best, bestScore := -1, 0
+	for i, p := range q.Where {
+		idx, ok := t.indexes[p.Col]
+		if !ok {
+			continue
+		}
+		var score int
+		switch p.Op {
+		case OpEq:
+			score = 4
+			if idx.unique {
+				score = 5
+			}
+		case OpBetween, OpPrefix:
+			score = 3
+		case OpLt, OpLe, OpGt, OpGe:
+			score = 2
+		default:
+			continue // OpNe cannot use an index
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return -1, PlanFullScan
+	}
+	switch q.Where[best].Op {
+	case OpEq:
+		return best, PlanIndexEq
+	case OpBetween, OpPrefix:
+		return best, PlanIndexRange
+	default:
+		return best, PlanFullIndexScan // open-ended bound: §7.2's "full index scan"
+	}
+}
+
+// indexBounds translates a sargable predicate into inclusive scan bounds.
+func indexBounds(p Pred) (lo, hi *Value) {
+	switch p.Op {
+	case OpEq:
+		v := p.Val
+		return &v, &v
+	case OpBetween:
+		lo, hi := p.Val, p.Hi
+		return &lo, &hi
+	case OpGe, OpGt:
+		v := p.Val
+		return &v, nil // OpGt over-approximates; residual Match filters
+	case OpLe, OpLt:
+		v := p.Val
+		return nil, &v
+	case OpPrefix:
+		v := p.Val
+		return &v, nil // scan stops at first non-prefix key
+	}
+	return nil, nil
+}

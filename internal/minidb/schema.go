@@ -1,0 +1,100 @@
+package minidb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name     string
+	Type     Type
+	Nullable bool
+}
+
+// Schema describes a table: its columns, optional primary key and secondary
+// indexes. HEDC's schema is split into a generic part and a domain-specific
+// part (§4.1); both are expressed with this type (see internal/schema).
+type Schema struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey names the unique key column ("" for none). Rows still
+	// always have an engine-assigned rowid.
+	PrimaryKey string
+	// Indexes lists columns to maintain secondary B-tree indexes on.
+	Indexes []string
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the schema for internal consistency.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("minidb: schema with empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("minidb: table %s has no columns", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("minidb: table %s has a column with empty name", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("minidb: table %s declares column %s twice", s.Name, c.Name)
+		}
+		if c.Type == NullType {
+			return fmt.Errorf("minidb: table %s column %s has null type", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if s.PrimaryKey != "" && s.ColIndex(s.PrimaryKey) < 0 {
+		return fmt.Errorf("minidb: table %s primary key %s is not a column", s.Name, s.PrimaryKey)
+	}
+	idxSeen := make(map[string]bool, len(s.Indexes))
+	for _, ix := range s.Indexes {
+		if s.ColIndex(ix) < 0 {
+			return fmt.Errorf("minidb: table %s index on unknown column %s", s.Name, ix)
+		}
+		if idxSeen[ix] {
+			return fmt.Errorf("minidb: table %s declares index on %s twice", s.Name, ix)
+		}
+		idxSeen[ix] = true
+	}
+	return nil
+}
+
+// CheckRow verifies a row against the schema: arity, types, nullability.
+// NaN floats are rejected: they have no position in the total order the
+// B-tree indexes rely on.
+func (s *Schema) CheckRow(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("minidb: table %s row has %d values, schema has %d columns",
+			s.Name, len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		c := s.Columns[i]
+		if v.IsNull() {
+			if !c.Nullable {
+				return fmt.Errorf("minidb: table %s column %s is not nullable", s.Name, c.Name)
+			}
+			continue
+		}
+		if v.T != c.Type {
+			return fmt.Errorf("minidb: table %s column %s expects %s, got %s",
+				s.Name, c.Name, c.Type, v.T)
+		}
+		if v.T == FloatType && math.IsNaN(v.F) {
+			return fmt.Errorf("minidb: table %s column %s rejects NaN", s.Name, c.Name)
+		}
+	}
+	return nil
+}

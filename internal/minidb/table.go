@@ -1,0 +1,183 @@
+package minidb
+
+import "fmt"
+
+// Table is heap storage plus index maintenance. rowids are positions in the
+// heap slice; deleted rows leave nil tombstones. Tables are not safe for
+// concurrent use on their own — DB serializes access.
+type Table struct {
+	schema  *Schema
+	rows    []Row
+	live    int
+	indexes map[string]*tableIndex // column name -> index
+}
+
+type tableIndex struct {
+	col    int
+	unique bool
+	tree   *btree
+}
+
+func newTable(schema *Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{schema: schema, indexes: make(map[string]*tableIndex)}
+	if schema.PrimaryKey != "" {
+		t.indexes[schema.PrimaryKey] = &tableIndex{
+			col: schema.ColIndex(schema.PrimaryKey), unique: true, tree: newBtree(),
+		}
+	}
+	for _, col := range schema.Indexes {
+		if _, dup := t.indexes[col]; dup {
+			continue // primary key already indexed
+		}
+		t.indexes[col] = &tableIndex{col: schema.ColIndex(col), unique: false, tree: newBtree()}
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// get returns the row at rowid or nil.
+func (t *Table) get(rowid int64) Row {
+	if rowid < 0 || rowid >= int64(len(t.rows)) {
+		return nil
+	}
+	return t.rows[rowid]
+}
+
+// pkLookup returns the rowid holding primary-key value v, or -1.
+func (t *Table) pkLookup(v Value) int64 {
+	if t.schema.PrimaryKey == "" {
+		return -1
+	}
+	idx := t.indexes[t.schema.PrimaryKey]
+	found := int64(-1)
+	idx.tree.scanRange(&v, &v, func(e entry) bool {
+		found = e.rowid
+		return false
+	})
+	return found
+}
+
+// insert appends the row, maintaining indexes; it returns the new rowid.
+func (t *Table) insert(r Row) (int64, error) {
+	if err := t.schema.CheckRow(r); err != nil {
+		return 0, err
+	}
+	if pk := t.schema.PrimaryKey; pk != "" {
+		v := r[t.schema.ColIndex(pk)]
+		if t.pkLookup(v) >= 0 {
+			return 0, fmt.Errorf("minidb: table %s duplicate primary key %s", t.schema.Name, v)
+		}
+	}
+	rowid := int64(len(t.rows))
+	t.rows = append(t.rows, r.Clone())
+	t.live++
+	for _, idx := range t.indexes {
+		idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
+	}
+	return rowid, nil
+}
+
+// insertAt replays an insert at a specific rowid (recovery path only).
+func (t *Table) insertAt(rowid int64, r Row) error {
+	if err := t.schema.CheckRow(r); err != nil {
+		return err
+	}
+	for int64(len(t.rows)) <= rowid {
+		t.rows = append(t.rows, nil)
+	}
+	if t.rows[rowid] != nil {
+		return fmt.Errorf("minidb: table %s replay insert over live rowid %d", t.schema.Name, rowid)
+	}
+	t.rows[rowid] = r.Clone()
+	t.live++
+	for _, idx := range t.indexes {
+		idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
+	}
+	return nil
+}
+
+// update replaces the row at rowid, maintaining indexes.
+func (t *Table) update(rowid int64, r Row) error {
+	old := t.get(rowid)
+	if old == nil {
+		return fmt.Errorf("minidb: table %s update of missing rowid %d", t.schema.Name, rowid)
+	}
+	if err := t.schema.CheckRow(r); err != nil {
+		return err
+	}
+	if pk := t.schema.PrimaryKey; pk != "" {
+		ci := t.schema.ColIndex(pk)
+		if !Equal(old[ci], r[ci]) {
+			if t.pkLookup(r[ci]) >= 0 {
+				return fmt.Errorf("minidb: table %s duplicate primary key %s", t.schema.Name, r[ci])
+			}
+		}
+	}
+	for _, idx := range t.indexes {
+		if !Equal(old[idx.col], r[idx.col]) {
+			idx.tree.delete(entry{key: old[idx.col], rowid: rowid})
+			idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
+		}
+	}
+	t.rows[rowid] = r.Clone()
+	return nil
+}
+
+// delete removes the row at rowid, maintaining indexes.
+func (t *Table) delete(rowid int64) error {
+	old := t.get(rowid)
+	if old == nil {
+		return fmt.Errorf("minidb: table %s delete of missing rowid %d", t.schema.Name, rowid)
+	}
+	for _, idx := range t.indexes {
+		idx.tree.delete(entry{key: old[idx.col], rowid: rowid})
+	}
+	t.rows[rowid] = nil
+	t.live--
+	return nil
+}
+
+// padForSchema widens a stored row written under an older schema version:
+// columns appended since then must be nullable and are filled with NULL.
+// This is the §3.1 evolution path — "new raw data formats and new data
+// sources ... some of which require a new database schema" — without
+// rewriting the store. Narrowing (dropped columns) needs an explicit
+// migration and is rejected.
+func (t *Table) padForSchema(r Row) (Row, error) {
+	switch {
+	case len(r) == len(t.schema.Columns):
+		return r, nil
+	case len(r) > len(t.schema.Columns):
+		return nil, fmt.Errorf("minidb: table %s stored row has %d values, schema has %d (column removal needs a migration)",
+			t.schema.Name, len(r), len(t.schema.Columns))
+	}
+	for i := len(r); i < len(t.schema.Columns); i++ {
+		if !t.schema.Columns[i].Nullable {
+			return nil, fmt.Errorf("minidb: table %s new column %s is not nullable; cannot evolve stored rows",
+				t.schema.Name, t.schema.Columns[i].Name)
+		}
+	}
+	padded := make(Row, len(t.schema.Columns))
+	copy(padded, r)
+	return padded, nil
+}
+
+// scanAll visits every live row in rowid order; fn returns false to stop.
+func (t *Table) scanAll(fn func(rowid int64, r Row) bool) {
+	for i, r := range t.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(int64(i), r) {
+			return
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package minidb
+
+import "fmt"
+
+// Txn is a read-write transaction. It holds the database's exclusive lock
+// from Begin until Commit or Rollback, so transactions serialize and readers
+// never observe partial entity updates. Mutations apply to the tables
+// immediately (the transaction reads its own writes through Txn.Query) and
+// are durably sealed by the commit marker in the redo log; Rollback undoes
+// them in reverse order.
+type Txn struct {
+	db      *DB
+	id      uint64
+	ops     []walOp  // redo, appended to the log on commit
+	undo    []func() // compensation, run in reverse on rollback
+	touched map[string]bool
+	done    bool
+}
+
+// Begin starts a transaction, blocking until the exclusive lock is held.
+func (db *DB) Begin() *Txn {
+	db.mu.Lock()
+	db.nextTxn++
+	return &Txn{db: db, id: db.nextTxn, touched: make(map[string]bool)}
+}
+
+func (tx *Txn) table(name string) (*Table, error) {
+	if tx.done {
+		return nil, fmt.Errorf("minidb: use of finished transaction")
+	}
+	t, ok := tx.db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no such table %s", name)
+	}
+	return t, nil
+}
+
+// Insert adds a row, returning its rowid.
+func (tx *Txn) Insert(table string, r Row) (int64, error) {
+	t, err := tx.table(table)
+	if err != nil {
+		return 0, err
+	}
+	rowid, err := t.insert(r)
+	if err != nil {
+		return 0, err
+	}
+	tx.touched[table] = true
+	tx.ops = append(tx.ops, walOp{kind: walInsert, txn: tx.id, table: table, rowid: rowid, row: r.Clone()})
+	tx.undo = append(tx.undo, func() { _ = t.delete(rowid) })
+	tx.db.stats.Inserts.Add(1)
+	return rowid, nil
+}
+
+// Update replaces the row at rowid.
+func (tx *Txn) Update(table string, rowid int64, r Row) error {
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	old := t.get(rowid)
+	if old == nil {
+		return fmt.Errorf("minidb: table %s update of missing rowid %d", table, rowid)
+	}
+	oldCopy := old.Clone()
+	if err := t.update(rowid, r); err != nil {
+		return err
+	}
+	tx.touched[table] = true
+	tx.ops = append(tx.ops, walOp{kind: walUpdate, txn: tx.id, table: table, rowid: rowid, row: r.Clone()})
+	tx.undo = append(tx.undo, func() { _ = t.update(rowid, oldCopy) })
+	tx.db.stats.Updates.Add(1)
+	return nil
+}
+
+// Delete removes the row at rowid.
+func (tx *Txn) Delete(table string, rowid int64) error {
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	old := t.get(rowid)
+	if old == nil {
+		return fmt.Errorf("minidb: table %s delete of missing rowid %d", table, rowid)
+	}
+	oldCopy := old.Clone()
+	if err := t.delete(rowid); err != nil {
+		return err
+	}
+	tx.touched[table] = true
+	tx.ops = append(tx.ops, walOp{kind: walDelete, txn: tx.id, table: table, rowid: rowid})
+	tx.undo = append(tx.undo, func() { _ = t.insertAt(rowid, oldCopy) })
+	tx.db.stats.Deletes.Add(1)
+	return nil
+}
+
+// Query executes a read inside the transaction, seeing its own writes.
+func (tx *Txn) Query(q Query) (*Result, error) {
+	if tx.done {
+		return nil, fmt.Errorf("minidb: use of finished transaction")
+	}
+	return tx.db.queryLocked(q)
+}
+
+// Get returns a copy of the row at rowid (nil if absent) inside the
+// transaction.
+func (tx *Txn) Get(table string, rowid int64) (Row, error) {
+	t, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	r := t.get(rowid)
+	if r == nil {
+		return nil, nil
+	}
+	return r.Clone(), nil
+}
+
+// Commit seals the transaction in the redo log and releases the lock.
+// If the log write fails the transaction is rolled back and the error
+// returned; the caller must not retry Commit.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("minidb: commit of finished transaction")
+	}
+	if tx.db.wal != nil && len(tx.ops) > 0 {
+		var err error
+		for _, op := range tx.ops {
+			if err = tx.db.wal.append(op); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = tx.db.wal.append(walOp{kind: walCommit, txn: tx.id})
+		}
+		if err == nil {
+			err = tx.db.wal.sync()
+		}
+		if err != nil {
+			tx.rollbackLocked()
+			return fmt.Errorf("minidb: commit: %w", err)
+		}
+	}
+	tx.done = true
+	tx.db.invalidateViews(tx.touched)
+	tx.db.stats.Commits.Add(1)
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Rollback undoes every mutation and releases the lock. Rolling back a
+// finished transaction is a no-op.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.rollbackLocked()
+}
+
+func (tx *Txn) rollbackLocked() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.undo[i]()
+	}
+	tx.done = true
+	tx.db.invalidateViews(tx.touched) // conservative: undo ran, views recompute
+	tx.db.stats.Rollbacks.Add(1)
+	tx.db.mu.Unlock()
+}

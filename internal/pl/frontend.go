@@ -1,0 +1,502 @@
+package pl
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/idl"
+)
+
+// Phase names of the request model (§5.1). Phases must run in order; not
+// all are mandatory (estimation is optional, commit can be skipped for
+// preview-only work); cancel is possible at any time and triggers cleanup
+// of the current phase.
+const (
+	PhaseEstimation = "estimation"
+	PhaseExecution  = "execution"
+	PhaseDelivery   = "delivery"
+	PhaseCommit     = "commit"
+)
+
+// Request is an abstract processing request. Type selects the strategy;
+// Params is a dynamic structure whose interpretation is delegated to it —
+// the frontend is "an interpreter of abstract requests" (§5.1).
+type Request struct {
+	ID       string
+	Type     string
+	Session  *dm.Session
+	Params   idl.Args
+	Priority int    // higher runs earlier
+	Location string // restrict execution to managers at this location ("" = any)
+	NoCommit bool   // stop after delivery (preview)
+}
+
+// Estimate is the result of the estimation phase: "a simple predictor to
+// inform the user about the duration of the subsequent execution phase.
+// The result of this phase is an execution plan. This phase returns
+// immediately."
+type Estimate struct {
+	Seconds    float64
+	InputBytes int64
+	Plan       string
+	Feasible   bool
+	Reason     string
+}
+
+// Delivery carries the execution results to the commit phase and to the
+// user ("results are made available").
+type Delivery struct {
+	Files  []dm.StoredFile
+	Result idl.Args
+}
+
+// Strategy supplies the per-type behaviour of each phase (§5.1: "analyses
+// are implemented as a set of strategies, i.e., one for each phase").
+type Strategy interface {
+	Type() string
+	// Estimate predicts cost and feasibility without executing.
+	Estimate(req *Request) (*Estimate, error)
+	// Prepare stages data and builds the routine invocation.
+	Prepare(req *Request) (routine string, args idl.Args, err error)
+	// Deliver interprets the routine output.
+	Deliver(req *Request, out idl.Args) (*Delivery, error)
+	// Commit writes results back into HEDC through the DM; it returns the
+	// committed entity id.
+	Commit(req *Request, del *Delivery) (string, error)
+}
+
+// Status values of a ticket.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDelivered = "delivered"
+	StatusCommitted = "committed"
+	StatusFailed    = "failed"
+	StatusCanceled  = "canceled"
+)
+
+// Ticket tracks an accepted request through its phases.
+type Ticket struct {
+	Request  *Request
+	Estimate *Estimate
+
+	mu       sync.Mutex
+	status   string
+	phase    string
+	delivery *Delivery
+	entityID string
+	err      error
+
+	done   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	seq       int64
+	index     int // heap bookkeeping
+}
+
+// Status returns the ticket's current status and phase.
+func (t *Ticket) Status() (status, phase string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status, t.phase
+}
+
+// Wait blocks until the request finishes (any terminal status) or ctx
+// expires; it returns the committed entity id.
+func (t *Ticket) Wait(ctx context.Context) (string, error) {
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.entityID, t.err
+}
+
+// Delivery returns the delivered results (nil before delivery).
+func (t *Ticket) Delivery() *Delivery {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delivery
+}
+
+// SojournSeconds is the time from submission to completion.
+func (t *Ticket) SojournSeconds() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished.IsZero() {
+		return time.Since(t.submitted).Seconds()
+	}
+	return t.finished.Sub(t.submitted).Seconds()
+}
+
+// Cancel aborts the request. Queued requests never start; running ones are
+// interrupted through their context and clean up the current phase.
+func (t *Ticket) Cancel() { t.cancel() }
+
+// ticketHeap orders by (priority desc, submission order).
+type ticketHeap []*Ticket
+
+func (h ticketHeap) Len() int { return len(h) }
+func (h ticketHeap) Less(i, j int) bool {
+	if h[i].Request.Priority != h[j].Request.Priority {
+		return h[i].Request.Priority > h[j].Request.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h ticketHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *ticketHeap) Push(x interface{}) {
+	t := x.(*Ticket)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *ticketHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// FrontendStats counts request outcomes.
+type FrontendStats struct {
+	Submitted int64
+	Committed int64
+	Delivered int64
+	Failed    int64
+	Canceled  int64
+	InSystem  int
+	Queued    int
+}
+
+// Frontend is the primary controller: it accepts requests, runs the
+// estimation phase inline, and schedules execution/delivery/commit on its
+// worker pool by priority. MaxInSystem bounds admitted-but-unfinished
+// requests (the §8 tests cap this at 20).
+type Frontend struct {
+	dir         *Directory
+	strategies  map[string]Strategy
+	workers     int
+	maxInSystem int
+
+	mu       sync.Mutex
+	queue    ticketHeap
+	inSystem int
+	seq      int64
+	wake     *sync.Cond
+	closed   bool
+
+	stats struct {
+		submitted, committed, delivered, failed, canceled int64
+	}
+}
+
+// NewFrontend builds a frontend with the given worker pool size and
+// admission limit (0 = 20).
+func NewFrontend(dir *Directory, workers, maxInSystem int) *Frontend {
+	if workers < 1 {
+		workers = 4
+	}
+	if maxInSystem <= 0 {
+		maxInSystem = 20
+	}
+	f := &Frontend{
+		dir: dir, strategies: make(map[string]Strategy),
+		workers: workers, maxInSystem: maxInSystem,
+	}
+	f.wake = sync.NewCond(&f.mu)
+	for i := 0; i < workers; i++ {
+		go f.worker()
+	}
+	return f
+}
+
+// RegisterStrategy installs a request type. "Incorporating new processing
+// environments into HEDC involves defining the strategy that extends the
+// existing framework" (§5.1).
+func (f *Frontend) RegisterStrategy(s Strategy) {
+	f.mu.Lock()
+	f.strategies[s.Type()] = s
+	f.mu.Unlock()
+}
+
+// Strategies lists registered request types.
+func (f *Frontend) Strategies() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.strategies))
+	for k := range f.strategies {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EstimateOnly runs just the estimation phase.
+func (f *Frontend) EstimateOnly(req *Request) (*Estimate, error) {
+	f.mu.Lock()
+	s, ok := f.strategies[req.Type]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pl: unknown request type %q", req.Type)
+	}
+	return s.Estimate(req)
+}
+
+// Submit admits a request: estimation runs inline, then the ticket queues
+// for execution. Submission blocks while the system is at its admission
+// limit, matching the closed-loop workload of the processing tests.
+func (f *Frontend) Submit(req *Request) (*Ticket, error) {
+	f.mu.Lock()
+	s, ok := f.strategies[req.Type]
+	if !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("pl: unknown request type %q", req.Type)
+	}
+	for f.inSystem >= f.maxInSystem && !f.closed {
+		f.wake.Wait()
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("pl: frontend is shut down")
+	}
+	f.inSystem++
+	f.seq++
+	seq := f.seq
+	f.stats.submitted++
+	f.mu.Unlock()
+
+	est, err := s.Estimate(req)
+	if err != nil {
+		f.finish(nil)
+		return nil, err
+	}
+	if !est.Feasible {
+		f.finish(nil)
+		return nil, fmt.Errorf("pl: request infeasible: %s", est.Reason)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Ticket{
+		Request: req, Estimate: est,
+		status: StatusQueued, phase: PhaseEstimation,
+		done: make(chan struct{}), ctx: ctx, cancel: cancel,
+		submitted: time.Now(), seq: seq,
+	}
+	t.index = -1
+	go func() { // cancellation of a still-queued ticket
+		select {
+		case <-t.done:
+			return
+		case <-ctx.Done():
+		}
+		f.mu.Lock()
+		t.mu.Lock()
+		if t.status == StatusQueued && t.index >= 0 && t.index < len(f.queue) && f.queue[t.index] == t {
+			heap.Remove(&f.queue, t.index)
+			t.index = -1
+			t.status = StatusCanceled
+			t.err = context.Canceled
+			t.finished = time.Now()
+			f.stats.canceled++
+			f.inSystem--
+			f.wake.Broadcast()
+			t.mu.Unlock()
+			f.mu.Unlock()
+			close(t.done)
+			return
+		}
+		t.mu.Unlock()
+		f.mu.Unlock()
+	}()
+
+	f.mu.Lock()
+	heap.Push(&f.queue, t)
+	f.wake.Broadcast()
+	f.mu.Unlock()
+	return t, nil
+}
+
+// finish releases an admission slot.
+func (f *Frontend) finish(_ *Ticket) {
+	f.mu.Lock()
+	f.inSystem--
+	f.wake.Broadcast()
+	f.mu.Unlock()
+}
+
+// Close drains the queue and stops accepting work.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.wake.Broadcast()
+	f.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (f *Frontend) Stats() FrontendStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FrontendStats{
+		Submitted: f.stats.submitted,
+		Committed: f.stats.committed,
+		Delivered: f.stats.delivered,
+		Failed:    f.stats.failed,
+		Canceled:  f.stats.canceled,
+		InSystem:  f.inSystem,
+		Queued:    len(f.queue),
+	}
+}
+
+func (f *Frontend) worker() {
+	for {
+		f.mu.Lock()
+		for len(f.queue) == 0 && !f.closed {
+			f.wake.Wait()
+		}
+		if f.closed && len(f.queue) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&f.queue).(*Ticket)
+		t.index = -1
+		s := f.strategies[t.Request.Type]
+		t.mu.Lock()
+		if t.status == StatusCanceled {
+			t.mu.Unlock()
+			f.mu.Unlock()
+			continue
+		}
+		t.status = StatusRunning
+		t.started = time.Now()
+		t.mu.Unlock()
+		f.mu.Unlock()
+
+		f.run(t, s)
+		f.finish(t)
+	}
+}
+
+// run drives the execution, delivery and commit phases.
+func (f *Frontend) run(t *Ticket, s Strategy) {
+	fail := func(status string, err error) {
+		t.mu.Lock()
+		t.status = status
+		t.err = err
+		t.finished = time.Now()
+		t.mu.Unlock()
+		f.mu.Lock()
+		if status == StatusCanceled {
+			f.stats.canceled++
+		} else {
+			f.stats.failed++
+		}
+		f.mu.Unlock()
+		close(t.done)
+	}
+
+	// Execution.
+	t.mu.Lock()
+	t.phase = PhaseExecution
+	canceled := t.status == StatusCanceled
+	t.mu.Unlock()
+	if canceled {
+		fail(StatusCanceled, context.Canceled)
+		return
+	}
+	routine, args, err := s.Prepare(t.Request)
+	if err != nil {
+		fail(StatusFailed, err)
+		return
+	}
+	mgr := f.pickManager(t.Request.Location)
+	if mgr == nil {
+		fail(StatusFailed, fmt.Errorf("pl: no processing capacity at %q", t.Request.Location))
+		return
+	}
+	out, err := mgr.Invoke(t.ctx, routine, args)
+	if err != nil {
+		if t.ctx.Err() != nil {
+			fail(StatusCanceled, err)
+		} else {
+			fail(StatusFailed, err)
+		}
+		return
+	}
+
+	// Delivery.
+	t.mu.Lock()
+	t.phase = PhaseDelivery
+	t.mu.Unlock()
+	del, err := s.Deliver(t.Request, out)
+	if err != nil {
+		fail(StatusFailed, err)
+		return
+	}
+	t.mu.Lock()
+	t.delivery = del
+	t.status = StatusDelivered
+	t.mu.Unlock()
+	f.mu.Lock()
+	f.stats.delivered++
+	f.mu.Unlock()
+
+	if t.Request.NoCommit {
+		t.mu.Lock()
+		t.finished = time.Now()
+		t.mu.Unlock()
+		close(t.done)
+		return
+	}
+
+	// Commit.
+	t.mu.Lock()
+	t.phase = PhaseCommit
+	t.mu.Unlock()
+	id, err := s.Commit(t.Request, del)
+	if err != nil {
+		fail(StatusFailed, err)
+		return
+	}
+	t.mu.Lock()
+	t.entityID = id
+	t.status = StatusCommitted
+	t.finished = time.Now()
+	t.mu.Unlock()
+	f.mu.Lock()
+	f.stats.committed++
+	f.mu.Unlock()
+	close(t.done)
+}
+
+// pickManager selects the manager with the most idle capacity at the
+// requested location (round-robin on ties through sorted order).
+func (f *Frontend) pickManager(location string) *Manager {
+	infos := f.dir.Managers(location)
+	var best *Manager
+	bestScore := -1
+	for _, info := range infos {
+		m := info.Manager()
+		if m == nil {
+			continue
+		}
+		score := len(m.idle)
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}

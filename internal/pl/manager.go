@@ -1,0 +1,200 @@
+package pl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/idl"
+)
+
+// Manager is the IDL server manager: it owns a set of interpreters on one
+// processing node, hands invocations to idle ones, queues callers when all
+// are busy, and implements the error handling the interpreters lack —
+// per-invocation timeouts with forced restarts of wedged servers, and
+// automatic restart of crashed ones (§5.1).
+type Manager struct {
+	id       string
+	location string // "server" or "client" node label (the §8 configurations)
+	timeout  time.Duration
+
+	mu      sync.Mutex
+	servers map[string]*idl.Server
+	idle    chan *idl.Server
+
+	invocations atomic.Int64
+	timeouts    atomic.Int64
+	recoveries  atomic.Int64
+	busySecs    atomic.Int64 // milliseconds, stored as int for atomicity
+}
+
+// ManagerStats summarizes a manager's activity.
+type ManagerStats struct {
+	Servers     int
+	Invocations int64
+	Timeouts    int64
+	Recoveries  int64
+	BusySeconds float64
+}
+
+// NewManager creates a manager with n started interpreters, each loaded
+// with the given routines. timeout bounds a single invocation (0 = 5 min).
+func NewManager(id, location string, n int, routines map[string]idl.Routine, timeout time.Duration) (*Manager, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pl: manager %s needs at least one server", id)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	m := &Manager{
+		id: id, location: location, timeout: timeout,
+		servers: make(map[string]*idl.Server),
+		idle:    make(chan *idl.Server, 1024),
+	}
+	for i := 0; i < n; i++ {
+		if err := m.AddServer(fmt.Sprintf("%s/idl-%d", id, i), routines); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// ID returns the manager id; Location its node label.
+func (m *Manager) ID() string       { return m.id }
+func (m *Manager) Location() string { return m.location }
+
+// AddServer boots a new interpreter and adds it to the pool. Managers can
+// grow at run time without halting the system (§5.1).
+func (m *Manager) AddServer(serverID string, routines map[string]idl.Routine) error {
+	s := idl.NewServer(serverID)
+	for name, r := range routines {
+		s.Register(name, r)
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if _, dup := m.servers[serverID]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("pl: duplicate server %s", serverID)
+	}
+	m.servers[serverID] = s
+	m.mu.Unlock()
+	m.idle <- s
+	return nil
+}
+
+// RemoveServer drains one interpreter out of the pool. It blocks until an
+// idle server is available (no running work is killed) and removes that
+// one, regardless of id availability, shrinking capacity by one.
+func (m *Manager) RemoveServer(ctx context.Context) (string, error) {
+	select {
+	case s := <-m.idle:
+		m.mu.Lock()
+		delete(m.servers, s.ID())
+		m.mu.Unlock()
+		_ = s.Stop()
+		return s.ID(), nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// RegisterRoutine installs a routine on every interpreter in the pool —
+// how user-submitted analyses reach running servers (§3.3).
+func (m *Manager) RegisterRoutine(name string, r idl.Routine) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.servers {
+		s.Register(name, r)
+	}
+}
+
+// Servers returns the current pool size.
+func (m *Manager) Servers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.servers)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Servers:     m.Servers(),
+		Invocations: m.invocations.Load(),
+		Timeouts:    m.timeouts.Load(),
+		Recoveries:  m.recoveries.Load(),
+		BusySeconds: float64(m.busySecs.Load()) / 1e3,
+	}
+}
+
+// Invoke runs a routine on the next idle interpreter, waiting in FIFO order
+// if all are busy. Timeouts and crashes recover the interpreter before the
+// error is returned, so the pool never leaks capacity.
+func (m *Manager) Invoke(ctx context.Context, routine string, args idl.Args) (idl.Args, error) {
+	var srv *idl.Server
+	select {
+	case srv = <-m.idle:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	// The server might have been removed from the pool while queued; it is
+	// still functional, so run the call and only then drop it.
+	m.invocations.Add(1)
+	start := time.Now()
+	callCtx, cancel := context.WithTimeout(ctx, m.timeout)
+	out, err := srv.Invoke(callCtx, routine, args)
+	cancel()
+	m.busySecs.Add(time.Since(start).Milliseconds())
+
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// Wedged or abandoned interpreter: force-restart it (resource-drain
+		// handling) before returning it to the pool.
+		srv.Restart()
+		m.timeouts.Add(1)
+		m.recoveries.Add(1)
+	case errors.Is(err, idl.ErrCrashed):
+		srv.Restart()
+		m.recoveries.Add(1)
+	}
+
+	m.mu.Lock()
+	_, stillOurs := m.servers[srv.ID()]
+	m.mu.Unlock()
+	if stillOurs {
+		m.idle <- srv
+	}
+	return out, err
+}
+
+// InvokeAsync starts an invocation and returns a handle.
+func (m *Manager) InvokeAsync(ctx context.Context, routine string, args idl.Args) *AsyncCall {
+	c := &AsyncCall{done: make(chan struct{})}
+	go func() {
+		c.out, c.err = m.Invoke(ctx, routine, args)
+		close(c.done)
+	}()
+	return c
+}
+
+// AsyncCall is a pending asynchronous invocation.
+type AsyncCall struct {
+	done chan struct{}
+	out  idl.Args
+	err  error
+}
+
+// Wait blocks for completion or context expiry.
+func (c *AsyncCall) Wait(ctx context.Context) (idl.Args, error) {
+	select {
+	case <-c.done:
+		return c.out, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,265 @@
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+)
+
+// ANA statuses follow the PL request lifecycle (§5.1): requests move through
+// estimation, execution, delivery and commit; canceled requests clean up.
+const (
+	AnaPending   = "pending"
+	AnaEstimated = "estimated"
+	AnaRunning   = "running"
+	AnaDelivered = "delivered"
+	AnaCommitted = "committed"
+	AnaFailed    = "failed"
+	AnaCanceled  = "canceled"
+)
+
+// Analysis types shipped with the system — "imaging, lightcurves and
+// spectroscopy, all of which generate pictoral content" (§2.2) — plus the
+// histogram analysis used in the §8 processing evaluation. New types plug
+// in through PL strategies without schema changes elsewhere.
+const (
+	AnaImaging     = "imaging"
+	AnaLightcurve  = "lightcurve"
+	AnaSpectrogram = "spectrogram"
+	AnaHistogram   = "histogram"
+)
+
+// ANA is the result of one analysis over an HLE: parameters, provenance,
+// execution record, result summary and file references — around 45
+// attributes (§4.1).
+type ANA struct {
+	// Identity and provenance.
+	ID        string // ana_id
+	HLEID     string // owning high-level event
+	Type      string // imaging|lightcurve|spectrogram|histogram|...
+	Algorithm string // concrete routine name, e.g. "back-projection"
+	Version   int64
+	Owner     string
+	Public    bool
+	Status    string
+
+	// Execution record.
+	Created   float64 // wall-clock seconds
+	Started   float64
+	Finished  float64
+	Duration  float64 // processing seconds
+	Node      string  // where it ran (server node or client)
+	IDLServer string  // which interpreter instance executed it
+	Priority  int64
+
+	// Parameters.
+	TStart        float64
+	TStop         float64
+	EMin          float64
+	EMax          float64
+	TimeBins      int64
+	EnergyBins    int64
+	ImageSize     int64   // pixels per axis for imaging
+	PixelArcsec   float64 // image scale
+	DetectorMask  int64   // bitmask of collimators used
+	Segments      int64   // 0 front, 1 rear, 2 both
+	ApproxFrac    float64 // wavelet coefficient fraction (1 = exact)
+	UseView       bool    // analyze the compressed view instead of raw data
+	InputUnits    int64   // raw units consumed
+	InputBytes    int64
+	EstimateSecs  float64 // predictor output from the estimation phase
+	EstimateError float64 // |actual - estimate| after execution
+
+	// Result summary.
+	OutputBytes int64
+	NPhotons    int64
+	PeakX       float64
+	PeakY       float64
+	PeakValue   float64
+	ResultTotal float64
+	ResultMin   float64
+	ResultMax   float64
+	ResultMean  float64
+	Chi2        float64
+	Iterations  int64
+
+	// File references (name-mapping items, §4.3): the picture, the process
+	// log, and the parameter record — "importing an analysis involves
+	// storing and referencing multiple files" (§4.1).
+	ItemID     string
+	LogItem    string
+	ParamsItem string
+
+	ErrorMsg     string
+	Comment      string
+	CalibVersion int64
+}
+
+func anaSchema() *minidb.Schema {
+	return &minidb.Schema{
+		Name: TableANA,
+		Columns: []minidb.Column{
+			{Name: "ana_id", Type: minidb.StringType},
+			{Name: "hle_id", Type: minidb.StringType},
+			{Name: "type", Type: minidb.StringType},
+			{Name: "algorithm", Type: minidb.StringType},
+			{Name: "version", Type: minidb.IntType},
+			{Name: "owner", Type: minidb.StringType},
+			{Name: "public", Type: minidb.BoolType},
+			{Name: "status", Type: minidb.StringType},
+			{Name: "created", Type: minidb.FloatType},
+			{Name: "started", Type: minidb.FloatType},
+			{Name: "finished", Type: minidb.FloatType},
+			{Name: "duration", Type: minidb.FloatType},
+			{Name: "node", Type: minidb.StringType, Nullable: true},
+			{Name: "idl_server", Type: minidb.StringType, Nullable: true},
+			{Name: "priority", Type: minidb.IntType},
+			{Name: "tstart", Type: minidb.FloatType},
+			{Name: "tstop", Type: minidb.FloatType},
+			{Name: "emin", Type: minidb.FloatType},
+			{Name: "emax", Type: minidb.FloatType},
+			{Name: "time_bins", Type: minidb.IntType},
+			{Name: "energy_bins", Type: minidb.IntType},
+			{Name: "image_size", Type: minidb.IntType},
+			{Name: "pixel_arcsec", Type: minidb.FloatType},
+			{Name: "detector_mask", Type: minidb.IntType},
+			{Name: "segments", Type: minidb.IntType},
+			{Name: "approx_frac", Type: minidb.FloatType},
+			{Name: "use_view", Type: minidb.BoolType},
+			{Name: "input_units", Type: minidb.IntType},
+			{Name: "input_bytes", Type: minidb.IntType},
+			{Name: "estimate_secs", Type: minidb.FloatType},
+			{Name: "estimate_error", Type: minidb.FloatType},
+			{Name: "output_bytes", Type: minidb.IntType},
+			{Name: "n_photons", Type: minidb.IntType},
+			{Name: "peak_x", Type: minidb.FloatType},
+			{Name: "peak_y", Type: minidb.FloatType},
+			{Name: "peak_value", Type: minidb.FloatType},
+			{Name: "result_total", Type: minidb.FloatType},
+			{Name: "result_min", Type: minidb.FloatType},
+			{Name: "result_max", Type: minidb.FloatType},
+			{Name: "result_mean", Type: minidb.FloatType},
+			{Name: "chi2", Type: minidb.FloatType},
+			{Name: "iterations", Type: minidb.IntType},
+			{Name: "item_id", Type: minidb.StringType, Nullable: true},
+			{Name: "log_item", Type: minidb.StringType, Nullable: true},
+			{Name: "params_item", Type: minidb.StringType, Nullable: true},
+			{Name: "error_msg", Type: minidb.StringType, Nullable: true},
+			{Name: "comment", Type: minidb.StringType, Nullable: true},
+			{Name: "calib_version", Type: minidb.IntType},
+		},
+		PrimaryKey: "ana_id",
+		Indexes:    []string{"hle_id", "owner", "type", "status"},
+	}
+}
+
+// ToRow renders the ANA as a tuple in anaSchema column order.
+func (a *ANA) ToRow() minidb.Row {
+	return minidb.Row{
+		minidb.S(a.ID),
+		minidb.S(a.HLEID),
+		minidb.S(a.Type),
+		minidb.S(a.Algorithm),
+		minidb.I(a.Version),
+		minidb.S(a.Owner),
+		minidb.Bo(a.Public),
+		minidb.S(a.Status),
+		minidb.F(a.Created),
+		minidb.F(a.Started),
+		minidb.F(a.Finished),
+		minidb.F(a.Duration),
+		minidb.S(a.Node),
+		minidb.S(a.IDLServer),
+		minidb.I(a.Priority),
+		minidb.F(a.TStart),
+		minidb.F(a.TStop),
+		minidb.F(a.EMin),
+		minidb.F(a.EMax),
+		minidb.I(a.TimeBins),
+		minidb.I(a.EnergyBins),
+		minidb.I(a.ImageSize),
+		minidb.F(a.PixelArcsec),
+		minidb.I(a.DetectorMask),
+		minidb.I(a.Segments),
+		minidb.F(a.ApproxFrac),
+		minidb.Bo(a.UseView),
+		minidb.I(a.InputUnits),
+		minidb.I(a.InputBytes),
+		minidb.F(a.EstimateSecs),
+		minidb.F(a.EstimateError),
+		minidb.I(a.OutputBytes),
+		minidb.I(a.NPhotons),
+		minidb.F(a.PeakX),
+		minidb.F(a.PeakY),
+		minidb.F(a.PeakValue),
+		minidb.F(a.ResultTotal),
+		minidb.F(a.ResultMin),
+		minidb.F(a.ResultMax),
+		minidb.F(a.ResultMean),
+		minidb.F(a.Chi2),
+		minidb.I(a.Iterations),
+		minidb.S(a.ItemID),
+		minidb.S(a.LogItem),
+		minidb.S(a.ParamsItem),
+		minidb.S(a.ErrorMsg),
+		minidb.S(a.Comment),
+		minidb.I(a.CalibVersion),
+	}
+}
+
+// ANAFromRow parses a full-width ana tuple.
+func ANAFromRow(r minidb.Row) (*ANA, error) {
+	if len(r) != 48 {
+		return nil, fmt.Errorf("schema: ana row has %d values, want 48", len(r))
+	}
+	return &ANA{
+		ID:            r[0].Str(),
+		HLEID:         r[1].Str(),
+		Type:          r[2].Str(),
+		Algorithm:     r[3].Str(),
+		Version:       r[4].Int(),
+		Owner:         r[5].Str(),
+		Public:        r[6].Bool(),
+		Status:        r[7].Str(),
+		Created:       r[8].Float(),
+		Started:       r[9].Float(),
+		Finished:      r[10].Float(),
+		Duration:      r[11].Float(),
+		Node:          r[12].Str(),
+		IDLServer:     r[13].Str(),
+		Priority:      r[14].Int(),
+		TStart:        r[15].Float(),
+		TStop:         r[16].Float(),
+		EMin:          r[17].Float(),
+		EMax:          r[18].Float(),
+		TimeBins:      r[19].Int(),
+		EnergyBins:    r[20].Int(),
+		ImageSize:     r[21].Int(),
+		PixelArcsec:   r[22].Float(),
+		DetectorMask:  r[23].Int(),
+		Segments:      r[24].Int(),
+		ApproxFrac:    r[25].Float(),
+		UseView:       r[26].Bool(),
+		InputUnits:    r[27].Int(),
+		InputBytes:    r[28].Int(),
+		EstimateSecs:  r[29].Float(),
+		EstimateError: r[30].Float(),
+		OutputBytes:   r[31].Int(),
+		NPhotons:      r[32].Int(),
+		PeakX:         r[33].Float(),
+		PeakY:         r[34].Float(),
+		PeakValue:     r[35].Float(),
+		ResultTotal:   r[36].Float(),
+		ResultMin:     r[37].Float(),
+		ResultMax:     r[38].Float(),
+		ResultMean:    r[39].Float(),
+		Chi2:          r[40].Float(),
+		Iterations:    r[41].Int(),
+		ItemID:        r[42].Str(),
+		LogItem:       r[43].Str(),
+		ParamsItem:    r[44].Str(),
+		ErrorMsg:      r[45].Str(),
+		Comment:       r[46].Str(),
+		CalibVersion:  r[47].Int(),
+	}, nil
+}

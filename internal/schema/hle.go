@@ -1,0 +1,139 @@
+package schema
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+)
+
+// HLE is a high level event: "roughly a period of time and range of energy
+// that has been determined to be relevant by a specific user" (§4.1). HLE
+// tuples are generated during data loading, during local and remote data
+// processing, and by users; they carry around 25 attributes.
+type HLE struct {
+	ID           string  // hle_id
+	Version      int64   // recalibration version of the underlying data
+	Owner        string  // creating user; access control pivots on this
+	Public       bool    // private until the owner publishes (§5.5)
+	Label        string  // free-text label
+	KindHint     string  // "flare", "gamma-ray-burst", ... — a hint, not a type (§3.3)
+	TStart       float64 // observation window start [s since mission epoch]
+	TStop        float64
+	EMin         float64 // energy range [keV]
+	EMax         float64
+	PosX         float64 // estimated source position [arcsec]
+	PosY         float64
+	PeakRate     float64 // photons/s at peak
+	TotalCounts  int64
+	Background   float64 // photons/s outside the event
+	Significance float64 // detection significance (sigma)
+	UnitID       string  // raw unit the event was found in
+	Day          int64
+	ItemID       string // name-mapping item for associated files
+	Quality      int64  // 0..5 data quality flag
+	Origin       string // auto|user|import|remote
+	Created      float64
+	Modified     float64
+	Comment      string
+	CalibVersion int64
+}
+
+func hleSchema() *minidb.Schema {
+	return &minidb.Schema{
+		Name: TableHLE,
+		Columns: []minidb.Column{
+			{Name: "hle_id", Type: minidb.StringType},
+			{Name: "version", Type: minidb.IntType},
+			{Name: "owner", Type: minidb.StringType},
+			{Name: "public", Type: minidb.BoolType},
+			{Name: "label", Type: minidb.StringType, Nullable: true},
+			{Name: "kind_hint", Type: minidb.StringType, Nullable: true},
+			{Name: "tstart", Type: minidb.FloatType},
+			{Name: "tstop", Type: minidb.FloatType},
+			{Name: "emin", Type: minidb.FloatType},
+			{Name: "emax", Type: minidb.FloatType},
+			{Name: "pos_x", Type: minidb.FloatType},
+			{Name: "pos_y", Type: minidb.FloatType},
+			{Name: "peak_rate", Type: minidb.FloatType},
+			{Name: "total_counts", Type: minidb.IntType},
+			{Name: "background", Type: minidb.FloatType},
+			{Name: "significance", Type: minidb.FloatType},
+			{Name: "unit_id", Type: minidb.StringType, Nullable: true},
+			{Name: "day", Type: minidb.IntType},
+			{Name: "item_id", Type: minidb.StringType, Nullable: true},
+			{Name: "quality", Type: minidb.IntType},
+			{Name: "origin", Type: minidb.StringType},
+			{Name: "created", Type: minidb.FloatType},
+			{Name: "modified", Type: minidb.FloatType},
+			{Name: "comment", Type: minidb.StringType, Nullable: true},
+			{Name: "calib_version", Type: minidb.IntType},
+		},
+		PrimaryKey: "hle_id",
+		Indexes:    []string{"owner", "tstart", "kind_hint", "day"},
+	}
+}
+
+// ToRow renders the HLE as a tuple in hleSchema column order.
+func (h *HLE) ToRow() minidb.Row {
+	return minidb.Row{
+		minidb.S(h.ID),
+		minidb.I(h.Version),
+		minidb.S(h.Owner),
+		minidb.Bo(h.Public),
+		minidb.S(h.Label),
+		minidb.S(h.KindHint),
+		minidb.F(h.TStart),
+		minidb.F(h.TStop),
+		minidb.F(h.EMin),
+		minidb.F(h.EMax),
+		minidb.F(h.PosX),
+		minidb.F(h.PosY),
+		minidb.F(h.PeakRate),
+		minidb.I(h.TotalCounts),
+		minidb.F(h.Background),
+		minidb.F(h.Significance),
+		minidb.S(h.UnitID),
+		minidb.I(h.Day),
+		minidb.S(h.ItemID),
+		minidb.I(h.Quality),
+		minidb.S(h.Origin),
+		minidb.F(h.Created),
+		minidb.F(h.Modified),
+		minidb.S(h.Comment),
+		minidb.I(h.CalibVersion),
+	}
+}
+
+// HLEFromRow parses a full-width hle tuple.
+func HLEFromRow(r minidb.Row) (*HLE, error) {
+	if len(r) != 25 {
+		return nil, fmt.Errorf("schema: hle row has %d values, want 25", len(r))
+	}
+	return &HLE{
+		ID:           r[0].Str(),
+		Version:      r[1].Int(),
+		Owner:        r[2].Str(),
+		Public:       r[3].Bool(),
+		Label:        r[4].Str(),
+		KindHint:     r[5].Str(),
+		TStart:       r[6].Float(),
+		TStop:        r[7].Float(),
+		EMin:         r[8].Float(),
+		EMax:         r[9].Float(),
+		PosX:         r[10].Float(),
+		PosY:         r[11].Float(),
+		PeakRate:     r[12].Float(),
+		TotalCounts:  r[13].Int(),
+		Background:   r[14].Float(),
+		Significance: r[15].Float(),
+		UnitID:       r[16].Str(),
+		Day:          r[17].Int(),
+		ItemID:       r[18].Str(),
+		Quality:      r[19].Int(),
+		Origin:       r[20].Str(),
+		Created:      r[21].Float(),
+		Modified:     r[22].Float(),
+		Comment:      r[23].Str(),
+		CalibVersion: r[24].Int(),
+	}, nil
+}

@@ -1,0 +1,201 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minidb"
+)
+
+func TestAllSchemasValidate(t *testing.T) {
+	for _, s := range AllSchemas() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("schema %s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestSchemaSplitMatchesPaper(t *testing.T) {
+	// §4.1: administrative 3 tables, operational 4, location 4; domain 7.
+	generic := GenericSchemas()
+	domain := DomainSchemas()
+	if len(generic) != 11 {
+		t.Fatalf("generic tables = %d, want 11 (3+4+4)", len(generic))
+	}
+	if len(domain) != 7 {
+		t.Fatalf("domain tables = %d, want 7", len(domain))
+	}
+	var admin, op, loc int
+	for _, s := range generic {
+		switch {
+		case len(s.Name) > 6 && s.Name[:6] == "admin_":
+			admin++
+		case len(s.Name) > 3 && s.Name[:3] == "op_":
+			op++
+		case len(s.Name) > 4 && s.Name[:4] == "loc_":
+			loc++
+		}
+	}
+	if admin != 3 || op != 4 || loc != 4 {
+		t.Fatalf("sections = %d/%d/%d, want 3/4/4", admin, op, loc)
+	}
+}
+
+func TestAttributeCountsMatchPaper(t *testing.T) {
+	// "These tuples contain enough information to describe events as well
+	// as analyses (around 25 and 45 attributes each)."
+	h := hleSchema()
+	if n := len(h.Columns); n != 25 {
+		t.Fatalf("HLE attributes = %d, want 25", n)
+	}
+	a := anaSchema()
+	if n := len(a.Columns); n < 43 || n > 50 {
+		t.Fatalf("ANA attributes = %d, want ~45", n)
+	}
+}
+
+func TestSchemasOpenInMinidb(t *testing.T) {
+	db, err := minidb.Open("", AllSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.TableNames()
+	if len(names) != 18 {
+		t.Fatalf("tables = %d, want 18", len(names))
+	}
+}
+
+func TestGenericAndDomainIndependent(t *testing.T) {
+	// The generic part must open without the domain part and vice versa —
+	// that independence is what makes the domain schema easy to change.
+	if _, err := minidb.Open("", GenericSchemas()...); err != nil {
+		t.Fatalf("generic alone: %v", err)
+	}
+	if _, err := minidb.Open("", DomainSchemas()...); err != nil {
+		t.Fatalf("domain alone: %v", err)
+	}
+}
+
+func sampleHLE() *HLE {
+	return &HLE{
+		ID: "hle-000042", Version: 2, Owner: "estolte", Public: true,
+		Label: "X2.3 flare", KindHint: "flare",
+		TStart: 1000, TStop: 1600, EMin: 12, EMax: 50,
+		PosX: 350.5, PosY: -120.25, PeakRate: 900, TotalCounts: 48211,
+		Background: 20, Significance: 42.5, UnitID: "hsi_0001_002", Day: 1,
+		ItemID: "item-77", Quality: 4, Origin: "auto",
+		Created: 1.05e9, Modified: 1.06e9, Comment: "nice event", CalibVersion: 1,
+	}
+}
+
+func TestHLERowRoundTrip(t *testing.T) {
+	h := sampleHLE()
+	row := h.ToRow()
+	if err := hleSchema().CheckRow(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := HLEFromRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *h {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, h)
+	}
+	if _, err := HLEFromRow(row[:10]); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func sampleANA() *ANA {
+	return &ANA{
+		ID: "ana-000007", HLEID: "hle-000042", Type: AnaImaging,
+		Algorithm: "back-projection", Version: 1, Owner: "estolte",
+		Public: false, Status: AnaCommitted,
+		Created: 1.05e9, Started: 1.0500001e9, Finished: 1.0500002e9,
+		Duration: 61.2, Node: "server", IDLServer: "idl-0", Priority: 5,
+		TStart: 1000, TStop: 1600, EMin: 12, EMax: 50,
+		TimeBins: 128, EnergyBins: 16, ImageSize: 64, PixelArcsec: 4,
+		DetectorMask: 0x1FF, Segments: 2, ApproxFrac: 1, UseView: false,
+		InputUnits: 2, InputBytes: 800 << 10, EstimateSecs: 58, EstimateError: 3.2,
+		OutputBytes: 55 << 10, NPhotons: 42000,
+		PeakX: 352, PeakY: -118, PeakValue: 981.5,
+		ResultTotal: 1e6, ResultMin: 0, ResultMax: 981.5, ResultMean: 244.1,
+		Chi2: 1.08, Iterations: 1,
+		ItemID: "item-78", LogItem: "item-79", ParamsItem: "item-80",
+		ErrorMsg: "", Comment: "", CalibVersion: 1,
+	}
+}
+
+func TestANARowRoundTrip(t *testing.T) {
+	a := sampleANA()
+	row := a.ToRow()
+	if err := anaSchema().CheckRow(row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ANAFromRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, a)
+	}
+	if _, err := ANAFromRow(row[:20]); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestHLEStoreAndQueryThroughMinidb(t *testing.T) {
+	db, err := minidb.Open("", DomainSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sampleHLE()
+	if _, err := db.Insert(TableHLE, h.ToRow()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(minidb.Query{
+		Table: TableHLE,
+		Where: []minidb.Pred{{Col: "kind_hint", Op: minidb.OpEq, Val: minidb.S("flare")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	got, err := HLEFromRow(res.Rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != h.ID || got.PosX != h.PosX {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Property: arbitrary HLE field values survive the row round trip.
+func TestQuickHLERoundTrip(t *testing.T) {
+	check := func(id, owner, label string, tstart, tstop float64, counts int64, public bool, quality int64) bool {
+		h := &HLE{
+			ID: id, Owner: owner, Label: label, TStart: tstart, TStop: tstop,
+			TotalCounts: counts, Public: public, Quality: quality, Origin: "user",
+		}
+		if tstart != tstart || tstop != tstop { // NaN: not representable intent
+			return true
+		}
+		got, err := HLEFromRow(h.ToRow())
+		if err != nil {
+			return false
+		}
+		return *got == *h
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameTypeConstants(t *testing.T) {
+	seen := map[string]bool{NameFile: true, NameTuple: true, NameURL: true}
+	if len(seen) != 3 {
+		t.Fatal("name types collide")
+	}
+}

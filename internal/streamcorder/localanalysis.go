@@ -1,0 +1,96 @@
+package streamcorder
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/dm"
+	"repro/internal/fits"
+	"repro/internal/schema"
+	"repro/internal/telemetry"
+)
+
+// Client-side processing (§6.2, §8): the StreamCorder's "interfaces to
+// local analysis programs" let a workstation run analyses over raw data it
+// pulled (and cached) from the server — the "C" configurations of Table 1.
+// Data segments used in local processing go through the same object cache
+// as everything else, so a re-run of an analysis over the same window
+// costs no transfer at all (Table 1's client/cached column).
+
+// AnalyzeLocal runs an analysis on this machine over the raw units that
+// overlap the parameter window. Units are fetched through the cache.
+func (c *Client) AnalyzeLocal(params analysis.Params) (*analysis.Result, error) {
+	units, err := c.api.UnitsInRange(c.token, c.ip, params.TStart, params.TStop)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("streamcorder: no raw data covers [%v, %v]", params.TStart, params.TStop)
+	}
+	var photons []fits.Photon
+	for _, u := range units {
+		item, err := c.FetchItem(u.ItemID) // cached data segment (§6.2)
+		if err != nil {
+			return nil, err
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(item.Bytes))
+		if err != nil {
+			return nil, fmt.Errorf("streamcorder: unit %s: %w", u.UnitID, err)
+		}
+		f, err := fits.Decode(zr)
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("streamcorder: unit %s: %w", u.UnitID, err)
+		}
+		parsed, err := telemetry.ParseUnit(f)
+		if err != nil {
+			return nil, fmt.Errorf("streamcorder: unit %s: %w", u.UnitID, err)
+		}
+		for _, p := range parsed.Photons {
+			if p.Time >= params.TStart && p.Time < params.TStop {
+				photons = append(photons, p)
+			}
+		}
+	}
+	sort.Slice(photons, func(i, j int) bool { return photons[i].Time < photons[j].Time })
+	return analysis.Run(params, photons)
+}
+
+// UploadLocalAnalysis imports a locally computed result into the server:
+// "users who upload derived data produced with the StreamCorder" (§4.1).
+// The server stores the files, creates the ANA tuple and the location
+// entries; the entity stays private to the uploader until published.
+func (c *Client) UploadLocalAnalysis(hleID string, params analysis.Params, res *analysis.Result) (string, error) {
+	if c.token == "" {
+		return "", fmt.Errorf("streamcorder: upload requires a login")
+	}
+	logText := ""
+	for _, l := range res.Log {
+		logText += l + "\n"
+	}
+	ana := &schema.ANA{
+		HLEID: hleID, Type: params.Type, Algorithm: "streamcorder-local",
+		Version: 1, Status: schema.AnaCommitted, Node: "client",
+		TStart: params.TStart, TStop: params.TStop,
+		EMin: params.EMin, EMax: params.EMax,
+		TimeBins: int64(params.TimeBins), EnergyBins: int64(params.EnergyBins),
+		ImageSize: int64(params.ImageSize), PixelArcsec: params.PixelSize,
+		ApproxFrac: 1, NPhotons: res.NPhotons,
+		PeakX: res.PeakX, PeakY: res.PeakY, PeakValue: res.PeakValue,
+		ResultTotal: res.Total, ResultMin: res.Min, ResultMax: res.Max, ResultMean: res.Mean,
+		CalibVersion: 1,
+	}
+	if params.ApproxFrac > 0 {
+		ana.ApproxFrac = params.ApproxFrac
+	}
+	files := []dm.StoredFile{
+		{Suffix: ".gif", Format: "gif", Data: res.GIF},
+		{Suffix: ".log", Format: "log", Data: []byte(logText)},
+		{Suffix: ".params", Format: "params", Data: []byte(fmt.Sprintf(
+			"local analysis type=%s window=[%g,%g]\n", params.Type, params.TStart, params.TStop))},
+	}
+	return c.api.ImportAnalysis(c.token, c.ip, ana, files)
+}

@@ -1,0 +1,176 @@
+// Package synoptic implements HEDC's synoptic-search subsystem (§6.4): a
+// context-dependent query mechanism that locates correlated observations in
+// remote repositories. "The approach followed resembles a Web-crawler.
+// First, online requests are issued to several remote archives in parallel.
+// Then the results are collected, grouped and displayed to the user."
+//
+// The service is deliberately light-weight: best effort (a timed-out
+// archive simply contributes no results), no caching, and no data
+// synchronization with the remote archives — that design "has proved to be
+// practical and robust".
+package synoptic
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one remote observation correlated with the user's context.
+// Currently, as in the paper, "the only search criterion is the
+// observation time".
+type Entry struct {
+	Archive    string  `json:"archive"`
+	Title      string  `json:"title"`
+	Instrument string  `json:"instrument"`
+	Time       float64 `json:"time"` // observation time, seconds since mission epoch
+	URL        string  `json:"url"`
+}
+
+// Endpoint is one remote archive's query interface.
+type Endpoint struct {
+	Name string
+	URL  string // base URL; GET with ?t0=&t1= returns a JSON []Entry
+}
+
+// Report is the outcome of one fan-out search.
+type Report struct {
+	Entries []Entry            // all hits, sorted by time
+	Grouped map[string][]Entry // hits grouped per archive
+	Errors  map[string]error   // per-archive failures (timeouts etc.)
+}
+
+// Searcher queries a set of remote archives in parallel.
+type Searcher struct {
+	endpoints []Endpoint
+	timeout   time.Duration
+	client    *http.Client
+}
+
+// NewSearcher builds a searcher. timeout bounds each remote archive request
+// (0 = 2 s, roughly interactive).
+func NewSearcher(endpoints []Endpoint, timeout time.Duration) *Searcher {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Searcher{
+		endpoints: endpoints,
+		timeout:   timeout,
+		client:    &http.Client{},
+	}
+}
+
+// Endpoints lists the configured remote archives.
+func (s *Searcher) Endpoints() []Endpoint {
+	out := make([]Endpoint, len(s.endpoints))
+	copy(out, s.endpoints)
+	return out
+}
+
+// Search fans out to every archive in parallel and collects whatever
+// arrives before the per-archive timeout. It never fails as a whole:
+// archives that error are recorded in the report and skipped.
+func (s *Searcher) Search(ctx context.Context, t0, t1 float64) *Report {
+	rep := &Report{
+		Grouped: make(map[string][]Entry),
+		Errors:  make(map[string]error),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, ep := range s.endpoints {
+		ep := ep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entries, err := s.queryOne(ctx, ep, t0, t1)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rep.Errors[ep.Name] = err
+				return
+			}
+			rep.Grouped[ep.Name] = entries
+			rep.Entries = append(rep.Entries, entries...)
+		}()
+	}
+	wg.Wait()
+	sort.Slice(rep.Entries, func(i, j int) bool {
+		if rep.Entries[i].Time != rep.Entries[j].Time {
+			return rep.Entries[i].Time < rep.Entries[j].Time
+		}
+		return rep.Entries[i].Archive < rep.Entries[j].Archive
+	})
+	return rep
+}
+
+func (s *Searcher) queryOne(ctx context.Context, ep Endpoint, t0, t1 float64) ([]Entry, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	u, err := url.Parse(ep.URL)
+	if err != nil {
+		return nil, err
+	}
+	q := u.Query()
+	q.Set("t0", fmt.Sprintf("%g", t0))
+	q.Set("t1", fmt.Sprintf("%g", t1))
+	u.RawQuery = q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("synoptic: %s returned %d", ep.Name, resp.StatusCode)
+	}
+	var entries []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("synoptic: %s: %w", ep.Name, err)
+	}
+	for i := range entries {
+		entries[i].Archive = ep.Name
+	}
+	return entries, nil
+}
+
+// ArchiveServer simulates a remote synoptic archive (the SOHO synoptic
+// database and friends): it serves the subset of its entries whose
+// observation time falls in the requested window. An optional Delay makes
+// it slow enough to trip the searcher's timeout in tests.
+type ArchiveServer struct {
+	Name    string
+	Entries []Entry
+	Delay   time.Duration
+}
+
+// ServeHTTP implements http.Handler.
+func (a *ArchiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.Delay > 0 {
+		select {
+		case <-time.After(a.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	q := r.URL.Query()
+	var t0, t1 float64
+	fmt.Sscanf(q.Get("t0"), "%g", &t0)
+	fmt.Sscanf(q.Get("t1"), "%g", &t1)
+	out := []Entry{}
+	for _, e := range a.Entries {
+		if e.Time >= t0 && e.Time <= t1 {
+			e.Archive = a.Name
+			out = append(out, e)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

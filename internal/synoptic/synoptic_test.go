@@ -1,0 +1,119 @@
+package synoptic
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func archives(t *testing.T) ([]Endpoint, func()) {
+	t.Helper()
+	soho := httptest.NewServer(&ArchiveServer{Name: "soho", Entries: []Entry{
+		{Title: "EIT 195 image", Instrument: "EIT", Time: 100, URL: "http://soho/eit/1"},
+		{Title: "LASCO C2", Instrument: "LASCO", Time: 500, URL: "http://soho/lasco/2"},
+	}})
+	phoenix := httptest.NewServer(&ArchiveServer{Name: "phoenix", Entries: []Entry{
+		{Title: "radio spectrogram", Instrument: "Phoenix-2", Time: 120, URL: "http://phx/1"},
+	}})
+	slow := httptest.NewServer(&ArchiveServer{
+		Name: "slowpoke", Delay: 500 * time.Millisecond,
+		Entries: []Entry{{Title: "never seen", Time: 110, URL: "x"}},
+	})
+	eps := []Endpoint{
+		{Name: "soho", URL: soho.URL},
+		{Name: "phoenix", URL: phoenix.URL},
+		{Name: "slowpoke", URL: slow.URL},
+	}
+	return eps, func() { soho.Close(); phoenix.Close(); slow.Close() }
+}
+
+func TestParallelSearchGroupsResults(t *testing.T) {
+	eps, done := archives(t)
+	defer done()
+	s := NewSearcher(eps[:2], time.Second)
+	rep := s.Search(context.Background(), 0, 200)
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors = %v", rep.Errors)
+	}
+	if len(rep.Entries) != 2 {
+		t.Fatalf("entries = %v", rep.Entries)
+	}
+	// Sorted by time, tagged with the archive name.
+	if rep.Entries[0].Time != 100 || rep.Entries[0].Archive != "soho" {
+		t.Fatalf("first = %+v", rep.Entries[0])
+	}
+	if rep.Entries[1].Archive != "phoenix" {
+		t.Fatalf("second = %+v", rep.Entries[1])
+	}
+	if len(rep.Grouped["soho"]) != 1 || len(rep.Grouped["phoenix"]) != 1 {
+		t.Fatalf("grouped = %v", rep.Grouped)
+	}
+}
+
+func TestTimeWindowFiltersServerSide(t *testing.T) {
+	eps, done := archives(t)
+	defer done()
+	s := NewSearcher(eps[:1], time.Second)
+	rep := s.Search(context.Background(), 400, 600)
+	if len(rep.Entries) != 1 || rep.Entries[0].Instrument != "LASCO" {
+		t.Fatalf("entries = %v", rep.Entries)
+	}
+	rep = s.Search(context.Background(), 10000, 10001)
+	if len(rep.Entries) != 0 {
+		t.Fatalf("entries = %v", rep.Entries)
+	}
+}
+
+func TestBestEffortTimeout(t *testing.T) {
+	eps, done := archives(t)
+	defer done()
+	// 50ms budget: the slow archive trips its timeout; the fast ones win.
+	s := NewSearcher(eps, 50*time.Millisecond)
+	start := time.Now()
+	rep := s.Search(context.Background(), 0, 1000)
+	if time.Since(start) > 300*time.Millisecond {
+		t.Fatal("search waited for the slow archive")
+	}
+	if len(rep.Entries) != 3 { // soho x2 + phoenix
+		t.Fatalf("entries = %v", rep.Entries)
+	}
+	if rep.Errors["slowpoke"] == nil {
+		t.Fatal("slow archive's failure not recorded")
+	}
+}
+
+func TestUnreachableArchive(t *testing.T) {
+	s := NewSearcher([]Endpoint{
+		{Name: "gone", URL: "http://127.0.0.1:1/nope"},
+	}, 200*time.Millisecond)
+	rep := s.Search(context.Background(), 0, 1)
+	if rep.Errors["gone"] == nil {
+		t.Fatal("unreachable archive's failure not recorded")
+	}
+	if len(rep.Entries) != 0 {
+		t.Fatal("phantom entries")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	eps, done := archives(t)
+	defer done()
+	s := NewSearcher(eps, 5*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := s.Search(ctx, 0, 1000)
+	// With a dead context everything fails fast; no panic, no hang.
+	if len(rep.Errors) == 0 && len(rep.Entries) == 0 {
+		t.Fatal("expected errors or entries")
+	}
+}
+
+func TestEndpointsCopy(t *testing.T) {
+	s := NewSearcher([]Endpoint{{Name: "a", URL: "http://x"}}, 0)
+	got := s.Endpoints()
+	got[0].Name = "mutated"
+	if s.Endpoints()[0].Name != "a" {
+		t.Fatal("Endpoints leaked internal state")
+	}
+}

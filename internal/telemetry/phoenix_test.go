@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestPhoenixGenerateDeterministic(t *testing.T) {
+	cfg := PhoenixConfig{Seed: 9, Bursts: 2}
+	a := GeneratePhoenix(1, 0, cfg)
+	b := GeneratePhoenix(1, 0, cfg)
+	if len(a.Bursts) != 2 || len(b.Bursts) != 2 {
+		t.Fatalf("bursts = %d/%d", len(a.Bursts), len(b.Bursts))
+	}
+	for f := range a.Power {
+		for tt := range a.Power[f] {
+			if a.Power[f][tt] != b.Power[f][tt] {
+				t.Fatal("non-deterministic spectrogram")
+			}
+		}
+	}
+	c := GeneratePhoenix(2, 0, cfg)
+	if c.Power[0][0] == a.Power[0][0] && c.Power[1][1] == a.Power[1][1] {
+		t.Fatal("different days produced identical spectrograms")
+	}
+}
+
+func TestPhoenixEncodeParseRoundTrip(t *testing.T) {
+	p := GeneratePhoenix(3, 1, PhoenixConfig{Seed: 4, Bursts: 1, TimeBins: 64, FreqBins: 16})
+	data := p.Encode()
+	got, err := ParsePhoenix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Day != 3 || got.Seq != 1 || got.TimeBins != 64 || got.FreqBins != 16 {
+		t.Fatalf("header = %+v", got)
+	}
+	if got.TStart != p.TStart || got.FreqMax != p.FreqMax {
+		t.Fatalf("ranges = %+v", got)
+	}
+	for f := range p.Power {
+		for tt := range p.Power[f] {
+			diff := p.Power[f][tt] - got.Power[f][tt]
+			if diff > 1e-3 || diff < -1e-3 { // float32 wire format
+				t.Fatalf("power[%d][%d] = %v vs %v", f, tt, got.Power[f][tt], p.Power[f][tt])
+			}
+		}
+	}
+}
+
+func TestPhoenixParseRejectsGarbage(t *testing.T) {
+	if _, err := ParsePhoenix(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := ParsePhoenix([]byte("FITS....")); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	p := GeneratePhoenix(1, 0, PhoenixConfig{Seed: 1, Bursts: 0, TimeBins: 8, FreqBins: 4})
+	data := p.Encode()
+	if _, err := ParsePhoenix(data[:len(data)-5]); err == nil {
+		t.Fatal("truncated matrix accepted")
+	}
+}
+
+func TestDetectRadioBurstsFindsInjected(t *testing.T) {
+	p := GeneratePhoenix(1, 0, PhoenixConfig{Seed: 17, Bursts: 2, TimeBins: 256, FreqBins: 32})
+	dets := DetectRadioBursts(p, 0)
+	if len(dets) == 0 {
+		t.Fatal("no bursts detected")
+	}
+	// Every detection overlaps an injected burst.
+	for _, d := range dets {
+		ok := false
+		for _, b := range p.Bursts {
+			if d.TStart <= b.TStop && d.TStop >= b.TStart {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("spurious detection %+v (truth: %+v)", d, p.Bursts)
+		}
+	}
+}
+
+func TestDetectRadioBurstsQuietSpectrogram(t *testing.T) {
+	p := GeneratePhoenix(1, 0, PhoenixConfig{Seed: 23, Bursts: 0})
+	if dets := DetectRadioBursts(p, 0); len(dets) != 0 {
+		t.Fatalf("phantom bursts on a quiet spectrogram: %v", dets)
+	}
+}
+
+func TestPhoenixName(t *testing.T) {
+	p := &PhoenixSpectrogram{Day: 7, Seq: 2}
+	if p.Name() != "phx_0007_002" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}

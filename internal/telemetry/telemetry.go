@@ -1,0 +1,306 @@
+// Package telemetry simulates the RHESSI mission's raw data production.
+//
+// The real spacecraft generates ~2 GB/day of photon impact records from nine
+// rotating modulation collimators (§2.1). The paper's raw data is gated
+// behind the mission archives, so this package synthesizes a statistically
+// similar stream: Poisson background, solar flares with fast-rise/slow-decay
+// lightcurves and power-law spectra, non-solar gamma-ray bursts (the §3.2
+// "open system" argument), quiet periods, and South Atlantic Anomaly
+// transits during which detectors are off.
+//
+// Photons from point sources are thinned by the collimator transmission as
+// the spacecraft spins, so the detector tags carry genuine spatial
+// information: the analysis package reconstructs source positions from it by
+// back-projection, exactly the class of computation the paper's imaging
+// analyses perform.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/fits"
+)
+
+// Spacecraft constants (RHESSI values).
+const (
+	// SpinPeriod is the spacecraft rotation period in seconds.
+	SpinPeriod = 4.0
+	// Detectors is the number of rotating modulation collimators.
+	Detectors = 9
+	// FinestPitch is detector 0's angular pitch in arcseconds.
+	FinestPitch = 2.26 * 2 // one modulation cycle spans twice the resolution
+	// EnergyMin and EnergyMax bound the instrument's range in keV.
+	EnergyMin = 3.0
+	EnergyMax = 20000.0
+	// SAAPeriod and SAADuration model one South Atlantic Anomaly transit
+	// per orbit (seconds).
+	SAAPeriod   = 5760 // 96-minute orbit
+	SAADuration = 900
+)
+
+// DetectorPitch returns collimator d's angular pitch in arcseconds.
+// Each successive grid is √3 coarser, as on RHESSI.
+func DetectorPitch(d int) float64 {
+	return FinestPitch * math.Pow(math.Sqrt(3), float64(d))
+}
+
+// DetectorPhase returns collimator d's grid phase offset in radians.
+// Distinct phases break the point symmetry of a pure cosine modulation —
+// without them a source at (x, y) would be indistinguishable from one at
+// (-x, -y). Detector 0 has phase zero.
+func DetectorPhase(d int) float64 {
+	const golden = 0.6180339887498949
+	return 2 * math.Pi * math.Mod(float64(d)*golden, 1)
+}
+
+// Transmission returns the probability that a photon from a source at
+// (x, y) arcseconds passes collimator det at time t. The grids modulate
+// the source as the spacecraft spins.
+func Transmission(det int, x, y, t float64) float64 {
+	theta := 2 * math.Pi * t / SpinPeriod
+	xi := x*math.Cos(theta) + y*math.Sin(theta)
+	return 0.5 * (1 + math.Cos(2*math.Pi*xi/DetectorPitch(det)+DetectorPhase(det)))
+}
+
+// EventKind classifies a ground-truth mission event. HEDC itself
+// deliberately has no such type system — "In HEDC there are only events"
+// (§3.3) — the kinds here exist only as generator ground truth against
+// which event-detection is validated.
+type EventKind int
+
+// Ground-truth event kinds.
+const (
+	Flare EventKind = iota
+	GammaRayBurst
+	QuietPeriod
+	SAATransit
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Flare:
+		return "flare"
+	case GammaRayBurst:
+		return "gamma-ray-burst"
+	case QuietPeriod:
+		return "quiet-period"
+	case SAATransit:
+		return "saa-transit"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one ground-truth occurrence in the generated mission.
+type Event struct {
+	Kind          EventKind
+	Start         float64 // seconds since mission epoch
+	Duration      float64 // seconds
+	PeakRate      float64 // photons/s above background at peak
+	SpectralIndex float64 // power-law photon index
+	X, Y          float64 // source position, arcseconds from sun center
+}
+
+// End returns the event's end time.
+func (e Event) End() float64 { return e.Start + e.Duration }
+
+// rateAt returns the event's photon rate at absolute time t: a linear rise
+// over the first 20% of the duration, then exponential decay.
+func (e Event) rateAt(t float64) float64 {
+	if t < e.Start || t > e.End() {
+		return 0
+	}
+	dt := t - e.Start
+	rise := 0.2 * e.Duration
+	if dt < rise {
+		return e.PeakRate * dt / rise
+	}
+	decay := e.Duration / 4
+	return e.PeakRate * math.Exp(-(dt-rise)/decay)
+}
+
+// Config parameterizes one generated day.
+type Config struct {
+	Seed           int64
+	DayLength      float64 // seconds of observation (0 = 86400)
+	BackgroundRate float64 // photons/s during normal observation (0 = 20)
+	Flares         int     // flare count (-1 = Poisson with mean 6)
+	Bursts         int     // gamma-ray burst count (-1 = Poisson with mean 1)
+	IncludeSAA     bool    // carve out SAA transits
+}
+
+func (c *Config) defaults() {
+	if c.DayLength == 0 {
+		c.DayLength = 86400
+	}
+	if c.BackgroundRate == 0 {
+		c.BackgroundRate = 20
+	}
+}
+
+// Day is one generated day of mission data: the ground-truth event list and
+// the photon stream.
+type Day struct {
+	Number  int
+	Length  float64
+	Events  []Event
+	Photons []fits.Photon
+}
+
+// GenerateDay produces day number n of the synthetic mission.
+func GenerateDay(n int, cfg Config) *Day {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(n)*7919))
+	day := &Day{Number: n, Length: cfg.DayLength}
+
+	// Ground-truth events.
+	flares := cfg.Flares
+	if flares < 0 {
+		flares = poisson(rng, 6)
+	}
+	bursts := cfg.Bursts
+	if bursts < 0 {
+		bursts = poisson(rng, 1)
+	}
+	for i := 0; i < flares; i++ {
+		day.Events = append(day.Events, Event{
+			Kind:          Flare,
+			Start:         rng.Float64() * cfg.DayLength * 0.95,
+			Duration:      60 + rng.Float64()*900,
+			PeakRate:      cfg.BackgroundRate * (5 + rng.Float64()*45),
+			SpectralIndex: 3 + rng.Float64()*2,
+			X:             -960 + rng.Float64()*1920, // on the solar disk
+			Y:             -960 + rng.Float64()*1920,
+		})
+	}
+	for i := 0; i < bursts; i++ {
+		day.Events = append(day.Events, Event{
+			Kind:          GammaRayBurst,
+			Start:         rng.Float64() * cfg.DayLength * 0.95,
+			Duration:      5 + rng.Float64()*55,
+			PeakRate:      cfg.BackgroundRate * (10 + rng.Float64()*90),
+			SpectralIndex: 1.5 + rng.Float64(),        // harder spectrum than flares
+			X:             -4000 + rng.Float64()*8000, // off-disk: non-solar
+			Y:             -4000 + rng.Float64()*8000,
+		})
+	}
+	var saa []Event
+	if cfg.IncludeSAA {
+		for t := SAAPeriod / 2.0; t < cfg.DayLength; t += SAAPeriod {
+			saa = append(saa, Event{Kind: SAATransit, Start: t, Duration: SAADuration})
+		}
+		day.Events = append(day.Events, saa...)
+	}
+
+	inSAA := func(t float64) bool {
+		for _, e := range saa {
+			if t >= e.Start && t < e.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Background photons: homogeneous Poisson over the day, soft spectrum,
+	// isotropic (no collimator thinning applied: background is unmodulated).
+	expected := cfg.BackgroundRate * cfg.DayLength
+	nBg := poisson(rng, expected)
+	for i := 0; i < nBg; i++ {
+		t := rng.Float64() * cfg.DayLength
+		if inSAA(t) {
+			continue
+		}
+		day.Photons = append(day.Photons, fits.Photon{
+			Time:     t,
+			Energy:   powerLawEnergy(rng, 4.5),
+			Detector: uint8(rng.Intn(Detectors)),
+			Segment:  uint8(rng.Intn(2)),
+		})
+	}
+
+	// Source photons: per event, thinned by the collimator transmission so
+	// imaging can recover (X, Y).
+	for _, e := range day.Events {
+		if e.Kind == SAATransit || e.Kind == QuietPeriod {
+			continue
+		}
+		// Expected photons: integral of rateAt. Rise contributes
+		// 0.5*peak*rise; decay contributes peak*tau*(1-exp(-T/tau)).
+		rise := 0.2 * e.Duration
+		tau := e.Duration / 4
+		integral := 0.5*e.PeakRate*rise + e.PeakRate*tau*(1-math.Exp(-(e.Duration-rise)/tau))
+		n := poisson(rng, integral)
+		for i := 0; i < n; i++ {
+			t := sampleEventTime(rng, e)
+			if t > cfg.DayLength || inSAA(t) {
+				continue
+			}
+			det := rng.Intn(Detectors)
+			if rng.Float64() > Transmission(det, e.X, e.Y, t) {
+				continue // absorbed by the grids
+			}
+			day.Photons = append(day.Photons, fits.Photon{
+				Time:     t,
+				Energy:   powerLawEnergy(rng, e.SpectralIndex),
+				Detector: uint8(det),
+				Segment:  uint8(rng.Intn(2)),
+			})
+		}
+	}
+
+	sortPhotons(day.Photons)
+	return day
+}
+
+// sampleEventTime draws a photon arrival from the event's profile by
+// rejection sampling.
+func sampleEventTime(rng *rand.Rand, e Event) float64 {
+	for i := 0; i < 1000; i++ {
+		t := e.Start + rng.Float64()*e.Duration
+		if rng.Float64()*e.PeakRate <= e.rateAt(t) {
+			return t
+		}
+	}
+	return e.Start // pathological profile; pile up at onset
+}
+
+// powerLawEnergy samples E^-gamma between EnergyMin and EnergyMax by
+// inverse-CDF.
+func powerLawEnergy(rng *rand.Rand, gamma float64) float64 {
+	a := 1 - gamma
+	lo := math.Pow(EnergyMin, a)
+	hi := math.Pow(EnergyMax, a)
+	return math.Pow(lo+rng.Float64()*(hi-lo), 1/a)
+}
+
+// poisson draws from a Poisson distribution. For large means it uses the
+// normal approximation, which is fine for photon-count purposes.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 50 {
+		n := int(mean + math.Sqrt(mean)*rng.NormFloat64() + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// sortPhotons orders the stream by arrival time.
+func sortPhotons(ph []fits.Photon) {
+	sort.Slice(ph, func(i, j int) bool { return ph[i].Time < ph[j].Time })
+}

@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/fits"
+)
+
+func smallConfig() Config {
+	return Config{
+		Seed:           42,
+		DayLength:      3600,
+		BackgroundRate: 5,
+		Flares:         3,
+		Bursts:         1,
+	}
+}
+
+func TestGenerateDayDeterministic(t *testing.T) {
+	a := GenerateDay(1, smallConfig())
+	b := GenerateDay(1, smallConfig())
+	if len(a.Photons) != len(b.Photons) || len(a.Events) != len(b.Events) {
+		t.Fatalf("non-deterministic: %d/%d photons, %d/%d events",
+			len(a.Photons), len(b.Photons), len(a.Events), len(b.Events))
+	}
+	for i := range a.Photons {
+		if a.Photons[i] != b.Photons[i] {
+			t.Fatalf("photon %d differs", i)
+		}
+	}
+	c := GenerateDay(2, smallConfig())
+	if len(c.Photons) == len(a.Photons) {
+		// Extremely unlikely to match exactly if days differ.
+		same := true
+		for i := range c.Photons {
+			if c.Photons[i] != a.Photons[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different days produced identical photons")
+		}
+	}
+}
+
+func TestPhotonsSortedAndInRange(t *testing.T) {
+	day := GenerateDay(1, smallConfig())
+	if len(day.Photons) == 0 {
+		t.Fatal("no photons generated")
+	}
+	for i, p := range day.Photons {
+		if i > 0 && p.Time < day.Photons[i-1].Time {
+			t.Fatalf("photons not time ordered at %d", i)
+		}
+		if p.Time < 0 || p.Time > day.Length {
+			t.Fatalf("photon time %v outside day", p.Time)
+		}
+		if p.Energy < EnergyMin || p.Energy > EnergyMax {
+			t.Fatalf("photon energy %v outside instrument range", p.Energy)
+		}
+		if p.Detector >= Detectors || p.Segment > 1 {
+			t.Fatalf("photon detector/segment invalid: %+v", p)
+		}
+	}
+}
+
+func TestEventCounts(t *testing.T) {
+	day := GenerateDay(1, smallConfig())
+	var flares, bursts int
+	for _, e := range day.Events {
+		switch e.Kind {
+		case Flare:
+			flares++
+		case GammaRayBurst:
+			bursts++
+		}
+	}
+	if flares != 3 || bursts != 1 {
+		t.Fatalf("flares=%d bursts=%d, want 3/1", flares, bursts)
+	}
+}
+
+func TestFlareElevatesLocalRate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Flares = 1
+	cfg.Bursts = 0
+	day := GenerateDay(3, cfg)
+	var flare Event
+	for _, e := range day.Events {
+		if e.Kind == Flare {
+			flare = e
+		}
+	}
+	inFlare, outFlare := 0, 0
+	for _, p := range day.Photons {
+		if p.Time >= flare.Start && p.Time <= flare.End() {
+			inFlare++
+		} else {
+			outFlare++
+		}
+	}
+	flareRate := float64(inFlare) / flare.Duration
+	quietRate := float64(outFlare) / (day.Length - flare.Duration)
+	if flareRate < 2*quietRate {
+		t.Fatalf("flare rate %.2f/s not clearly above quiet rate %.2f/s", flareRate, quietRate)
+	}
+}
+
+func TestSAATransitsSilenceDetectors(t *testing.T) {
+	cfg := Config{Seed: 9, DayLength: SAAPeriod * 2, BackgroundRate: 10, Flares: 0, Bursts: 0, IncludeSAA: true}
+	day := GenerateDay(1, cfg)
+	saaCount := 0
+	var saaWindows []Event
+	for _, e := range day.Events {
+		if e.Kind == SAATransit {
+			saaWindows = append(saaWindows, e)
+		}
+	}
+	if len(saaWindows) != 2 {
+		t.Fatalf("SAA windows = %d, want 2", len(saaWindows))
+	}
+	for _, p := range day.Photons {
+		for _, w := range saaWindows {
+			if p.Time >= w.Start && p.Time < w.End() {
+				saaCount++
+			}
+		}
+	}
+	if saaCount != 0 {
+		t.Fatalf("%d photons during SAA transit", saaCount)
+	}
+}
+
+func TestSpectraDifferByKind(t *testing.T) {
+	// Bursts have harder spectra: mean energy of burst photons should be
+	// well above flare photons.
+	cfg := Config{Seed: 5, DayLength: 7200, BackgroundRate: 0.001, Flares: 1, Bursts: 1}
+	day := GenerateDay(1, cfg)
+	var flare, burst Event
+	for _, e := range day.Events {
+		switch e.Kind {
+		case Flare:
+			flare = e
+		case GammaRayBurst:
+			burst = e
+		}
+	}
+	var flareSum, burstSum float64
+	var flareN, burstN int
+	for _, p := range day.Photons {
+		if p.Time >= flare.Start && p.Time <= flare.End() {
+			flareSum += p.Energy
+			flareN++
+		}
+		if p.Time >= burst.Start && p.Time <= burst.End() {
+			burstSum += p.Energy
+			burstN++
+		}
+	}
+	if flareN == 0 || burstN == 0 {
+		t.Skip("events overlapped or produced no photons for this seed")
+	}
+	if burstSum/float64(burstN) <= flareSum/float64(flareN) {
+		t.Fatalf("burst mean energy %.1f not above flare %.1f",
+			burstSum/float64(burstN), flareSum/float64(flareN))
+	}
+}
+
+func TestTransmissionProperties(t *testing.T) {
+	for det := 0; det < Detectors; det++ {
+		for _, tt := range []float64{0, 0.3, 1.7, 3.9} {
+			tr := Transmission(det, 500, -200, tt)
+			if tr < 0 || tr > 1 {
+				t.Fatalf("transmission %v out of [0,1]", tr)
+			}
+		}
+	}
+	// On-axis sources are always fully transmitted.
+	if tr := Transmission(0, 0, 0, 1.23); math.Abs(tr-1) > 1e-12 {
+		t.Fatalf("on-axis transmission = %v", tr)
+	}
+	// Pitches grow by sqrt(3) per detector.
+	for d := 1; d < Detectors; d++ {
+		ratio := DetectorPitch(d) / DetectorPitch(d-1)
+		if math.Abs(ratio-math.Sqrt(3)) > 1e-9 {
+			t.Fatalf("pitch ratio %v", ratio)
+		}
+	}
+}
+
+func TestModulationEncodesPosition(t *testing.T) {
+	// Average transmission over a spin for an off-axis source is ~0.5;
+	// the modulation varies with time. Verify the variance is substantial
+	// for the finest grid and the mean is near 0.5.
+	var sum, sumSq float64
+	n := 0
+	for tt := 0.0; tt < SpinPeriod; tt += 0.001 {
+		tr := Transmission(0, 300, 100, tt)
+		sum += tr
+		sumSq += tr * tr
+		n++
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("mean transmission %v, want ~0.5", mean)
+	}
+	if variance < 0.05 {
+		t.Fatalf("variance %v too small: no modulation signal", variance)
+	}
+}
+
+func TestSegmentDay(t *testing.T) {
+	day := GenerateDay(1, smallConfig())
+	units := SegmentDay(day, 600)
+	if len(units) != 6 {
+		t.Fatalf("units = %d, want 6", len(units))
+	}
+	total := 0
+	for i, u := range units {
+		if u.Seq != i || u.Day != day.Number {
+			t.Fatalf("unit %d mislabeled: %+v", i, u)
+		}
+		for _, p := range u.Photons {
+			if p.Time < u.TStart || p.Time > u.TStop {
+				t.Fatalf("photon %v outside unit window [%v,%v]", p.Time, u.TStart, u.TStop)
+			}
+		}
+		total += len(u.Photons)
+	}
+	if total != len(day.Photons) {
+		t.Fatalf("segmentation lost photons: %d != %d", total, len(day.Photons))
+	}
+}
+
+func TestUnitFITSRoundTrip(t *testing.T) {
+	day := GenerateDay(2, smallConfig())
+	units := SegmentDay(day, 1800)
+	for _, u := range units {
+		var buf bytes.Buffer
+		if err := u.FITS().Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fits.Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseUnit(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Day != u.Day || got.Seq != u.Seq || len(got.Photons) != len(u.Photons) {
+			t.Fatalf("unit round trip: %+v vs %+v", got, u)
+		}
+		for i := range got.Photons {
+			if got.Photons[i] != u.Photons[i] {
+				t.Fatalf("photon %d differs", i)
+			}
+		}
+	}
+}
+
+func TestParseUnitRejectsForeignFiles(t *testing.T) {
+	f := &fits.File{HDUs: []*fits.HDU{fits.NewHDU([]byte("x"))}}
+	if _, err := ParseUnit(f); err == nil {
+		t.Fatal("single-HDU file accepted")
+	}
+	hdr := fits.NewHDU(nil)
+	hdr.SetString("TELESCOP", "HUBBLE", "")
+	f2 := &fits.File{HDUs: []*fits.HDU{hdr, fits.EncodePhotons(nil)}}
+	if _, err := ParseUnit(f2); err == nil {
+		t.Fatal("foreign telescope accepted")
+	}
+}
+
+func TestUnitName(t *testing.T) {
+	u := &Unit{Day: 42, Seq: 3}
+	if u.Name() != "hsi_0042_003" {
+		t.Fatalf("name = %q", u.Name())
+	}
+}
+
+func TestPoissonSanity(t *testing.T) {
+	day := GenerateDay(1, Config{Seed: 1, DayLength: 1000, BackgroundRate: 50, Flares: 0, Bursts: 0})
+	// Expect ~50000 photons; allow wide tolerance.
+	n := len(day.Photons)
+	if n < 45000 || n > 55000 {
+		t.Fatalf("background photons = %d, want ~50000", n)
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/fits"
+)
+
+// Unit is one raw-data unit: the telemetry stream is "segmented along the
+// time axis, packaged into units of roughly 40 MB, formatted as FITS files
+// and compressed using gnu-zip" (§2.1). Units are the grain at which raw
+// data is shipped to HEDC, stored, and referenced by the catalogs.
+type Unit struct {
+	Day     int
+	Seq     int
+	TStart  float64 // unit window start, seconds since mission epoch
+	TStop   float64
+	Photons []fits.Photon
+}
+
+// Name returns the unit's canonical file stem, e.g. "hsi_0042_003".
+func (u *Unit) Name() string { return fmt.Sprintf("hsi_%04d_%03d", u.Day, u.Seq) }
+
+// SegmentDay slices a day's photon stream into units covering unitSeconds
+// each. Empty windows still yield (empty) units so quiet periods remain
+// addressable — HEDC deliberately keeps them (§3.2).
+func SegmentDay(day *Day, unitSeconds float64) []*Unit {
+	if unitSeconds <= 0 {
+		unitSeconds = day.Length
+	}
+	var units []*Unit
+	seq := 0
+	for start := 0.0; start < day.Length; start += unitSeconds {
+		stop := start + unitSeconds
+		if stop > day.Length {
+			stop = day.Length
+		}
+		units = append(units, &Unit{
+			Day: day.Number, Seq: seq, TStart: start, TStop: stop,
+		})
+		seq++
+	}
+	for _, p := range day.Photons {
+		idx := int(p.Time / unitSeconds)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(units) {
+			idx = len(units) - 1
+		}
+		units[idx].Photons = append(units[idx].Photons, p)
+	}
+	return units
+}
+
+// FITS renders the unit as a FITS file: a primary header describing the
+// observation window plus a photon-event table HDU.
+func (u *Unit) FITS() *fits.File {
+	hdr := fits.NewHDU(nil)
+	hdr.SetString("TELESCOP", "RHESSI-SIM", "synthetic mission")
+	hdr.SetString("UNITNAME", u.Name(), "raw data unit")
+	hdr.SetInt("DAY", int64(u.Day), "mission day")
+	hdr.SetInt("SEQ", int64(u.Seq), "unit sequence within day")
+	hdr.SetFloat("TSTART", u.TStart, "window start [s]")
+	hdr.SetFloat("TSTOP", u.TStop, "window stop [s]")
+	hdr.SetInt("NPHOTON", int64(len(u.Photons)), "photons in unit")
+	return &fits.File{HDUs: []*fits.HDU{hdr, fits.EncodePhotons(u.Photons)}}
+}
+
+// ParseUnit reconstructs a Unit from a FITS file written by Unit.FITS.
+func ParseUnit(f *fits.File) (*Unit, error) {
+	if len(f.HDUs) < 2 {
+		return nil, fmt.Errorf("telemetry: unit file has %d HDUs, want 2", len(f.HDUs))
+	}
+	hdr := f.HDUs[0]
+	if tel, _ := hdr.GetString("TELESCOP"); tel != "RHESSI-SIM" {
+		return nil, fmt.Errorf("telemetry: not a RHESSI-SIM unit (TELESCOP=%q)", tel)
+	}
+	day, ok := hdr.GetInt("DAY")
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unit header missing DAY")
+	}
+	seq, ok := hdr.GetInt("SEQ")
+	if !ok {
+		return nil, fmt.Errorf("telemetry: unit header missing SEQ")
+	}
+	tstart, _ := hdr.GetFloat("TSTART")
+	tstop, _ := hdr.GetFloat("TSTOP")
+	photons, err := fits.DecodePhotons(f.HDUs[1])
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		Day: int(day), Seq: int(seq), TStart: tstart, TStop: tstop, Photons: photons,
+	}, nil
+}

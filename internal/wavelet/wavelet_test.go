@@ -1,0 +1,378 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fits"
+	"repro/internal/telemetry"
+)
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// maxRelDiff returns the largest |a-b| / (|a|+1) — coefficients are stored
+// as float32, so reconstruction is exact only up to float32 precision.
+func maxRelDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i]-b[i]) / (math.Abs(a[i]) + 1)
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPerfectReconstruction1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 256, 1000} {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 100
+		}
+		enc := Encode1D(data, 1)
+		got := enc.Decode1D(1)
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded length %d", n, len(got))
+		}
+		if d := maxRelDiff(data, got); d > 1e-4 {
+			t.Fatalf("n=%d: max reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestPerfectReconstruction2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {17, 9}, {64, 32}} {
+		h, w := dims[0], dims[1]
+		rows := make([][]float64, h)
+		for y := range rows {
+			rows[y] = make([]float64, w)
+			for x := range rows[y] {
+				rows[y][x] = rng.NormFloat64() * 10
+			}
+		}
+		enc := Encode2D(rows, 1)
+		got := enc.Decode2D(1)
+		if len(got) != h || len(got[0]) != w {
+			t.Fatalf("%dx%d: decoded %dx%d", h, w, len(got), len(got[0]))
+		}
+		for y := range rows {
+			if d := maxRelDiff(rows[y], got[y]); d > 1e-4 {
+				t.Fatalf("%dx%d: row %d error %v", h, w, y, d)
+			}
+		}
+	}
+}
+
+func TestOrthonormalityPreservesEnergy(t *testing.T) {
+	// Parseval: sum of squares is invariant under the transform.
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 128)
+	var inputEnergy float64
+	for i := range data {
+		data[i] = rng.NormFloat64()
+		inputEnergy += data[i] * data[i]
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	forward1D(buf)
+	var coefEnergy float64
+	for _, v := range buf {
+		coefEnergy += v * v
+	}
+	if math.Abs(inputEnergy-coefEnergy) > 1e-9 {
+		t.Fatalf("energy not preserved: %v vs %v", inputEnergy, coefEnergy)
+	}
+}
+
+func TestTruncationErrorBounded(t *testing.T) {
+	// Keeping the top coefficients bounds L2 error by the energy of the
+	// dropped ones (Parseval), and the progressive prefix property means
+	// more coefficients never increase error.
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 512)
+	for i := range data {
+		// Smooth signal plus noise: compressible.
+		data[i] = 50*math.Sin(float64(i)/20) + rng.NormFloat64()
+	}
+	enc := Encode1D(data, 1)
+	var prevErr float64 = math.Inf(1)
+	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		rec := enc.Decode1D(frac)
+		var errEnergy float64
+		for i := range data {
+			d := data[i] - rec[i]
+			errEnergy += d * d
+		}
+		if errEnergy > prevErr+1e-9 {
+			t.Fatalf("error grew from %v to %v at frac %v", prevErr, errEnergy, frac)
+		}
+		prevErr = errEnergy
+	}
+	if prevErr > 1e-4 { // float32 coefficient storage bounds exactness
+		t.Fatalf("full reconstruction error %v", prevErr)
+	}
+}
+
+func TestKeepFractionReducesSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float64, 1024)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	full := Encode1D(data, 1)
+	tenth := Encode1D(data, 0.1)
+	if len(tenth.Coeffs)*9 > len(full.Coeffs) {
+		t.Fatalf("keep=0.1 retained %d of %d coefficients", len(tenth.Coeffs), len(full.Coeffs))
+	}
+	if tenth.CompressedSize() >= full.CompressedSize() {
+		t.Fatal("compressed size did not shrink")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]float64, 300)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 7
+	}
+	enc := Encode1D(data, 0.5)
+	parsed, err := Parse(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.W != enc.W || parsed.OrigW != enc.OrigW || len(parsed.Coeffs) != len(enc.Coeffs) {
+		t.Fatalf("header mismatch: %+v vs %+v", parsed, enc)
+	}
+	a, b := enc.Decode1D(1), parsed.Decode1D(1)
+	if maxAbsDiff(a, b) != 0 {
+		t.Fatal("decoded data differs after serialization")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Parse([]byte("WRONGMAGIC")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	enc := Encode1D([]float64{1, 2, 3}, 1)
+	raw := enc.Bytes()
+	if _, err := Parse(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+// Property: 1D round trip is exact for arbitrary data (full keep).
+func TestQuickPerfectReconstruction(t *testing.T) {
+	check := func(data []float64) bool {
+		for i, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				data[i] = 0
+			}
+			// float32 coefficient storage: quantize the input so exactness
+			// is well-defined.
+			data[i] = float64(float32(data[i]))
+		}
+		if len(data) == 0 {
+			return true
+		}
+		rec := Encode1D(data, 1).Decode1D(1)
+		for i := range data {
+			// float32 storage loses precision; allow relative tolerance.
+			tol := 1e-4 * (math.Abs(data[i]) + 1)
+			if math.Abs(rec[i]-data[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testPhotons() []fits.Photon {
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 11, DayLength: 3600, BackgroundRate: 10, Flares: 2, Bursts: 0,
+	})
+	return day.Photons
+}
+
+func TestBuildViewCountsPhotons(t *testing.T) {
+	photons := testPhotons()
+	v := BuildView(photons, 0, 3600, 3, 20000, 64, 16, 1)
+	if v.Total != int64(len(photons)) {
+		t.Fatalf("view counted %d of %d photons", v.Total, len(photons))
+	}
+	counts := v.Counts(1)
+	var sum float64
+	for _, r := range counts {
+		for _, x := range r {
+			sum += x
+		}
+	}
+	if math.Abs(sum-float64(v.Total)) > float64(v.Total)/100 {
+		t.Fatalf("reconstructed total %v, want ~%d", sum, v.Total)
+	}
+}
+
+func TestViewLightcurveFindsFlare(t *testing.T) {
+	day := telemetry.GenerateDay(1, telemetry.Config{
+		Seed: 21, DayLength: 3600, BackgroundRate: 2, Flares: 1, Bursts: 0,
+	})
+	var flare telemetry.Event
+	for _, e := range day.Events {
+		if e.Kind == telemetry.Flare {
+			flare = e
+		}
+	}
+	v := BuildView(day.Photons, 0, 3600, 3, 20000, 128, 8, 1)
+	lc := v.Lightcurve(1)
+	// The brightest bin should fall inside the flare.
+	best, bestVal := 0, 0.0
+	for i, x := range lc {
+		if x > bestVal {
+			best, bestVal = i, x
+		}
+	}
+	tPeak := float64(best) / 128 * 3600
+	if tPeak < flare.Start-60 || tPeak > flare.End()+60 {
+		t.Fatalf("lightcurve peak at %.0fs, flare spans %.0f..%.0fs", tPeak, flare.Start, flare.End())
+	}
+}
+
+func TestApproximateLightcurvePreservesShape(t *testing.T) {
+	photons := testPhotons()
+	v := BuildView(photons, 0, 3600, 3, 20000, 128, 8, 1)
+	full := v.Lightcurve(1)
+	approx := v.Lightcurve(0.1)
+	// Correlation between full and approximated curves should be high.
+	corr := correlation(full, approx)
+	if corr < 0.8 {
+		t.Fatalf("approximation correlation %v too low", corr)
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestPartitionViewsCoverWithoutOverlap(t *testing.T) {
+	photons := testPhotons()
+	views := PartitionViews(photons, 0, 3600, 3, 20000, 6, 32, 8, 1)
+	if len(views) != 6 {
+		t.Fatalf("views = %d", len(views))
+	}
+	var total int64
+	for i, v := range views {
+		if i > 0 && v.TStart != views[i-1].TStop {
+			t.Fatalf("gap between partition %d and %d", i-1, i)
+		}
+		total += v.Total
+	}
+	if total != int64(len(photons)) {
+		t.Fatalf("partitions counted %d of %d photons", total, len(photons))
+	}
+}
+
+func TestViewCompressionWins(t *testing.T) {
+	// A realistic photon stream view at keep=0.05 should be much smaller
+	// than the raw photon records it summarizes.
+	photons := testPhotons()
+	v := BuildView(photons, 0, 3600, 3, 20000, 256, 16, 0.05)
+	rawSize := len(photons) * 18
+	if v.Enc.CompressedSize() >= rawSize/10 {
+		t.Fatalf("view %d bytes vs raw %d bytes: less than 10x win", v.Enc.CompressedSize(), rawSize)
+	}
+}
+
+func TestSpectrumSumsMatchLightcurve(t *testing.T) {
+	photons := testPhotons()
+	v := BuildView(photons, 0, 3600, 3, 20000, 64, 16, 1)
+	var lcSum, spSum float64
+	for _, x := range v.Lightcurve(1) {
+		lcSum += x
+	}
+	for _, x := range v.Spectrum(1) {
+		spSum += x
+	}
+	if math.Abs(lcSum-spSum) > 1e-6*(lcSum+1) {
+		t.Fatalf("lightcurve sum %v != spectrum sum %v", lcSum, spSum)
+	}
+}
+
+// Property: 2-D encode/decode round-trips arbitrary matrices within
+// float32 precision.
+func TestQuick2DRoundTrip(t *testing.T) {
+	check := func(flat []float64, wRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		if len(flat) == 0 {
+			return true
+		}
+		for i, v := range flat {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				flat[i] = 0
+			}
+			flat[i] = float64(float32(flat[i]))
+		}
+		h := (len(flat) + w - 1) / w
+		rows := make([][]float64, h)
+		for y := range rows {
+			lo := y * w
+			hi := lo + w
+			if hi > len(flat) {
+				hi = len(flat)
+			}
+			rows[y] = flat[lo:hi]
+		}
+		got := Encode2D(rows, 1).Decode2D(1)
+		if len(got) != h {
+			return false
+		}
+		for y := range rows {
+			if len(got[y]) < len(rows[y]) {
+				return false
+			}
+			for x := range rows[y] {
+				tol := 1e-3 * (math.Abs(rows[y][x]) + 1)
+				if math.Abs(got[y][x]-rows[y][x]) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
