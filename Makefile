@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# check runs the full gate: vet, build, race tests and a one-iteration
+# smoke run of the parallel query benchmark.
+check:
+	sh scripts/check.sh

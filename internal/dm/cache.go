@@ -1,0 +1,143 @@
+package dm
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/minidb"
+)
+
+// Read-through query cache for the DM's semantic layer. HEDC's hot reads —
+// catalog member counts, duplicate checks, dependency counts, member lists —
+// repeat the same structured query many times between writes. Each cached
+// entry is keyed by (canonical query fingerprint, table commit epoch): the
+// engine bumps a table's epoch on every committed transaction touching it,
+// so a cached result is valid exactly while the epoch it was computed
+// against is still current. No timers, no explicit invalidation calls — a
+// commit anywhere in the process makes the next lookup a miss.
+//
+// The epoch is read BEFORE the query runs. If a commit lands between the
+// epoch read and the query, the entry is stored under the older epoch and
+// the next lookup misses — conservative, never stale-serving.
+
+type cacheEntry struct {
+	epoch uint64
+	res   *minidb.Result
+}
+
+type queryCache struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+	// cap bounds memory: when the map grows past it, the whole map is
+	// dropped. Epoch churn retires entries anyway; this only guards
+	// against fingerprint cardinality blowup.
+	cap int
+}
+
+func newQueryCache(capacity int) *queryCache {
+	return &queryCache{m: make(map[string]cacheEntry), cap: capacity}
+}
+
+func (c *queryCache) get(key string, epoch uint64) (*minidb.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok || e.epoch != epoch {
+		return nil, false
+	}
+	return e.res, true
+}
+
+func (c *queryCache) put(key string, epoch uint64, res *minidb.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		c.m = make(map[string]cacheEntry)
+	}
+	c.m[key] = cacheEntry{epoch: epoch, res: res}
+}
+
+// cachedQuery runs q through the cache. Results returned from the cache are
+// SHARED between callers: treat them as immutable (read rows, never write).
+// Only deterministic queries belong here — anything keyed on sessions is
+// fine because the visibility OR-clause is part of the fingerprint.
+func (d *DM) cachedQuery(q minidb.Query) (*minidb.Result, error) {
+	db := d.routeDB(q.Table)
+	// Epoch first, then lookup/query: a commit racing past this point makes
+	// the stored entry a future miss rather than a stale hit.
+	epoch := db.TableEpoch(q.Table)
+	key := fingerprint(q)
+	if res, ok := d.cache.get(key, epoch); ok {
+		d.stats.QueryCacheHits.Add(1)
+		return res, nil
+	}
+	d.stats.QueryCacheMisses.Add(1)
+	res, err := d.query(q)
+	if err != nil {
+		return nil, err
+	}
+	d.cache.put(key, epoch, res)
+	return res, nil
+}
+
+// fingerprint renders a Query into a canonical string. Every field that
+// affects the result set participates; values are length-prefixed so no
+// string content can collide with the structure.
+func fingerprint(q minidb.Query) string {
+	var b strings.Builder
+	b.Grow(64)
+	fpStr(&b, q.Table)
+	b.WriteByte('|')
+	for _, p := range q.Where {
+		fpPred(&b, p)
+	}
+	b.WriteByte('|')
+	for _, p := range q.Or {
+		fpPred(&b, p)
+	}
+	b.WriteByte('|')
+	for _, o := range q.OrderBy {
+		fpStr(&b, o.Col)
+		if o.Desc {
+			b.WriteByte('-')
+		} else {
+			b.WriteByte('+')
+		}
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.Offset))
+	b.WriteByte(',')
+	b.WriteString(strconv.Itoa(q.Limit))
+	b.WriteByte('|')
+	for _, c := range q.Project {
+		fpStr(&b, c)
+	}
+	if q.Count {
+		b.WriteString("|#")
+	}
+	return b.String()
+}
+
+func fpPred(b *strings.Builder, p minidb.Pred) {
+	fpStr(b, p.Col)
+	b.WriteString(p.Op.String())
+	fpVal(b, p.Val)
+	if p.Op == minidb.OpBetween {
+		b.WriteByte('~')
+		fpVal(b, p.Hi)
+	}
+	b.WriteByte(';')
+}
+
+func fpVal(b *strings.Builder, v minidb.Value) {
+	b.WriteString(strconv.Itoa(int(v.T)))
+	b.WriteByte(':')
+	fpStr(b, v.String())
+}
+
+func fpStr(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}

@@ -1,0 +1,179 @@
+package dm
+
+import (
+	"testing"
+
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// TestCountCacheHitAndInvalidation is the acceptance path for the
+// epoch-keyed cache: two identical catalog count queries with no
+// intervening commit cost exactly one engine query; a commit to the table
+// makes the next identical count a miss that returns the fresh result.
+func TestCountCacheHitAndInvalidation(t *testing.T) {
+	d := newTestDM(t)
+	alice := newScientist(t, d, "alice")
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.CreateHLE(alice, &schema.HLE{
+			KindHint: "flare", TStop: 1, Version: 1, CalibVersion: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := HLEFilter{Kind: "flare"}
+
+	q0 := d.meta.Stats().Queries
+	n, err := d.CountHLEs(alice, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("first count = %d, want 3", n)
+	}
+	n, err = d.CountHLEs(alice, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("second count = %d, want 3", n)
+	}
+	if got := d.meta.Stats().Queries - q0; got != 1 {
+		t.Fatalf("two identical counts issued %d engine queries, want 1", got)
+	}
+	if hits := d.stats.QueryCacheHits.Load(); hits != 1 {
+		t.Fatalf("QueryCacheHits = %d, want 1", hits)
+	}
+
+	// A commit to the HLE table bumps its epoch: next count misses and
+	// sees the new row.
+	if _, err := d.CreateHLE(alice, &schema.HLE{
+		KindHint: "flare", TStop: 2, Version: 1, CalibVersion: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	misses0 := d.stats.QueryCacheMisses.Load()
+	n, err = d.CountHLEs(alice, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("post-commit count = %d, want 4 (stale cache served)", n)
+	}
+	if d.stats.QueryCacheMisses.Load() != misses0+1 {
+		t.Fatal("post-commit count should be a cache miss")
+	}
+}
+
+// TestCacheFingerprintDistinguishesQueries: different filters and different
+// sessions (whose visibility clause differs) must not share entries.
+func TestCacheFingerprintDistinguishesQueries(t *testing.T) {
+	d := newTestDM(t)
+	alice := newScientist(t, d, "alice")
+	bob := newScientist(t, d, "bob")
+
+	if _, err := d.CreateHLE(alice, &schema.HLE{
+		KindHint: "flare", TStop: 1, Version: 1, CalibVersion: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	na, err := d.CountHLEs(alice, HLEFilter{Kind: "flare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != 1 {
+		t.Fatalf("alice sees %d flares, want 1 (her private event)", na)
+	}
+	// Bob's count has a different visibility OR-clause: must not hit
+	// alice's entry, and must not see her private event.
+	nb, err := d.CountHLEs(bob, HLEFilter{Kind: "flare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != 0 {
+		t.Fatalf("bob sees %d flares, want 0", nb)
+	}
+	// Different kind: distinct fingerprint, fresh query.
+	nq, err := d.CountHLEs(alice, HLEFilter{Kind: "quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nq != 0 {
+		t.Fatalf("quiet count = %d, want 0", nq)
+	}
+}
+
+// TestCatalogMemberListCached: browsing a catalog repeatedly reuses the
+// cached member list until a membership edit bumps the table epoch.
+func TestCatalogMemberListCached(t *testing.T) {
+	d := newTestDM(t)
+	alice := newScientist(t, d, "alice")
+
+	catID, err := d.CreateCatalog(alice, "work", "private", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hles []string
+	for i := 0; i < 3; i++ {
+		id, err := d.CreateHLE(alice, &schema.HLE{
+			KindHint: "flare", TStop: float64(i + 1), Version: 1, CalibVersion: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hles = append(hles, id)
+	}
+	for _, id := range hles[:2] {
+		if err := d.AddToCatalog(alice, catID, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	list, err := d.QueryHLEs(alice, HLEFilter{Catalog: catID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("catalog lists %d members, want 2", len(list))
+	}
+	hits0 := d.stats.QueryCacheHits.Load()
+	if _, err := d.QueryHLEs(alice, HLEFilter{Catalog: catID}); err != nil {
+		t.Fatal(err)
+	}
+	if d.stats.QueryCacheHits.Load() == hits0 {
+		t.Fatal("second catalog browse should hit the member-list cache")
+	}
+
+	// Membership edit invalidates: the third member appears.
+	if err := d.AddToCatalog(alice, catID, hles[2]); err != nil {
+		t.Fatal(err)
+	}
+	list, err = d.QueryHLEs(alice, HLEFilter{Catalog: catID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("catalog lists %d members after add, want 3 (stale cache served)", len(list))
+	}
+}
+
+// TestCacheCapReset: overflowing the cap drops the map instead of growing
+// without bound; correctness is unaffected.
+func TestCacheCapReset(t *testing.T) {
+	c := newQueryCache(2)
+	r := &minidb.Result{Count: 7}
+	c.put("a", 1, r)
+	c.put("b", 1, r)
+	c.put("c", 1, r) // overflows: map reset, then c stored
+	if _, ok := c.get("a", 1); ok {
+		t.Fatal("entry a should have been dropped by the cap reset")
+	}
+	if got, ok := c.get("c", 1); !ok || got.Count != 7 {
+		t.Fatal("entry c should be present after the reset")
+	}
+	if _, ok := c.get("c", 2); ok {
+		t.Fatal("epoch mismatch must miss")
+	}
+}

@@ -61,6 +61,11 @@ type Stats struct {
 	NameLookups    atomic.Int64
 	CacheHits      atomic.Int64 // session-cache hits
 	CacheMisses    atomic.Int64
+	// Epoch-keyed query cache (cache.go). Distinct from the session cache
+	// above: these count semantic-layer reads served without touching the
+	// database engine.
+	QueryCacheHits   atomic.Int64
+	QueryCacheMisses atomic.Int64
 	AccessDenied   atomic.Int64
 	RedirectsOut   atomic.Int64 // calls shipped to a remote DM
 	RedirectsIn    atomic.Int64 // calls served on behalf of a remote caller
@@ -81,6 +86,7 @@ type DM struct {
 	pools map[*minidb.DB]*dbPools
 
 	sessions *sessionCache
+	cache    *queryCache
 
 	seqMu  sync.Mutex
 	seqHi  map[string]int64 // next unpersisted id per prefix
@@ -132,6 +138,7 @@ func Open(opts Options) (*DM, error) {
 		logger:   opts.Logger,
 		pools:    make(map[*minidb.DB]*dbPools),
 		sessions: newSessionCache(),
+		cache:    newQueryCache(4096),
 		seqHi:    make(map[string]int64),
 		seqMax:   make(map[string]int64),
 	}

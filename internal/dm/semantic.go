@@ -77,12 +77,14 @@ func (d *DM) QueryHLEs(s *Session, f HLEFilter) ([]*schema.HLE, error) {
 }
 
 // CountHLEs returns the number of visible events matching the filter.
+// Counts are served from the epoch-keyed cache: repeated identical counts
+// between commits to the HLE table cost no engine query.
 func (d *DM) CountHLEs(s *Session, f HLEFilter) (int, error) {
 	d.stats.Requests.Add(1)
 	q := f.toQuery(s)
 	q.Count = true
 	q.OrderBy, q.Offset, q.Limit = nil, 0, 0
-	res, err := d.query(q)
+	res, err := d.cachedQuery(q)
 	if err != nil {
 		return 0, err
 	}
@@ -395,7 +397,7 @@ func (d *DM) DeleteHLE(s *Session, id string) error {
 		d.stats.AccessDenied.Add(1)
 		return errDenied("delete", id)
 	}
-	deps, err := d.query(minidb.Query{
+	deps, err := d.cachedQuery(minidb.Query{
 		Table: schema.TableANA, Count: true,
 		Where: []minidb.Pred{{Col: "hle_id", Op: minidb.OpEq, Val: minidb.S(id)}},
 	})
@@ -405,7 +407,7 @@ func (d *DM) DeleteHLE(s *Session, id string) error {
 	if deps.Count > 0 {
 		return fmt.Errorf("dm: HLE %s has %d dependent analyses", id, deps.Count)
 	}
-	members, err := d.query(minidb.Query{
+	members, err := d.cachedQuery(minidb.Query{
 		Table: schema.TableCatalogMembers, Count: true,
 		Where: []minidb.Pred{{Col: "hle_id", Op: minidb.OpEq, Val: minidb.S(id)}},
 	})
@@ -565,8 +567,9 @@ func (d *DM) AddToCatalog(s *Session, catalogID, hleID string) error {
 	if _, err := d.GetHLE(s, hleID); err != nil {
 		return fmt.Errorf("dm: catalog member: %w", err)
 	}
-	// No duplicates.
-	dup, err := d.query(minidb.Query{
+	// No duplicates. Cached: bulk catalog loads re-check the same pair
+	// shape repeatedly, and any insert bumps the members epoch.
+	dup, err := d.cachedQuery(minidb.Query{
 		Table: schema.TableCatalogMembers, Count: true,
 		Where: []minidb.Pred{
 			{Col: "catalog_id", Op: minidb.OpEq, Val: minidb.S(catalogID)},
@@ -630,7 +633,10 @@ func (d *DM) catalogHLEs(s *Session, f HLEFilter) ([]*schema.HLE, error) {
 	if _, err := d.getCatalog(s, f.Catalog); err != nil {
 		return nil, err
 	}
-	members, err := d.query(minidb.Query{
+	// Member list from the epoch-keyed cache: browsing a catalog page by
+	// page re-reads the same membership set until someone edits it. The
+	// cached Result is shared — rows are only read below.
+	members, err := d.cachedQuery(minidb.Query{
 		Table: schema.TableCatalogMembers,
 		Where: []minidb.Pred{{Col: "catalog_id", Op: minidb.OpEq, Val: minidb.S(f.Catalog)}},
 	})

@@ -8,6 +8,12 @@ package minidb
 // The tree follows the classic minimum-degree formulation: every node except
 // the root holds between t-1 and 2t-1 entries, and deletion pre-fills nodes
 // on the way down so it never needs to back up.
+//
+// Trees are copy-on-write: clone() returns a tree sharing every node with
+// the source, and mutations copy shared nodes along the root-to-leaf path
+// before touching them (path copying, keyed by an ownership tag). A
+// published tree is therefore immutable and safe for lock-free concurrent
+// scans while a writer mutates its private clone.
 
 const btreeMinDegree = 32 // t: max entries per node = 2t-1 = 63
 
@@ -33,6 +39,7 @@ func cmpEntry(a, b entry) int {
 type bnode struct {
 	ents []entry
 	kids []*bnode // nil for leaves; otherwise len(kids) == len(ents)+1
+	tag  *byte    // ownership tag: the tree whose tag matches may mutate in place
 }
 
 func (n *bnode) leaf() bool { return n.kids == nil }
@@ -55,19 +62,46 @@ func (n *bnode) findEntry(e entry) (int, bool) {
 type btree struct {
 	root *bnode
 	size int
+	tag  *byte // nodes carrying this tag are exclusively owned by this tree
 }
 
-func newBtree() *btree { return &btree{root: &bnode{}} }
+func newBtree() *btree {
+	tag := new(byte)
+	return &btree{root: &bnode{tag: tag}, tag: tag}
+}
+
+// clone returns a copy sharing every node with t. The clone copies shared
+// nodes before mutating them; the source must never be mutated again (in the
+// engine, sources are published snapshots, which are immutable by contract).
+func (t *btree) clone() *btree {
+	return &btree{root: t.root, size: t.size, tag: new(byte)}
+}
+
+// mutable returns n if this tree owns it, otherwise a copy the tree owns.
+// The caller must re-link the returned node into its parent.
+func (t *btree) mutable(n *bnode) *bnode {
+	if n.tag == t.tag {
+		return n
+	}
+	c := &bnode{tag: t.tag, ents: make([]entry, len(n.ents))}
+	copy(c.ents, n.ents)
+	if n.kids != nil {
+		c.kids = make([]*bnode, len(n.kids))
+		copy(c.kids, n.kids)
+	}
+	return c
+}
 
 // Len returns the number of entries.
 func (t *btree) Len() int { return t.size }
 
 // insert adds e to the tree. Duplicate (key,rowid) pairs are ignored.
 func (t *btree) insert(e entry) {
+	t.root = t.mutable(t.root)
 	if len(t.root.ents) == 2*btreeMinDegree-1 {
 		old := t.root
-		t.root = &bnode{kids: []*bnode{old}}
-		t.root.splitChild(0)
+		t.root = &bnode{kids: []*bnode{old}, tag: t.tag}
+		t.splitChild(t.root, 0)
 	}
 	if t.insertNonFull(t.root, e) {
 		t.size++
@@ -75,12 +109,13 @@ func (t *btree) insert(e entry) {
 }
 
 // splitChild splits the full child at position i, hoisting its median.
-func (n *bnode) splitChild(i int) {
+// n and n.kids[i] must already be owned by t.
+func (t *btree) splitChild(n *bnode, i int) {
 	child := n.kids[i]
 	mid := btreeMinDegree - 1
 	median := child.ents[mid]
 
-	right := &bnode{}
+	right := &bnode{tag: t.tag}
 	right.ents = append(right.ents, child.ents[mid+1:]...)
 	if !child.leaf() {
 		right.kids = append(right.kids, child.kids[mid+1:]...)
@@ -96,6 +131,8 @@ func (n *bnode) splitChild(i int) {
 	n.kids[i+1] = right
 }
 
+// insertNonFull descends from the owned node n, copying shared children
+// along the path before mutating them.
 func (t *btree) insertNonFull(n *bnode, e entry) bool {
 	for {
 		i, exact := n.findEntry(e)
@@ -108,12 +145,14 @@ func (t *btree) insertNonFull(n *bnode, e entry) bool {
 			n.ents[i] = e
 			return true
 		}
+		n.kids[i] = t.mutable(n.kids[i])
 		if len(n.kids[i].ents) == 2*btreeMinDegree-1 {
-			n.splitChild(i)
+			t.splitChild(n, i)
 			if c := cmpEntry(n.ents[i], e); c == 0 {
 				return false
 			} else if c < 0 {
 				i++
+				n.kids[i] = t.mutable(n.kids[i])
 			}
 		}
 		n = n.kids[i]
@@ -122,6 +161,7 @@ func (t *btree) insertNonFull(n *bnode, e entry) bool {
 
 // delete removes e; it reports whether the entry existed.
 func (t *btree) delete(e entry) bool {
+	t.root = t.mutable(t.root)
 	ok := t.deleteFrom(t.root, e)
 	if len(t.root.ents) == 0 && !t.root.leaf() {
 		t.root = t.root.kids[0]
@@ -132,8 +172,9 @@ func (t *btree) delete(e entry) bool {
 	return ok
 }
 
-// deleteFrom implements CLRS B-tree deletion. n always has at least t
-// entries when it is not the root, guaranteed by pre-filling on the way down.
+// deleteFrom implements CLRS B-tree deletion over an owned node n: children
+// are copied on the way down (path copying), and n always has at least t
+// entries when it is not the root, guaranteed by pre-filling on the descent.
 func (t *btree) deleteFrom(n *bnode, e entry) bool {
 	i, exact := n.findEntry(e)
 	if exact {
@@ -142,11 +183,13 @@ func (t *btree) deleteFrom(n *bnode, e entry) bool {
 			return true
 		}
 		// Internal node: replace with predecessor or successor, or merge.
+		n.kids[i] = t.mutable(n.kids[i])
 		if len(n.kids[i].ents) >= btreeMinDegree {
 			pred := maxEntry(n.kids[i])
 			n.ents[i] = pred
 			return t.deleteFrom(n.kids[i], pred)
 		}
+		n.kids[i+1] = t.mutable(n.kids[i+1])
 		if len(n.kids[i+1].ents) >= btreeMinDegree {
 			succ := minEntry(n.kids[i+1])
 			n.ents[i] = succ
@@ -158,19 +201,22 @@ func (t *btree) deleteFrom(n *bnode, e entry) bool {
 	if n.leaf() {
 		return false
 	}
-	// Ensure the child we descend into has at least t entries.
+	// Ensure the child we descend into is owned and has at least t entries.
+	n.kids[i] = t.mutable(n.kids[i])
 	if len(n.kids[i].ents) == btreeMinDegree-1 {
-		i = n.fillChild(i)
+		i = t.fillChild(n, i)
 	}
 	return t.deleteFrom(n.kids[i], e)
 }
 
 // fillChild gives child i at least t entries by borrowing from a sibling or
 // merging; it returns the (possibly shifted) child index to descend into.
-func (n *bnode) fillChild(i int) int {
+// n and n.kids[i] must be owned by t; siblings are copied as needed.
+func (t *btree) fillChild(n *bnode, i int) int {
 	switch {
 	case i > 0 && len(n.kids[i-1].ents) >= btreeMinDegree:
 		// Borrow from left sibling through the separator.
+		n.kids[i-1] = t.mutable(n.kids[i-1])
 		child, left := n.kids[i], n.kids[i-1]
 		child.ents = append(child.ents, entry{})
 		copy(child.ents[1:], child.ents)
@@ -186,6 +232,7 @@ func (n *bnode) fillChild(i int) int {
 		return i
 	case i < len(n.kids)-1 && len(n.kids[i+1].ents) >= btreeMinDegree:
 		// Borrow from right sibling through the separator.
+		n.kids[i+1] = t.mutable(n.kids[i+1])
 		child, right := n.kids[i], n.kids[i+1]
 		child.ents = append(child.ents, n.ents[i])
 		n.ents[i] = right.ents[0]
@@ -196,6 +243,7 @@ func (n *bnode) fillChild(i int) int {
 		}
 		return i
 	case i > 0:
+		n.kids[i-1] = t.mutable(n.kids[i-1])
 		n.mergeChildren(i - 1)
 		return i - 1
 	default:
@@ -205,6 +253,7 @@ func (n *bnode) fillChild(i int) int {
 }
 
 // mergeChildren merges child i, separator i and child i+1 into child i.
+// n and n.kids[i] must be owned; n.kids[i+1] is only read and discarded.
 func (n *bnode) mergeChildren(i int) {
 	left, right := n.kids[i], n.kids[i+1]
 	left.ents = append(left.ents, n.ents[i])

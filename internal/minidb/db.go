@@ -18,12 +18,15 @@ const (
 )
 
 // DB is a collection of tables with transactional mutation, a redo log, and
-// snapshot checkpoints. Reads run under a shared lock; a transaction holds
-// the exclusive lock from Begin to Commit/Rollback, giving serializable
-// isolation with no dirty reads (the single-writer discipline HEDC's DM
-// enforces around entities, §4.4).
+// snapshot checkpoints. Reads are lock-free: they execute against each
+// table's immutable published snapshot (an atomic pointer swap installs a
+// new one at commit). A transaction holds the writer lock from Begin to
+// Commit/Rollback, so writers serialize against each other while readers
+// observe either the pre- or post-commit snapshot — serializable isolation
+// with no dirty reads and no reader/writer blocking (the single-writer
+// discipline HEDC's DM enforces around entities, §4.4).
 type DB struct {
-	mu      sync.RWMutex
+	mu      sync.RWMutex // writer-writer ordering; checkpoint/close exclusion
 	tables  map[string]*Table
 	order   []string // table creation order, for deterministic snapshots
 	dir     string   // "" means memory-only
@@ -37,57 +40,60 @@ type DB struct {
 // Stats counts engine activity. All fields are atomically maintained;
 // read them through DB.Stats.
 type Stats struct {
-	Queries        atomic.Int64
-	CountQueries   atomic.Int64
-	FullScans      atomic.Int64
-	IndexEqScans   atomic.Int64
-	IndexRanges    atomic.Int64
-	FullIndexScans atomic.Int64
-	RowsScanned    atomic.Int64
-	Inserts        atomic.Int64
-	Updates        atomic.Int64
-	Deletes        atomic.Int64
-	Commits        atomic.Int64
-	Rollbacks      atomic.Int64
-	Checkpoints    atomic.Int64
-	ViewRefreshes  atomic.Int64
+	Queries           atomic.Int64
+	CountQueries      atomic.Int64
+	FullScans         atomic.Int64
+	IndexEqScans      atomic.Int64
+	IndexRanges       atomic.Int64
+	FullIndexScans    atomic.Int64
+	RowsScanned       atomic.Int64
+	Inserts           atomic.Int64
+	Updates           atomic.Int64
+	Deletes           atomic.Int64
+	Commits           atomic.Int64
+	Rollbacks         atomic.Int64
+	Checkpoints       atomic.Int64
+	ViewRefreshes     atomic.Int64
+	SnapshotPublishes atomic.Int64 // per-table snapshot views installed by commits
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
-	Queries        int64
-	CountQueries   int64
-	FullScans      int64
-	IndexEqScans   int64
-	IndexRanges    int64
-	FullIndexScans int64
-	RowsScanned    int64
-	Inserts        int64
-	Updates        int64
-	Deletes        int64
-	Commits        int64
-	Rollbacks      int64
-	Checkpoints    int64
-	ViewRefreshes  int64
+	Queries           int64
+	CountQueries      int64
+	FullScans         int64
+	IndexEqScans      int64
+	IndexRanges       int64
+	FullIndexScans    int64
+	RowsScanned       int64
+	Inserts           int64
+	Updates           int64
+	Deletes           int64
+	Commits           int64
+	Rollbacks         int64
+	Checkpoints       int64
+	ViewRefreshes     int64
+	SnapshotPublishes int64
 }
 
 // Stats returns a point-in-time copy of the engine counters.
 func (db *DB) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Queries:        db.stats.Queries.Load(),
-		CountQueries:   db.stats.CountQueries.Load(),
-		FullScans:      db.stats.FullScans.Load(),
-		IndexEqScans:   db.stats.IndexEqScans.Load(),
-		IndexRanges:    db.stats.IndexRanges.Load(),
-		FullIndexScans: db.stats.FullIndexScans.Load(),
-		RowsScanned:    db.stats.RowsScanned.Load(),
-		Inserts:        db.stats.Inserts.Load(),
-		Updates:        db.stats.Updates.Load(),
-		Deletes:        db.stats.Deletes.Load(),
-		Commits:        db.stats.Commits.Load(),
-		Rollbacks:      db.stats.Rollbacks.Load(),
-		Checkpoints:    db.stats.Checkpoints.Load(),
-		ViewRefreshes:  db.stats.ViewRefreshes.Load(),
+		Queries:           db.stats.Queries.Load(),
+		CountQueries:      db.stats.CountQueries.Load(),
+		FullScans:         db.stats.FullScans.Load(),
+		IndexEqScans:      db.stats.IndexEqScans.Load(),
+		IndexRanges:       db.stats.IndexRanges.Load(),
+		FullIndexScans:    db.stats.FullIndexScans.Load(),
+		RowsScanned:       db.stats.RowsScanned.Load(),
+		Inserts:           db.stats.Inserts.Load(),
+		Updates:           db.stats.Updates.Load(),
+		Deletes:           db.stats.Deletes.Load(),
+		Commits:           db.stats.Commits.Load(),
+		Rollbacks:         db.stats.Rollbacks.Load(),
+		Checkpoints:       db.stats.Checkpoints.Load(),
+		ViewRefreshes:     db.stats.ViewRefreshes.Load(),
+		SnapshotPublishes: db.stats.SnapshotPublishes.Load(),
 	}
 }
 
@@ -144,15 +150,16 @@ func (db *DB) Close() error {
 
 // TableNames returns table names in creation order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, len(db.order))
 	copy(out, db.order)
 	return out
 }
 
 // TableLen returns the live row count of a table (-1 if unknown table).
+// Like Query, it reads the published snapshot without locking.
 func (db *DB) TableLen(name string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return -1
@@ -160,8 +167,22 @@ func (db *DB) TableLen(name string) int {
 	return t.Len()
 }
 
+// TableEpoch returns the table's commit epoch (0 if unknown table). The
+// epoch advances exactly once per committed transaction touching the table,
+// so a cache keyed by (query, epoch) is invalidated exactly when the visible
+// contents can have changed.
+func (db *DB) TableEpoch(name string) uint64 {
+	t, ok := db.tables[name]
+	if !ok {
+		return 0
+	}
+	return t.Epoch()
+}
+
 // Schema returns the schema of the named table, or nil.
 func (db *DB) Schema(name string) *Schema {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil
@@ -169,19 +190,19 @@ func (db *DB) Schema(name string) *Schema {
 	return t.schema
 }
 
-// Query plans and executes q under a shared lock.
+// Query plans and executes q against the table's published snapshot. It
+// takes no lock and never blocks, even while a transaction is in flight.
 func (db *DB) Query(q Query) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.queryLocked(q)
-}
-
-func (db *DB) queryLocked(q Query) (*Result, error) {
 	t, ok := db.tables[q.Table]
 	if !ok {
 		return nil, fmt.Errorf("minidb: no such table %s", q.Table)
 	}
-	res, err := execQuery(t, q)
+	return db.execAndCount(t, t.view.Load(), q)
+}
+
+// execAndCount runs q against view v of t and maintains the plan counters.
+func (db *DB) execAndCount(t *Table, v *tableView, q Query) (*Result, error) {
+	res, err := execQuery(t, v, q)
 	if err != nil {
 		return nil, err
 	}
@@ -204,14 +225,13 @@ func (db *DB) queryLocked(q Query) (*Result, error) {
 }
 
 // Get returns a copy of the row at rowid in the named table (nil if absent).
+// Like Query, it reads the published snapshot without locking.
 func (db *DB) Get(table string, rowid int64) (Row, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t, ok := db.tables[table]
 	if !ok {
 		return nil, fmt.Errorf("minidb: no such table %s", table)
 	}
-	r := t.get(rowid)
+	r := t.view.Load().get(rowid)
 	if r == nil {
 		return nil, nil
 	}
@@ -281,33 +301,32 @@ func (db *DB) Checkpoint() error {
 	return nil
 }
 
+// writeSnapshot streams every table's published view straight through one
+// buffered writer — no staging of the full database image in memory, so
+// checkpointing a large database allocates O(bufio buffer), not O(data).
 func (db *DB) writeSnapshot(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(f)
-	var b bytes.Buffer
-	b.WriteString(snapshotMagic)
-	putUvarint(&b, uint64(len(db.order)))
+	bw := bufio.NewWriterSize(f, 1<<16)
+	bw.WriteString(snapshotMagic)
+	putUvarint(bw, uint64(len(db.order)))
 	for _, name := range db.order {
-		t := db.tables[name]
-		putString(&b, name)
-		putUvarint(&b, uint64(len(t.rows)))
-		putUvarint(&b, uint64(t.live))
-		t.scanAll(func(rowid int64, r Row) bool {
-			putVarint(&b, rowid)
-			putUvarint(&b, uint64(len(r)))
-			for _, v := range r {
-				encodeValue(&b, v)
+		v := db.tables[name].view.Load()
+		putString(bw, name)
+		putUvarint(bw, uint64(len(v.rows)))
+		putUvarint(bw, uint64(v.live))
+		v.scanAll(func(rowid int64, r Row) bool {
+			putVarint(bw, rowid)
+			putUvarint(bw, uint64(len(r)))
+			for _, val := range r {
+				encodeValue(bw, val)
 			}
 			return true
 		})
 	}
-	if _, err := bw.Write(b.Bytes()); err != nil {
-		f.Close()
-		return err
-	}
+	// bufio errors are sticky: one Flush check covers every write above.
 	if err := bw.Flush(); err != nil {
 		f.Close()
 		return err
@@ -319,6 +338,9 @@ func (db *DB) writeSnapshot(path string) error {
 	return f.Close()
 }
 
+// loadSnapshot and replayWal run during Open, before any concurrent access
+// exists, so they mutate each table's initial view in place (the freshly
+// created view owns its heap and trees — recovery pays no COW cost).
 func (db *DB) loadSnapshot(path string) error {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -349,6 +371,10 @@ func (db *DB) loadSnapshot(path string) error {
 			return err
 		}
 		t := db.tables[name] // nil means table was dropped from the schema
+		var w *tableView
+		if t != nil {
+			w = t.view.Load()
+		}
 		for li := uint64(0); li < live; li++ {
 			rowid, err := binary.ReadVarint(r)
 			if err != nil {
@@ -371,13 +397,13 @@ func (db *DB) loadSnapshot(path string) error {
 			if err != nil {
 				return fmt.Errorf("minidb: snapshot load: %w", err)
 			}
-			if err := t.insertAt(rowid, row); err != nil {
+			if err := t.insertAt(w, rowid, row); err != nil {
 				return fmt.Errorf("minidb: snapshot load: %w", err)
 			}
 		}
 		if t != nil {
-			for uint64(len(t.rows)) < heapLen {
-				t.rows = append(t.rows, nil) // preserve rowid allocation
+			for uint64(len(w.rows)) < heapLen {
+				w.rows = append(w.rows, nil) // preserve rowid allocation
 			}
 		}
 	}
@@ -403,6 +429,7 @@ func (db *DB) replayWal(path string) error {
 			if !ok {
 				continue // table dropped from the schema
 			}
+			w := t.view.Load()
 			row := p.row
 			if p.kind != walDelete {
 				if row, err = t.padForSchema(row); err != nil {
@@ -411,11 +438,11 @@ func (db *DB) replayWal(path string) error {
 			}
 			switch p.kind {
 			case walInsert:
-				err = t.insertAt(p.rowid, row)
+				err = t.insertAt(w, p.rowid, row)
 			case walUpdate:
-				err = t.update(p.rowid, row)
+				err = t.update(w, p.rowid, row)
 			case walDelete:
-				err = t.delete(p.rowid)
+				err = t.delete(w, p.rowid)
 			}
 			if err != nil {
 				return fmt.Errorf("minidb: wal replay: %w", err)

@@ -106,16 +106,15 @@ func (db *DB) ViewCount(name string, key Value) (int, error) {
 	return 0, nil
 }
 
-// refreshView recomputes under the view lock (one full scan). The stale
-// flag clears before the scan: the scan holds the read lock, so any write
-// that slips in between re-marks the view and the next read recomputes —
-// conservative, never stale-serving.
+// refreshView recomputes under the view lock (one full scan of the base
+// table's published snapshot — no database lock needed). The stale flag
+// clears before the snapshot is loaded: any commit that lands after the
+// load re-marks the view and the next read recomputes — conservative,
+// never stale-serving.
 func (db *DB) refreshView(v *matView) error {
 	v.stale.Store(false)
-	db.mu.RLock()
 	t, ok := db.tables[v.table]
 	if !ok {
-		db.mu.RUnlock()
 		return fmt.Errorf("minidb: view %s base table %s gone", v.name, v.table)
 	}
 	ci := t.schema.ColIndex(v.groupBy)
@@ -124,7 +123,7 @@ func (db *DB) refreshView(v *matView) error {
 		count int
 	}
 	groups := make(map[string]*kc)
-	t.scanAll(func(_ int64, r Row) bool {
+	t.view.Load().scanAll(func(_ int64, r Row) bool {
 		k := r[ci].String() // rendered key as map key; Value kept for output
 		g := groups[k]
 		if g == nil {
@@ -134,7 +133,6 @@ func (db *DB) refreshView(v *matView) error {
 		g.count++
 		return true
 	})
-	db.mu.RUnlock()
 
 	v.counts = v.counts[:0]
 	for _, g := range groups {

@@ -146,13 +146,12 @@ type Result struct {
 	Plan   PlanInfo
 }
 
-// execQuery plans and runs q against t.
-func execQuery(t *Table, q Query) (*Result, error) {
+// execQuery plans and runs q against view v of table t. The view is
+// immutable (a published snapshot) or exclusively owned (a transaction's
+// working copy), so execution takes no locks.
+func execQuery(t *Table, v *tableView, q Query) (*Result, error) {
 	res := &Result{}
-	colIdx := make(map[string]int, len(t.schema.Columns))
-	for i, c := range t.schema.Columns {
-		colIdx[c.Name] = i
-	}
+	colIdx := t.colIdx // built once at open; schemas are fixed at runtime
 	for _, p := range q.Where {
 		if _, ok := colIdx[p.Col]; !ok {
 			return nil, fmt.Errorf("minidb: table %s has no column %s", t.schema.Name, p.Col)
@@ -169,7 +168,7 @@ func execQuery(t *Table, q Query) (*Result, error) {
 		}
 	}
 
-	driver, kind := choosePlan(t, q)
+	driver, kind := choosePlan(v, q)
 	res.Plan.Kind = kind
 	if driver >= 0 {
 		res.Plan.Index = q.Where[driver].Col
@@ -190,14 +189,14 @@ func execQuery(t *Table, q Query) (*Result, error) {
 	canStopEarly := orderedByIndex && q.Limit > 0 && !q.Count
 	want := q.Offset + q.Limit
 
-	var matched []int64
-	collect := func(rowid int64, r Row) bool {
+	// matches reports whether row r passes the residual predicates.
+	matches := func(r Row) bool {
 		for i, p := range q.Where {
 			if i == driver {
 				continue // guaranteed by scan bounds except residual checks below
 			}
 			if !p.Match(r[colIdx[p.Col]]) {
-				return true
+				return false
 			}
 		}
 		if len(q.Or) > 0 {
@@ -209,21 +208,37 @@ func execQuery(t *Table, q Query) (*Result, error) {
 				}
 			}
 			if !any {
-				return true
+				return false
 			}
 		}
+		return true
+	}
+
+	// Count queries never materialize the match set: one integer suffices.
+	count := 0
+	var matched []int64
+	var matchedRows []Row // rows fetched once during the scan, reused below
+	collect := func(rowid int64, r Row) bool {
+		if !matches(r) {
+			return true
+		}
+		if q.Count {
+			count++
+			return true
+		}
 		matched = append(matched, rowid)
+		matchedRows = append(matchedRows, r)
 		return !(canStopEarly && len(matched) >= want)
 	}
 
 	switch {
 	case driver >= 0:
 		p := q.Where[driver]
-		idx := t.indexes[p.Col]
+		idx := v.indexes[p.Col]
 		lo, hi := indexBounds(p)
 		visit := func(e entry) bool {
 			res.Plan.RowsScanned++
-			r := t.get(e.rowid)
+			r := v.get(e.rowid)
 			if r == nil {
 				return true
 			}
@@ -242,51 +257,55 @@ func execQuery(t *Table, q Query) (*Result, error) {
 			idx.tree.scanRange(lo, hi, visit)
 		}
 	default:
-		t.scanAll(func(rowid int64, r Row) bool {
+		v.scanAll(func(rowid int64, r Row) bool {
 			res.Plan.RowsScanned++
 			return collect(rowid, r)
 		})
 	}
 
 	if q.Count {
-		res.Count = len(matched)
+		res.Count = count
 		return res, nil
 	}
 
-	// Sort when the index order does not already satisfy ORDER BY.
+	// Sort when the index order does not already satisfy ORDER BY. Rows were
+	// fetched once during the scan, so the comparator touches no storage.
 	if len(q.OrderBy) > 0 && !orderedByIndex {
 		ords := make([]int, len(q.OrderBy))
 		for i, o := range q.OrderBy {
 			ords[i] = colIdx[o.Col]
 		}
-		sort.SliceStable(matched, func(a, b int) bool {
-			ra, rb := t.get(matched[a]), t.get(matched[b])
-			for i, ci := range ords {
-				c := Compare(ra[ci], rb[ci])
-				if q.OrderBy[i].Desc {
-					c = -c
+		sort.Sort(&rowSorter{
+			ids: matched, rows: matchedRows,
+			less: func(a, b int) bool {
+				ra, rb := matchedRows[a], matchedRows[b]
+				for i, ci := range ords {
+					c := Compare(ra[ci], rb[ci])
+					if q.OrderBy[i].Desc {
+						c = -c
+					}
+					if c != 0 {
+						return c < 0
+					}
 				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return matched[a] < matched[b]
+				return matched[a] < matched[b] // rowid tie-break: total order
+			},
 		})
 	}
 
 	// Paging.
 	if q.Offset > 0 {
 		if q.Offset >= len(matched) {
-			matched = nil
+			matched, matchedRows = nil, nil
 		} else {
-			matched = matched[q.Offset:]
+			matched, matchedRows = matched[q.Offset:], matchedRows[q.Offset:]
 		}
 	}
 	if q.Limit > 0 && len(matched) > q.Limit {
-		matched = matched[:q.Limit]
+		matched, matchedRows = matched[:q.Limit], matchedRows[:q.Limit]
 	}
 
-	// Projection.
+	// Projection: one flat cell buffer backs every output row.
 	proj := q.Project
 	if len(proj) == 0 {
 		proj = make([]string, len(t.schema.Columns))
@@ -305,9 +324,10 @@ func execQuery(t *Table, q Query) (*Result, error) {
 	res.Cols = proj
 	res.RowIDs = matched
 	res.Rows = make([]Row, len(matched))
-	for i, rowid := range matched {
-		src := t.get(rowid)
-		out := make(Row, len(pidx))
+	np := len(pidx)
+	cells := make([]Value, len(matched)*np)
+	for i, src := range matchedRows {
+		out := cells[i*np : (i+1)*np : (i+1)*np]
 		for j, ci := range pidx {
 			out[j] = src[ci]
 		}
@@ -317,12 +337,26 @@ func execQuery(t *Table, q Query) (*Result, error) {
 	return res, nil
 }
 
+// rowSorter sorts parallel (rowid, row) slices with one comparator.
+type rowSorter struct {
+	ids  []int64
+	rows []Row
+	less func(a, b int) bool
+}
+
+func (s *rowSorter) Len() int           { return len(s.ids) }
+func (s *rowSorter) Less(a, b int) bool { return s.less(a, b) }
+func (s *rowSorter) Swap(a, b int) {
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+	s.rows[a], s.rows[b] = s.rows[b], s.rows[a]
+}
+
 // choosePlan picks the predicate whose index drives the scan. It returns the
 // predicate position (or -1) and the plan classification.
-func choosePlan(t *Table, q Query) (int, PlanKind) {
+func choosePlan(v *tableView, q Query) (int, PlanKind) {
 	best, bestScore := -1, 0
 	for i, p := range q.Where {
-		idx, ok := t.indexes[p.Col]
+		idx, ok := v.indexes[p.Col]
 		if !ok {
 			continue
 		}

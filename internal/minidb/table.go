@@ -1,15 +1,39 @@
 package minidb
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
-// Table is heap storage plus index maintenance. rowids are positions in the
-// heap slice; deleted rows leave nil tombstones. Tables are not safe for
-// concurrent use on their own — DB serializes access.
+// Table is heap storage plus index maintenance, published as an immutable
+// snapshot. rowids are positions in the heap slice; deleted rows leave nil
+// tombstones.
+//
+// Reads load the published view through an atomic pointer and never take a
+// lock: the view's rows, live count and index trees are immutable once
+// published. Writers (serialized by DB.mu) build a private copy-on-write
+// working view and publish it at commit, so a reader either sees all of a
+// transaction or none of it — the single-writer discipline HEDC's DM
+// enforces around entities (§4.4), now without blocking readers.
 type Table struct {
-	schema  *Schema
+	schema *Schema
+	colIdx map[string]int // column name -> position, built once at open
+	view   atomic.Pointer[tableView]
+	epoch  atomic.Uint64 // bumped on every published (committed) change
+}
+
+// tableView is one immutable snapshot of a table: the heap, the live count
+// and the index trees. Working copies (unpublished, exclusively owned by
+// one transaction) are the only views ever mutated.
+type tableView struct {
 	rows    []Row
 	live    int
 	indexes map[string]*tableIndex // column name -> index
+	// ownRows marks the rows backing array as exclusively owned by this
+	// (unpublished) view. Appends into shared spare capacity are safe —
+	// readers never look past their view's length — but in-place writes
+	// (update/delete tombstones) first copy the slice.
+	ownRows bool
 }
 
 type tableIndex struct {
@@ -22,91 +46,156 @@ func newTable(schema *Schema) (*Table, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{schema: schema, indexes: make(map[string]*tableIndex)}
+	t := &Table{schema: schema, colIdx: make(map[string]int, len(schema.Columns))}
+	for i, c := range schema.Columns {
+		t.colIdx[c.Name] = i
+	}
+	v := &tableView{indexes: make(map[string]*tableIndex), ownRows: true}
 	if schema.PrimaryKey != "" {
-		t.indexes[schema.PrimaryKey] = &tableIndex{
-			col: schema.ColIndex(schema.PrimaryKey), unique: true, tree: newBtree(),
+		v.indexes[schema.PrimaryKey] = &tableIndex{
+			col: t.colIdx[schema.PrimaryKey], unique: true, tree: newBtree(),
 		}
 	}
 	for _, col := range schema.Indexes {
-		if _, dup := t.indexes[col]; dup {
+		if _, dup := v.indexes[col]; dup {
 			continue // primary key already indexed
 		}
-		t.indexes[col] = &tableIndex{col: schema.ColIndex(col), unique: false, tree: newBtree()}
+		v.indexes[col] = &tableIndex{col: t.colIdx[col], unique: false, tree: newBtree()}
 	}
+	t.view.Store(v)
 	return t, nil
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *Schema { return t.schema }
 
-// Len returns the number of live rows.
-func (t *Table) Len() int { return t.live }
+// Len returns the number of live rows in the published snapshot.
+func (t *Table) Len() int { return t.view.Load().live }
 
-// get returns the row at rowid or nil.
-func (t *Table) get(rowid int64) Row {
-	if rowid < 0 || rowid >= int64(len(t.rows)) {
-		return nil
+// Epoch returns the table's commit epoch: it advances exactly once per
+// committed transaction that touched the table, so equal epochs guarantee
+// identical visible contents (the DM's cache invalidation key).
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// beginWrite returns a working copy of the published view: the heap slice is
+// shared (copy-on-write), index trees are cloned (path-copying), the index
+// map is fresh. The copy is exclusively owned by the calling transaction.
+func (t *Table) beginWrite() *tableView {
+	v := t.view.Load()
+	w := &tableView{
+		rows:    v.rows,
+		live:    v.live,
+		indexes: make(map[string]*tableIndex, len(v.indexes)),
 	}
-	return t.rows[rowid]
+	for name, idx := range v.indexes {
+		w.indexes[name] = &tableIndex{col: idx.col, unique: idx.unique, tree: idx.tree.clone()}
+	}
+	return w
 }
 
-// pkLookup returns the rowid holding primary-key value v, or -1.
-func (t *Table) pkLookup(v Value) int64 {
+// publish installs w as the table's visible snapshot and bumps the epoch.
+// Callers must hold the database writer lock.
+func (t *Table) publish(w *tableView) {
+	t.view.Store(w)
+	t.epoch.Add(1)
+}
+
+// get returns the row at rowid or nil.
+func (v *tableView) get(rowid int64) Row {
+	if rowid < 0 || rowid >= int64(len(v.rows)) {
+		return nil
+	}
+	return v.rows[rowid]
+}
+
+// scanAll visits every live row in rowid order; fn returns false to stop.
+func (v *tableView) scanAll(fn func(rowid int64, r Row) bool) {
+	for i, r := range v.rows {
+		if r == nil {
+			continue
+		}
+		if !fn(int64(i), r) {
+			return
+		}
+	}
+}
+
+// ensureOwnRows makes the heap slice safe for in-place writes by copying it
+// once per working view if the backing array is still shared.
+func (v *tableView) ensureOwnRows() {
+	if v.ownRows {
+		return
+	}
+	rows := make([]Row, len(v.rows))
+	copy(rows, v.rows)
+	v.rows = rows
+	v.ownRows = true
+}
+
+// pkLookup returns the rowid holding primary-key value pk in view v, or -1.
+func (t *Table) pkLookup(v *tableView, pk Value) int64 {
 	if t.schema.PrimaryKey == "" {
 		return -1
 	}
-	idx := t.indexes[t.schema.PrimaryKey]
+	idx := v.indexes[t.schema.PrimaryKey]
 	found := int64(-1)
-	idx.tree.scanRange(&v, &v, func(e entry) bool {
+	idx.tree.scanRange(&pk, &pk, func(e entry) bool {
 		found = e.rowid
 		return false
 	})
 	return found
 }
 
-// insert appends the row, maintaining indexes; it returns the new rowid.
-func (t *Table) insert(r Row) (int64, error) {
+// insert appends the row to working view w, maintaining indexes; it returns
+// the new rowid.
+func (t *Table) insert(w *tableView, r Row) (int64, error) {
 	if err := t.schema.CheckRow(r); err != nil {
 		return 0, err
 	}
 	if pk := t.schema.PrimaryKey; pk != "" {
-		v := r[t.schema.ColIndex(pk)]
-		if t.pkLookup(v) >= 0 {
+		v := r[t.colIdx[pk]]
+		if t.pkLookup(w, v) >= 0 {
 			return 0, fmt.Errorf("minidb: table %s duplicate primary key %s", t.schema.Name, v)
 		}
 	}
-	rowid := int64(len(t.rows))
-	t.rows = append(t.rows, r.Clone())
-	t.live++
-	for _, idx := range t.indexes {
+	rowid := int64(len(w.rows))
+	if !w.ownRows && len(w.rows) == cap(w.rows) {
+		w.ownRows = true // append below reallocates into a fresh array
+	}
+	w.rows = append(w.rows, r.Clone())
+	w.live++
+	for _, idx := range w.indexes {
 		idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
 	}
 	return rowid, nil
 }
 
 // insertAt replays an insert at a specific rowid (recovery path only).
-func (t *Table) insertAt(rowid int64, r Row) error {
+func (t *Table) insertAt(w *tableView, rowid int64, r Row) error {
 	if err := t.schema.CheckRow(r); err != nil {
 		return err
 	}
-	for int64(len(t.rows)) <= rowid {
-		t.rows = append(t.rows, nil)
+	for int64(len(w.rows)) <= rowid {
+		if !w.ownRows && len(w.rows) == cap(w.rows) {
+			w.ownRows = true
+		}
+		w.rows = append(w.rows, nil)
 	}
-	if t.rows[rowid] != nil {
+	if w.rows[rowid] != nil {
 		return fmt.Errorf("minidb: table %s replay insert over live rowid %d", t.schema.Name, rowid)
 	}
-	t.rows[rowid] = r.Clone()
-	t.live++
-	for _, idx := range t.indexes {
+	w.ensureOwnRows()
+	w.rows[rowid] = r.Clone()
+	w.live++
+	for _, idx := range w.indexes {
 		idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
 	}
 	return nil
 }
 
-// update replaces the row at rowid, maintaining indexes.
-func (t *Table) update(rowid int64, r Row) error {
-	old := t.get(rowid)
+// update replaces the row at rowid in working view w, maintaining indexes.
+func (t *Table) update(w *tableView, rowid int64, r Row) error {
+	old := w.get(rowid)
 	if old == nil {
 		return fmt.Errorf("minidb: table %s update of missing rowid %d", t.schema.Name, rowid)
 	}
@@ -114,34 +203,36 @@ func (t *Table) update(rowid int64, r Row) error {
 		return err
 	}
 	if pk := t.schema.PrimaryKey; pk != "" {
-		ci := t.schema.ColIndex(pk)
+		ci := t.colIdx[pk]
 		if !Equal(old[ci], r[ci]) {
-			if t.pkLookup(r[ci]) >= 0 {
+			if t.pkLookup(w, r[ci]) >= 0 {
 				return fmt.Errorf("minidb: table %s duplicate primary key %s", t.schema.Name, r[ci])
 			}
 		}
 	}
-	for _, idx := range t.indexes {
+	for _, idx := range w.indexes {
 		if !Equal(old[idx.col], r[idx.col]) {
 			idx.tree.delete(entry{key: old[idx.col], rowid: rowid})
 			idx.tree.insert(entry{key: r[idx.col], rowid: rowid})
 		}
 	}
-	t.rows[rowid] = r.Clone()
+	w.ensureOwnRows()
+	w.rows[rowid] = r.Clone()
 	return nil
 }
 
-// delete removes the row at rowid, maintaining indexes.
-func (t *Table) delete(rowid int64) error {
-	old := t.get(rowid)
+// delete removes the row at rowid from working view w, maintaining indexes.
+func (t *Table) delete(w *tableView, rowid int64) error {
+	old := w.get(rowid)
 	if old == nil {
 		return fmt.Errorf("minidb: table %s delete of missing rowid %d", t.schema.Name, rowid)
 	}
-	for _, idx := range t.indexes {
+	for _, idx := range w.indexes {
 		idx.tree.delete(entry{key: old[idx.col], rowid: rowid})
 	}
-	t.rows[rowid] = nil
-	t.live--
+	w.ensureOwnRows()
+	w.rows[rowid] = nil
+	w.live--
 	return nil
 }
 
@@ -168,16 +259,4 @@ func (t *Table) padForSchema(r Row) (Row, error) {
 	padded := make(Row, len(t.schema.Columns))
 	copy(padded, r)
 	return padded, nil
-}
-
-// scanAll visits every live row in rowid order; fn returns false to stop.
-func (t *Table) scanAll(fn func(rowid int64, r Row) bool) {
-	for i, r := range t.rows {
-		if r == nil {
-			continue
-		}
-		if !fn(int64(i), r) {
-			return
-		}
-	}
 }

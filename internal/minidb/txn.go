@@ -2,26 +2,33 @@ package minidb
 
 import "fmt"
 
-// Txn is a read-write transaction. It holds the database's exclusive lock
-// from Begin until Commit or Rollback, so transactions serialize and readers
-// never observe partial entity updates. Mutations apply to the tables
-// immediately (the transaction reads its own writes through Txn.Query) and
-// are durably sealed by the commit marker in the redo log; Rollback undoes
-// them in reverse order.
+// Txn is a read-write transaction. It holds the database's writer lock from
+// Begin until Commit or Rollback, so transactions serialize against each
+// other — but readers never block: mutations build private copy-on-write
+// working views per table (the transaction reads its own writes through
+// Txn.Query), and Commit atomically publishes them after sealing the redo
+// log, so concurrent readers switch from the old snapshot to the new one
+// between transactions, never inside one. Rollback simply discards the
+// working views — the published state was never touched.
 type Txn struct {
 	db      *DB
 	id      uint64
-	ops     []walOp  // redo, appended to the log on commit
-	undo    []func() // compensation, run in reverse on rollback
-	touched map[string]bool
+	ops     []walOp               // redo, appended to the log on commit
+	working map[string]*tableView // private COW views, published on commit
+	touched map[string]bool       // tables with mutations (view invalidation)
 	done    bool
 }
 
-// Begin starts a transaction, blocking until the exclusive lock is held.
+// Begin starts a transaction, blocking until the writer lock is held.
 func (db *DB) Begin() *Txn {
 	db.mu.Lock()
 	db.nextTxn++
-	return &Txn{db: db, id: db.nextTxn, touched: make(map[string]bool)}
+	return &Txn{
+		db:      db,
+		id:      db.nextTxn,
+		working: make(map[string]*tableView),
+		touched: make(map[string]bool),
+	}
 }
 
 func (tx *Txn) table(name string) (*Table, error) {
@@ -35,61 +42,70 @@ func (tx *Txn) table(name string) (*Table, error) {
 	return t, nil
 }
 
+// writable returns the table and its working view, creating the view on
+// first mutation of the table inside this transaction.
+func (tx *Txn) writable(name string) (*Table, *tableView, error) {
+	t, err := tx.table(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, ok := tx.working[name]
+	if !ok {
+		w = t.beginWrite()
+		tx.working[name] = w
+		tx.touched[name] = true
+	}
+	return t, w, nil
+}
+
+// viewOf returns the view this transaction should read from: its working
+// copy when the table was mutated, the published snapshot otherwise.
+func (tx *Txn) viewOf(name string, t *Table) *tableView {
+	if w, ok := tx.working[name]; ok {
+		return w
+	}
+	return t.view.Load()
+}
+
 // Insert adds a row, returning its rowid.
 func (tx *Txn) Insert(table string, r Row) (int64, error) {
-	t, err := tx.table(table)
+	t, w, err := tx.writable(table)
 	if err != nil {
 		return 0, err
 	}
-	rowid, err := t.insert(r)
+	rowid, err := t.insert(w, r)
 	if err != nil {
 		return 0, err
 	}
-	tx.touched[table] = true
 	tx.ops = append(tx.ops, walOp{kind: walInsert, txn: tx.id, table: table, rowid: rowid, row: r.Clone()})
-	tx.undo = append(tx.undo, func() { _ = t.delete(rowid) })
 	tx.db.stats.Inserts.Add(1)
 	return rowid, nil
 }
 
 // Update replaces the row at rowid.
 func (tx *Txn) Update(table string, rowid int64, r Row) error {
-	t, err := tx.table(table)
+	t, w, err := tx.writable(table)
 	if err != nil {
 		return err
 	}
-	old := t.get(rowid)
-	if old == nil {
-		return fmt.Errorf("minidb: table %s update of missing rowid %d", table, rowid)
-	}
-	oldCopy := old.Clone()
-	if err := t.update(rowid, r); err != nil {
+	if err := t.update(w, rowid, r); err != nil {
 		return err
 	}
-	tx.touched[table] = true
 	tx.ops = append(tx.ops, walOp{kind: walUpdate, txn: tx.id, table: table, rowid: rowid, row: r.Clone()})
-	tx.undo = append(tx.undo, func() { _ = t.update(rowid, oldCopy) })
 	tx.db.stats.Updates.Add(1)
 	return nil
 }
 
 // Delete removes the row at rowid.
 func (tx *Txn) Delete(table string, rowid int64) error {
-	t, err := tx.table(table)
+	t, w, err := tx.writable(table)
 	if err != nil {
 		return err
 	}
-	old := t.get(rowid)
-	if old == nil {
-		return fmt.Errorf("minidb: table %s delete of missing rowid %d", table, rowid)
-	}
-	oldCopy := old.Clone()
-	if err := t.delete(rowid); err != nil {
+	if err := t.delete(w, rowid); err != nil {
 		return err
 	}
-	tx.touched[table] = true
 	tx.ops = append(tx.ops, walOp{kind: walDelete, txn: tx.id, table: table, rowid: rowid})
-	tx.undo = append(tx.undo, func() { _ = t.insertAt(rowid, oldCopy) })
 	tx.db.stats.Deletes.Add(1)
 	return nil
 }
@@ -99,7 +115,11 @@ func (tx *Txn) Query(q Query) (*Result, error) {
 	if tx.done {
 		return nil, fmt.Errorf("minidb: use of finished transaction")
 	}
-	return tx.db.queryLocked(q)
+	t, ok := tx.db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no such table %s", q.Table)
+	}
+	return tx.db.execAndCount(t, tx.viewOf(q.Table, t), q)
 }
 
 // Get returns a copy of the row at rowid (nil if absent) inside the
@@ -109,16 +129,17 @@ func (tx *Txn) Get(table string, rowid int64) (Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := t.get(rowid)
+	r := tx.viewOf(table, t).get(rowid)
 	if r == nil {
 		return nil, nil
 	}
 	return r.Clone(), nil
 }
 
-// Commit seals the transaction in the redo log and releases the lock.
-// If the log write fails the transaction is rolled back and the error
-// returned; the caller must not retry Commit.
+// Commit seals the transaction in the redo log, publishes the working views
+// as the new table snapshots, and releases the writer lock. If the log write
+// fails the transaction is rolled back (its working views are discarded) and
+// the error returned; the caller must not retry Commit.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("minidb: commit of finished transaction")
@@ -141,6 +162,11 @@ func (tx *Txn) Commit() error {
 			return fmt.Errorf("minidb: commit: %w", err)
 		}
 	}
+	for name, w := range tx.working {
+		w.ownRows = false // published views are shared from here on
+		tx.db.tables[name].publish(w)
+		tx.db.stats.SnapshotPublishes.Add(1)
+	}
 	tx.done = true
 	tx.db.invalidateViews(tx.touched)
 	tx.db.stats.Commits.Add(1)
@@ -148,8 +174,9 @@ func (tx *Txn) Commit() error {
 	return nil
 }
 
-// Rollback undoes every mutation and releases the lock. Rolling back a
-// finished transaction is a no-op.
+// Rollback discards the working views and releases the writer lock — the
+// published snapshots were never touched, so there is nothing to undo.
+// Rolling back a finished transaction is a no-op.
 func (tx *Txn) Rollback() {
 	if tx.done {
 		return
@@ -158,11 +185,8 @@ func (tx *Txn) Rollback() {
 }
 
 func (tx *Txn) rollbackLocked() {
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		tx.undo[i]()
-	}
+	tx.working = nil
 	tx.done = true
-	tx.db.invalidateViews(tx.touched) // conservative: undo ran, views recompute
 	tx.db.stats.Rollbacks.Add(1)
 	tx.db.mu.Unlock()
 }

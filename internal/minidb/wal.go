@@ -171,7 +171,16 @@ func readWal(path string) ([]walOp, error) {
 
 // Value wire encoding shared by the WAL and snapshots.
 
-func encodeValue(b *bytes.Buffer, v Value) {
+// valueWriter is the encoding sink: *bytes.Buffer (WAL records) and
+// *bufio.Writer (streamed snapshots) both satisfy it. bufio errors are
+// sticky, so callers check them once at Flush.
+type valueWriter interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+}
+
+func encodeValue(b valueWriter, v Value) {
 	b.WriteByte(byte(v.T))
 	switch v.T {
 	case NullType:
@@ -226,17 +235,17 @@ func decodeValue(r *bytes.Reader) (Value, error) {
 	return v, nil
 }
 
-func putUvarint(b *bytes.Buffer, v uint64) {
+func putUvarint(b valueWriter, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	b.Write(buf[:binary.PutUvarint(buf[:], v)])
 }
 
-func putVarint(b *bytes.Buffer, v int64) {
+func putVarint(b valueWriter, v int64) {
 	var buf [binary.MaxVarintLen64]byte
 	b.Write(buf[:binary.PutVarint(buf[:], v)])
 }
 
-func putString(b *bytes.Buffer, s string) {
+func putString(b valueWriter, s string) {
 	putUvarint(b, uint64(len(s)))
 	b.WriteString(s)
 }

@@ -174,6 +174,16 @@ archives that time out simply contribute nothing</p>
 </table>
 {{template "footer" .}}{{end}}
 
+{{define "stats"}}{{template "header" .}}
+<p class="meta">Operational counters for this node. Snapshot publishes count
+committed transactions installing a new table view; the DM query cache is
+keyed by (query fingerprint, table commit epoch).</p>
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+<table>{{range .Rows}}<tr><td>{{.Name}}</td><td style="text-align:right">{{.Value}}</td></tr>{{end}}</table>
+{{end}}
+{{template "footer" .}}{{end}}
+
 {{define "error"}}{{template "header" .}}
 <p style="color:#a00">{{.Error}}</p>
 {{template "footer" .}}{{end}}

@@ -560,3 +560,20 @@ func TestCatalogPageCountIsMembership(t *testing.T) {
 		t.Fatalf("catalog page missing %q", want)
 	}
 }
+
+func TestStatsPage(t *testing.T) {
+	r := newWebRig(t)
+	r.get(t, "/") // generate some traffic first
+	code, body := r.get(t, "/stats")
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"Web tier", "Data management", "meta engine",
+		"snapshots published", "query cache hit rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("stats page missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full verification: vet, build, race-enabled tests, and one iteration of
+# the parallel query benchmark (smoke-checks the concurrent read path).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> parallel query benchmark (1 iteration)"
+go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
+
+echo "==> OK"
