@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench torture fuzz check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,19 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# check runs the full gate: vet, build, race tests and a one-iteration
-# smoke run of the parallel query benchmark.
+# torture enumerates every crash site of the scripted workload under the
+# race detector (see internal/torture).
+torture:
+	$(GO) test -race -count=1 -v ./internal/torture/
+
+# fuzz runs each WAL decode fuzz target for 30s.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWalOp$$' -fuzztime 30s ./internal/minidb/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 30s ./internal/minidb/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadWal$$' -fuzztime 30s ./internal/minidb/
+
+# check runs the full gate: vet, build, race tests (torture harness
+# included), a one-iteration smoke run of the parallel query benchmark, and
+# short fuzz runs.
 check:
 	sh scripts/check.sh

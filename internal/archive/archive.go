@@ -12,14 +12,30 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/minidb"
 )
+
+// VFS is the filesystem seam under an archive — the same interface the
+// database engine defines (minidb.VFS), so one fault-injecting
+// implementation (internal/fault) can torture both tiers in a single
+// scripted workload. Production archives use minidb.OSFS.
+type VFS = minidb.VFS
+
+// opener is the optional streaming extension: a VFS that can hand out a
+// reader without materializing the whole file (the OS filesystem and
+// internal/fault both can't/can respectively; archives fall back to
+// ReadFile when the VFS lacks it).
+type opener interface {
+	Open(path string) (io.ReadCloser, error)
+}
 
 // Kind classifies the storage tier backing an archive.
 type Kind int
@@ -77,6 +93,7 @@ type Archive struct {
 	id   string
 	kind Kind
 	root string
+	fsys VFS
 
 	mu       sync.RWMutex
 	online   bool
@@ -90,14 +107,20 @@ const manifestName = "MANIFEST.crc"
 // New opens (or creates) an archive rooted at dir. capacityBytes of 0 means
 // unlimited. An existing manifest is loaded, so archives survive restarts.
 func New(id string, kind Kind, dir string, capacityBytes int64) (*Archive, error) {
+	return NewVFS(minidb.OSFS, id, kind, dir, capacityBytes)
+}
+
+// NewVFS is New with an explicit filesystem; crash-recovery tests pass a
+// fault-injecting one so every store/remove I/O becomes a crash site.
+func NewVFS(fsys VFS, id string, kind Kind, dir string, capacityBytes int64) (*Archive, error) {
 	if id == "" {
 		return nil, fmt.Errorf("archive: empty id")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	a := &Archive{
-		id: id, kind: kind, root: dir, online: true,
+		id: id, kind: kind, root: dir, fsys: fsys, online: true,
 		capacity: capacityBytes, files: make(map[string]fileMeta),
 	}
 	if err := a.loadManifest(); err != nil {
@@ -185,16 +208,43 @@ func (a *Archive) Store(rel string, data []byte) error {
 		return fmt.Errorf("%w: %s needs %d bytes, %d left", ErrFull, rel, len(data), a.capacity-a.used)
 	}
 	abs := filepath.Join(a.root, rel)
-	if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+	if err := a.fsys.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(abs, data, 0o444); err != nil {
+	// Durability order: data file written AND fsynced before its manifest
+	// line is appended (and itself fsynced). A manifest entry therefore
+	// always points at durable bytes; a crash between the two leaves only
+	// an orphaned data file, never an acknowledged-but-lost store.
+	if err := a.writeFileSync(abs, data, 0o444); err != nil {
 		return err
 	}
 	meta := fileMeta{size: int64(len(data)), crc: crc32.ChecksumIEEE(data)}
+	if err := a.appendManifest(rel, meta); err != nil {
+		// The store is not acknowledged: drop the data file so the
+		// in-memory state, the manifest and the directory stay aligned.
+		_ = a.fsys.Remove(abs)
+		return err
+	}
 	a.files[rel] = meta
 	a.used += meta.size
-	return a.appendManifest(rel, meta)
+	return nil
+}
+
+// writeFileSync creates abs with data and forces it to stable storage.
+func (a *Archive) writeFileSync(abs string, data []byte, perm fs.FileMode) error {
+	f, err := a.fsys.Create(abs, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Read returns the file's contents after verifying its checksum. Tape and
@@ -217,7 +267,7 @@ func (a *Archive) Read(rel string) ([]byte, error) {
 	if d := a.kind.latency(); d > 0 {
 		time.Sleep(d)
 	}
-	data, err := os.ReadFile(filepath.Join(a.root, rel))
+	data, err := a.fsys.ReadFile(filepath.Join(a.root, rel))
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +297,15 @@ func (a *Archive) Open(rel string) (io.ReadCloser, error) {
 	if d := a.kind.latency(); d > 0 {
 		time.Sleep(d)
 	}
-	return os.Open(filepath.Join(a.root, rel))
+	abs := filepath.Join(a.root, rel)
+	if o, ok := a.fsys.(opener); ok {
+		return o.Open(abs)
+	}
+	data, err := a.fsys.ReadFile(abs)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(strings.NewReader(string(data))), nil
 }
 
 // Stat returns the size of a stored file.
@@ -293,12 +351,21 @@ func (a *Archive) Remove(rel string) error {
 	if !exists {
 		return fmt.Errorf("%w: %s", ErrNotFound, rel)
 	}
-	if err := os.Remove(filepath.Join(a.root, rel)); err != nil && !os.IsNotExist(err) {
-		return err
-	}
+	// Crash-safe order: publish the shrunken manifest first (atomic tmp +
+	// rename), then delete the data file. A crash in between leaves an
+	// orphaned unreferenced file — never a manifest entry whose bytes are
+	// gone.
 	delete(a.files, rel)
 	a.used -= meta.size
-	return a.rewriteManifest()
+	if err := a.rewriteManifest(); err != nil {
+		a.files[rel] = meta // manifest unchanged on disk; restore state
+		a.used += meta.size
+		return err
+	}
+	if err := a.fsys.Remove(filepath.Join(a.root, rel)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
 }
 
 // List returns stored paths in sorted order.
@@ -325,21 +392,36 @@ func (a *Archive) Verify() []string {
 	return bad
 }
 
-// Manifest persistence: "path<TAB>size<TAB>crc" lines, appended on store,
-// rewritten on remove.
+// Manifest persistence: "path<TAB>size<TAB>crc" lines, appended (and
+// fsynced) on store, atomically rewritten on remove. The manifest is the
+// archive's source of truth across restarts, so it gets the same durability
+// discipline as the database redo log.
 
 func (a *Archive) manifestPath() string { return filepath.Join(a.root, manifestName) }
 
 func (a *Archive) appendManifest(rel string, meta fileMeta) error {
-	f, err := os.OpenFile(a.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := a.fsys.OpenAppend(a.manifestPath(), 0o644)
 	if err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(f, "%s\t%d\t%d\n", rel, meta.size, meta.crc)
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
 	}
-	return err
+	if _, err = fmt.Fprintf(f, "%s\t%d\t%d\n", rel, meta.size, meta.crc); err == nil {
+		// Fsync before acknowledging: without this, a crash after Store
+		// returned could silently lose the file's registration.
+		err = f.Sync()
+	}
+	if err != nil {
+		// Keep a clean tail: a half-appended line must not sit in front of
+		// lines a later Store would add.
+		_ = f.Truncate(size)
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (a *Archive) rewriteManifest() error {
@@ -353,32 +435,56 @@ func (a *Archive) rewriteManifest() error {
 		m := a.files[p]
 		fmt.Fprintf(&sb, "%s\t%d\t%d\n", p, m.size, m.crc)
 	}
-	return os.WriteFile(a.manifestPath(), []byte(sb.String()), 0o644)
+	// Atomic replace: write aside, fsync, rename over the old manifest. A
+	// crash at any point leaves either the old or the new manifest, never
+	// a half-rewritten one.
+	tmp := a.manifestPath() + ".tmp"
+	if err := a.writeFileSync(tmp, []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	return a.fsys.Rename(tmp, a.manifestPath())
 }
 
 func (a *Archive) loadManifest() error {
-	data, err := os.ReadFile(a.manifestPath())
-	if os.IsNotExist(err) {
+	data, err := a.fsys.ReadFile(a.manifestPath())
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	for _, line := range strings.Split(string(data), "\n") {
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
 		if line == "" {
 			continue
 		}
 		parts := strings.Split(line, "\t")
+		bad := ""
 		if len(parts) != 3 {
-			return fmt.Errorf("archive: malformed manifest line %q", line)
+			bad = "shape"
 		}
-		size, err := strconv.ParseInt(parts[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("archive: malformed manifest size in %q", line)
+		var size int64
+		var crc uint64
+		if bad == "" {
+			if size, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+				bad = "size"
+			}
 		}
-		crc, err := strconv.ParseUint(parts[2], 10, 32)
-		if err != nil {
-			return fmt.Errorf("archive: malformed manifest crc in %q", line)
+		if bad == "" {
+			if crc, err = strconv.ParseUint(parts[2], 10, 32); err != nil {
+				bad = "crc"
+			}
+		}
+		if bad != "" {
+			// A malformed FINAL line with no newline terminator is the torn
+			// tail of an append interrupted by a crash — the store it
+			// belonged to was never acknowledged, so drop it. Malformed
+			// lines anywhere else (or a terminated bad line) are real
+			// corruption and must not be silently skipped.
+			if i == len(lines)-1 {
+				return nil
+			}
+			return fmt.Errorf("archive: malformed manifest %s in line %q", bad, line)
 		}
 		a.files[parts[0]] = fileMeta{size: size, crc: uint32(crc)}
 		a.used += size

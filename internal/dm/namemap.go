@@ -43,6 +43,16 @@ type StoredFile struct {
 // each). Item ids are allocated by the caller so entity tuples can
 // reference them. On any failure, previously stored files are removed —
 // the compensation the DM's transactional entity handling requires (§4.4).
+//
+// Durability contract: archive.Store fsyncs both the data file and its
+// manifest line before returning, and the location-entry transaction is
+// sealed by a redo-log fsync before this method returns — so once
+// StoreItemFiles acknowledges, a crash at any later instant loses neither
+// the bytes nor the name mapping. A crash *during* the call leaves at most
+// orphaned archive files (never location entries pointing at missing
+// data), because files are made durable strictly before the entries that
+// reference them. internal/torture enumerates every crash point of this
+// path and verifies both halves of the contract.
 func (d *DM) StoreItemFiles(itemID, owner string, public bool, files []StoredFile) (err error) {
 	arch := d.archives.Get(d.defArch)
 	if arch == nil {

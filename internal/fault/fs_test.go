@@ -1,0 +1,278 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+
+	"repro/internal/minidb"
+)
+
+// mustCreate opens a file for writing, failing the test on error.
+func mustCreate(t *testing.T, f *FS, p string) minidb.File {
+	t.Helper()
+	h, err := f.Create(p, 0o644)
+	if err != nil {
+		t.Fatalf("create %s: %v", p, err)
+	}
+	return h
+}
+
+func write(t *testing.T, h minidb.File, s string) {
+	t.Helper()
+	if _, err := h.Write([]byte(s)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func readBack(t *testing.T, f *FS, p string) []byte {
+	t.Helper()
+	data, err := f.ReadFile(p)
+	if err != nil {
+		t.Fatalf("read %s: %v", p, err)
+	}
+	return data
+}
+
+func TestCrashDropsUnsyncedOnly(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "d/x")
+	write(t, h, "durable")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, h, "-volatile")
+	f.SetFault(f.OpCount()+1, ModeCrash)
+	if _, err := h.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Every operation fails until recovery.
+	if _, err := f.ReadFile("d/x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: want ErrCrashed, got %v", err)
+	}
+	if err := f.Rename("d/x", "d/y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: want ErrCrashed, got %v", err)
+	}
+	f.Recover()
+	if got := readBack(t, f, "d/x"); string(got) != "durable" {
+		t.Fatalf("after crash want synced prefix %q, got %q", "durable", got)
+	}
+}
+
+func TestTornKeepsHalfOfCrashingWrite(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	write(t, h, "synced")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, h, "cached") // unsynced but persists in torn mode
+	f.SetFault(f.OpCount()+1, ModeTorn)
+	if _, err := h.Write([]byte("ABCDEF")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	f.Recover()
+	if got := readBack(t, f, "x"); string(got) != "syncedcachedABC" {
+		t.Fatalf("torn write: want %q, got %q", "syncedcachedABC", got)
+	}
+}
+
+func TestPartialFsyncMakesHalfDurable(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	write(t, h, "1234")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, h, "abcdefgh") // 8 pending bytes
+	f.SetFault(f.OpCount()+1, ModePartialFsync)
+	if err := h.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	f.Recover()
+	if got := readBack(t, f, "x"); string(got) != "1234abcd" {
+		t.Fatalf("partial fsync: want half the pending bytes %q, got %q", "1234abcd", got)
+	}
+}
+
+func TestBitFlipCorruptsOnlyUnsyncedRegion(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	synced := "ACKNOWLEDGED"
+	write(t, h, synced)
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pending := "pendingbytes"
+	write(t, h, pending)
+	f.SetFault(f.OpCount()+1, ModeBitFlip)
+	if _, err := h.Write([]byte("zz")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	f.Recover()
+	got := readBack(t, f, "x")
+	want := synced + pending // the crashing write itself never lands
+	if len(got) != len(want) {
+		t.Fatalf("bitflip length: got %d want %d", len(got), len(want))
+	}
+	if string(got[:len(synced)]) != synced {
+		t.Fatalf("bitflip touched acknowledged bytes: %q", got[:len(synced)])
+	}
+	diff := 0
+	for i := len(synced); i < len(want); i++ {
+		if got[i] != want[i] {
+			diff++
+			if got[i]^want[i] != 0x10 {
+				t.Fatalf("byte %d flipped by %#x, want single-bit 0x10", i, got[i]^want[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bitflip changed %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestENOSPCFailsAllocationsUntilCleared(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	write(t, h, "before")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFault(f.OpCount()+1, ModeENOSPC)
+	if _, err := h.Write([]byte("no-room")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if _, err := f.Create("y", 0o644); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("create on full disk: want ErrNoSpace, got %v", err)
+	}
+	if err := f.MkdirAll("newdir", 0o755); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("mkdir on full disk: want ErrNoSpace, got %v", err)
+	}
+	// Non-allocating operations still work on a full disk.
+	if err := h.Sync(); err != nil {
+		t.Fatalf("sync on full disk: %v", err)
+	}
+	if err := h.Truncate(3); err != nil {
+		t.Fatalf("truncate on full disk: %v", err)
+	}
+	if err := f.Rename("x", "z"); err != nil {
+		t.Fatalf("rename on full disk: %v", err)
+	}
+	if f.Crashed() {
+		t.Fatal("ENOSPC must not crash the filesystem")
+	}
+	f.ClearFault() // space freed
+	h2, err := f.Create("y", 0o644)
+	if err != nil {
+		t.Fatalf("create after space freed: %v", err)
+	}
+	write(t, h2, "ok")
+	if got := readBack(t, f, "z"); string(got) != "bef" {
+		t.Fatalf("want truncated survivor %q, got %q", "bef", got)
+	}
+}
+
+func TestNamespaceOpsAreAtomicAndDurable(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "a")
+	write(t, h, "data")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash immediately after: the rename must survive (journalled metadata).
+	f.SetFault(f.OpCount()+1, ModeCrash)
+	_, _ = f.Create("c", 0o644)
+	f.Recover()
+	if _, err := f.ReadFile("a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name still present after rename+crash: %v", err)
+	}
+	if got := readBack(t, f, "b"); string(got) != "data" {
+		t.Fatalf("renamed file lost content: %q", got)
+	}
+	if _, err := f.ReadFile("c"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("crashed create must not leave a file: %v", err)
+	}
+}
+
+func TestMkdirAllCountsOnlyCreation(t *testing.T) {
+	f := NewFS()
+	if err := f.MkdirAll("p/q/r", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n := f.OpCount()
+	if err := f.MkdirAll("p/q/r", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.MkdirAll("p/q", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if f.OpCount() != n {
+		t.Fatalf("re-mkdir of existing dirs was counted: %d -> %d", n, f.OpCount())
+	}
+}
+
+func TestCreateTruncatesExisting(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	write(t, h, "old-content")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := mustCreate(t, f, "x")
+	write(t, h2, "new")
+	if got := readBack(t, f, "x"); string(got) != "new" {
+		t.Fatalf("create must truncate: got %q", got)
+	}
+}
+
+func TestOpCountIsDeterministic(t *testing.T) {
+	script := func(f *FS) {
+		_ = f.MkdirAll("d/e", 0o755)
+		h, _ := f.Create("d/e/one", 0o644)
+		_, _ = h.Write([]byte("abc"))
+		_ = h.Sync()
+		_ = h.Close()
+		h2, _ := f.OpenAppend("d/e/one", 0o644)
+		_, _ = h2.Write([]byte("def"))
+		_ = h2.Sync()
+		_ = f.Rename("d/e/one", "d/e/two")
+		_ = f.Remove("d/e/two")
+	}
+	a, b := NewFS(), NewFS()
+	script(a)
+	script(b)
+	if a.OpCount() != b.OpCount() || a.OpCount() == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a.OpCount(), b.OpCount())
+	}
+}
+
+func TestTruncateBoundsAndDurableClamp(t *testing.T) {
+	f := NewFS()
+	h := mustCreate(t, f, "x")
+	write(t, h, "0123456789")
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Truncate(20); err == nil {
+		t.Fatal("growing truncate must fail")
+	}
+	if err := h.Truncate(-1); err == nil {
+		t.Fatal("negative truncate must fail")
+	}
+	if err := h.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	// The durable prefix may not exceed the new length: after a crash the
+	// file shows at most the truncated content.
+	f.SetFault(f.OpCount()+1, ModeCrash)
+	_, _ = f.Create("other", 0o644)
+	f.Recover()
+	if got := readBack(t, f, "x"); !bytes.Equal(got, []byte("0123")) {
+		t.Fatalf("after truncate+crash want %q, got %q", "0123", got)
+	}
+}

@@ -4,17 +4,24 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
 
 const (
-	snapshotName  = "snapshot.mdb"
-	walName       = "wal.log"
-	snapshotMagic = "MDBSNAP1"
+	snapshotName = "snapshot.mdb"
+	walName      = "wal.log"
+	// snapshotMagic (v2) prefixes a txn watermark: redo-log transactions at
+	// or below it are already inside the snapshot and are skipped on
+	// replay. That makes recovery idempotent when a crash lands between the
+	// checkpoint rename and the old log's removal — without the watermark,
+	// replaying the stale log would re-apply rows the snapshot already
+	// holds and recovery would fail on "insert over live rowid".
+	snapshotMagic   = "MDBSNAP2"
+	snapshotMagicV1 = "MDBSNAP1" // legacy: no watermark
 )
 
 // DB is a collection of tables with transactional mutation, a redo log, and
@@ -30,9 +37,13 @@ type DB struct {
 	tables  map[string]*Table
 	order   []string // table creation order, for deterministic snapshots
 	dir     string   // "" means memory-only
+	fs      VFS      // filesystem seam; OSFS in production, fault.FS in torture tests
 	wal     *walWriter
 	nextTxn uint64
-	views   map[string]*matView
+	// replayFloor is the snapshot's txn watermark during Open: sealed log
+	// transactions at or below it are already in the snapshot.
+	replayFloor uint64
+	views       map[string]*matView
 
 	stats Stats
 }
@@ -104,7 +115,14 @@ func (db *DB) Stats() StatsSnapshot {
 // empty. On reopen, the snapshot is loaded and the redo log replayed, so
 // all committed transactions survive a crash.
 func Open(dir string, schemas ...*Schema) (*DB, error) {
-	db := &DB{tables: make(map[string]*Table), dir: dir}
+	return OpenVFS(OSFS, dir, schemas...)
+}
+
+// OpenVFS is Open with an explicit filesystem. Crash-recovery tests pass a
+// fault-injecting VFS (internal/fault) so every create/write/sync/rename
+// the engine issues becomes an enumerable crash site.
+func OpenVFS(fs VFS, dir string, schemas ...*Schema) (*DB, error) {
+	db := &DB{tables: make(map[string]*Table), dir: dir, fs: fs}
 	for _, s := range schemas {
 		if _, dup := db.tables[s.Name]; dup {
 			return nil, fmt.Errorf("minidb: duplicate table %s", s.Name)
@@ -119,16 +137,20 @@ func Open(dir string, schemas ...*Schema) (*DB, error) {
 	if dir == "" {
 		return db, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	if err := db.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
 		return nil, err
 	}
-	if err := db.replayWal(filepath.Join(dir, walName)); err != nil {
+	goodSize, err := db.replayWal(filepath.Join(dir, walName))
+	if err != nil {
 		return nil, err
 	}
-	w, err := openWalWriter(filepath.Join(dir, walName))
+	// Appending resumes at the end of the last valid record; openWalWriter
+	// truncates any torn tail first so fresh records never land after
+	// garbage (which the next recovery would flag as mid-log corruption).
+	w, err := openWalWriter(fs, filepath.Join(dir, walName), goodSize)
 	if err != nil {
 		return nil, err
 	}
@@ -280,19 +302,27 @@ func (db *DB) Checkpoint() error {
 	if err := db.writeSnapshot(tmp); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapshotName)); err != nil {
+	if err := db.fs.Rename(tmp, filepath.Join(db.dir, snapshotName)); err != nil {
 		return err
 	}
-	// The snapshot now covers everything; start a fresh log.
+	// The snapshot now covers everything up to its watermark; start a fresh
+	// log. A crash anywhere in here is safe: replay skips sealed
+	// transactions at or below the watermark, so the stale log is inert.
+	// From the rename on, db.wal is nil through any failure exit: the next
+	// Commit reopens the log lazily (ensureWal) rather than writing through
+	// a closed handle — a transient failure here (out of disk space, say)
+	// must not wedge the database, and it must never silently skip logging.
 	if db.wal != nil {
-		if err := db.wal.close(); err != nil {
+		old := db.wal
+		db.wal = nil
+		if err := old.close(); err != nil {
 			return err
 		}
 	}
-	if err := os.Remove(filepath.Join(db.dir, walName)); err != nil && !os.IsNotExist(err) {
+	if err := db.fs.Remove(filepath.Join(db.dir, walName)); err != nil && !errors.Is(err, fsErrNotExist) {
 		return err
 	}
-	w, err := openWalWriter(filepath.Join(db.dir, walName))
+	w, err := openWalWriter(db.fs, filepath.Join(db.dir, walName), 0)
 	if err != nil {
 		return err
 	}
@@ -305,12 +335,15 @@ func (db *DB) Checkpoint() error {
 // buffered writer — no staging of the full database image in memory, so
 // checkpointing a large database allocates O(bufio buffer), not O(data).
 func (db *DB) writeSnapshot(path string) error {
-	f, err := os.Create(path)
+	f, err := db.fs.Create(path, 0o644)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	bw.WriteString(snapshotMagic)
+	// Txn watermark: everything at or below nextTxn is either published in
+	// the views serialized below or was rolled back — never replay it.
+	putUvarint(bw, db.nextTxn)
 	putUvarint(bw, uint64(len(db.order)))
 	for _, name := range db.order {
 		v := db.tables[name].view.Load()
@@ -342,17 +375,30 @@ func (db *DB) writeSnapshot(path string) error {
 // exists, so they mutate each table's initial view in place (the freshly
 // created view owns its heap and trees — recovery pays no COW cost).
 func (db *DB) loadSnapshot(path string) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+	data, err := db.fs.ReadFile(path)
+	if errors.Is(err, fsErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return err
 	}
-	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+	var r *bytes.Reader
+	switch {
+	case len(data) >= len(snapshotMagic) && string(data[:len(snapshotMagic)]) == snapshotMagic:
+		r = bytes.NewReader(data[len(snapshotMagic):])
+		wm, err := binary.ReadUvarint(r)
+		if err != nil {
+			return err
+		}
+		db.replayFloor = wm
+		if wm > db.nextTxn {
+			db.nextTxn = wm
+		}
+	case len(data) >= len(snapshotMagicV1) && string(data[:len(snapshotMagicV1)]) == snapshotMagicV1:
+		r = bytes.NewReader(data[len(snapshotMagicV1):]) // legacy: watermark 0
+	default:
 		return fmt.Errorf("minidb: %s is not a snapshot", path)
 	}
-	r := bytes.NewReader(data[len(snapshotMagic):])
 	nTables, err := binary.ReadUvarint(r)
 	if err != nil {
 		return err
@@ -410,15 +456,20 @@ func (db *DB) loadSnapshot(path string) error {
 	return nil
 }
 
-func (db *DB) replayWal(path string) error {
-	ops, err := readWal(path)
+// replayWal applies the sealed transactions of the redo log and returns the
+// byte offset of the last valid record — the point new appends resume from.
+func (db *DB) replayWal(path string) (int64, error) {
+	ops, goodSize, err := readWal(db.fs, path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	pending := make(map[uint64][]walOp)
 	for _, op := range ops {
 		if op.txn > db.nextTxn {
 			db.nextTxn = op.txn
+		}
+		if op.txn <= db.replayFloor {
+			continue // already inside the snapshot (stale pre-checkpoint log)
 		}
 		if op.kind != walCommit {
 			pending[op.txn] = append(pending[op.txn], op)
@@ -433,7 +484,7 @@ func (db *DB) replayWal(path string) error {
 			row := p.row
 			if p.kind != walDelete {
 				if row, err = t.padForSchema(row); err != nil {
-					return fmt.Errorf("minidb: wal replay: %w", err)
+					return 0, fmt.Errorf("minidb: wal replay: %w", err)
 				}
 			}
 			switch p.kind {
@@ -445,10 +496,10 @@ func (db *DB) replayWal(path string) error {
 				err = t.delete(w, p.rowid)
 			}
 			if err != nil {
-				return fmt.Errorf("minidb: wal replay: %w", err)
+				return 0, fmt.Errorf("minidb: wal replay: %w", err)
 			}
 		}
 		delete(pending, op.txn)
 	}
-	return nil
+	return goodSize, nil
 }

@@ -1,0 +1,42 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz")
+	}
+	write := func(target, name string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, op := range fuzzSeedOps() {
+		write("FuzzDecodeWalOp", fmt.Sprintf("seed-op-%d", i), encodeWalOp(op))
+		var b bytes.Buffer
+		for _, v := range op.row {
+			encodeValue(&b, v)
+			write("FuzzDecodeValue", fmt.Sprintf("seed-val-%d", i), b.Bytes())
+		}
+	}
+	var clean []byte
+	for _, op := range fuzzSeedOps() {
+		clean = append(clean, walRecord(op)...)
+	}
+	write("FuzzReadWal", "seed-clean", clean)
+	write("FuzzReadWal", "seed-torn", clean[:len(clean)-3])
+	mid := append([]byte{}, clean...)
+	mid[9] ^= 0x01
+	write("FuzzReadWal", "seed-midlog-damage", mid)
+}

@@ -1,6 +1,9 @@
 package minidb
 
-import "fmt"
+import (
+	"fmt"
+	"path/filepath"
+)
 
 // Txn is a read-write transaction. It holds the database's writer lock from
 // Begin until Commit or Rollback, so transactions serialize against each
@@ -144,6 +147,12 @@ func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("minidb: commit of finished transaction")
 	}
+	if len(tx.ops) > 0 {
+		if err := tx.db.ensureWal(); err != nil {
+			tx.rollbackLocked()
+			return fmt.Errorf("minidb: commit: %w", err)
+		}
+	}
 	if tx.db.wal != nil && len(tx.ops) > 0 {
 		var err error
 		for _, op := range tx.ops {
@@ -158,6 +167,11 @@ func (tx *Txn) Commit() error {
 			err = tx.db.wal.sync()
 		}
 		if err != nil {
+			// Restore the log to its last sealed record: a partially
+			// flushed tail must not remain in front of the next
+			// transaction's records, and the database stays usable after a
+			// transient failure (e.g. out of disk space).
+			tx.db.wal.reset()
 			tx.rollbackLocked()
 			return fmt.Errorf("minidb: commit: %w", err)
 		}
@@ -171,6 +185,21 @@ func (tx *Txn) Commit() error {
 	tx.db.invalidateViews(tx.touched)
 	tx.db.stats.Commits.Add(1)
 	tx.db.mu.Unlock()
+	return nil
+}
+
+// ensureWal reopens the redo log if a failed checkpoint left the database
+// without one. A persistent database never commits mutations unlogged: if
+// the log cannot be reopened, the commit fails instead. Callers hold db.mu.
+func (db *DB) ensureWal() error {
+	if db.wal != nil || db.dir == "" {
+		return nil
+	}
+	w, err := openWalWriter(db.fs, filepath.Join(db.dir, walName), -1)
+	if err != nil {
+		return fmt.Errorf("redo log unavailable: %w", err)
+	}
+	db.wal = w
 	return nil
 }
 

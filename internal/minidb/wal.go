@@ -4,12 +4,16 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"math"
-	"os"
 )
+
+// fsErrNotExist is aliased for readability at the call sites.
+var fsErrNotExist = iofs.ErrNotExist
 
 // Redo log. Every mutation is appended as a record; a commit marker seals a
 // transaction. Recovery replays only sealed transactions, so a crash in the
@@ -35,24 +39,64 @@ type walOp struct {
 	row   Row
 }
 
+// maxWalRecord bounds a single record's payload. Anything larger in a log
+// header is corruption (or a torn header), never a real record.
+const maxWalRecord = 1 << 26
+
+// ErrWalCorrupt reports mid-log damage: a record that fails its checksum
+// (or cannot be parsed) while later records are still intact. A torn tail —
+// damage with nothing valid after it — is the expected shape after a crash
+// and is NOT reported as corruption; this error means bit rot or an
+// out-of-band overwrite, and recovery refuses to silently drop the sealed
+// transactions that follow the damage.
+var ErrWalCorrupt = errors.New("minidb: wal corrupt (valid records follow damaged one)")
+
 type walWriter struct {
-	f  *os.File
+	f  File
 	bw *bufio.Writer
+	// good is the file size after the last successful sync: every byte
+	// below it holds fully acknowledged records. pending counts bytes
+	// handed to bw since then. On a failed append/sync the writer truncates
+	// back to good, so a later transaction never appends after a torn tail
+	// (which recovery would flag as mid-log corruption).
+	good    int64
+	pending int64
+	broken  error // set when the writer could not restore a clean tail
 }
 
-func openWalWriter(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openWalWriter opens the log for appending at goodSize, the end of the
+// last fully valid record as determined by replay. Any torn tail beyond it
+// is truncated away first. goodSize < 0 trusts the file as-is (reopening a
+// log that was closed cleanly, without a replay to establish the offset).
+func openWalWriter(fs VFS, path string, goodSize int64) (*walWriter, error) {
+	f, err := fs.OpenAppend(path, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &walWriter{f: f, bw: bufio.NewWriter(f)}, nil
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if goodSize >= 0 && size > goodSize {
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = goodSize
+	}
+	return &walWriter{f: f, bw: bufio.NewWriter(f), good: size}, nil
 }
 
 func (w *walWriter) append(op walOp) error {
+	if w.broken != nil {
+		return w.broken
+	}
 	payload := encodeWalOp(op)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	w.pending += int64(len(hdr) + len(payload))
 	if _, err := w.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -60,12 +104,37 @@ func (w *walWriter) append(op walOp) error {
 	return err
 }
 
-// sync flushes buffered records and forces them to stable storage.
+// sync flushes buffered records and forces them to stable storage. Only
+// after sync returns are the appended records acknowledged as durable.
 func (w *walWriter) sync() error {
+	if w.broken != nil {
+		return w.broken
+	}
 	if err := w.bw.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.good += w.pending
+	w.pending = 0
+	return nil
+}
+
+// reset restores the log to its last known-good state after a failed
+// append or sync: buffered bytes are discarded and any partially flushed
+// tail is truncated away, so the next transaction appends after the last
+// sealed record, not after garbage. If even the truncate fails the writer
+// is poisoned — every later commit errors rather than risking a log whose
+// sealed records sit beyond a damaged region.
+func (w *walWriter) reset() {
+	w.bw.Reset(w.f)
+	if w.pending > 0 {
+		if err := w.f.Truncate(w.good); err != nil {
+			w.broken = fmt.Errorf("minidb: wal unusable after failed commit: %w", err)
+		}
+	}
+	w.pending = 0
 }
 
 func (w *walWriter) close() error {
@@ -102,6 +171,9 @@ func decodeWalOp(payload []byte) (walOp, error) {
 		return walOp{}, err
 	}
 	op := walOp{kind: walOpKind(kindB)}
+	if op.kind < walInsert || op.kind > walCommit {
+		return walOp{}, fmt.Errorf("minidb: unknown wal op kind %d", kindB)
+	}
 	if op.txn, err = binary.ReadUvarint(r); err != nil {
 		return walOp{}, err
 	}
@@ -121,6 +193,11 @@ func decodeWalOp(payload []byte) (walOp, error) {
 	if err != nil {
 		return walOp{}, err
 	}
+	// Every encoded value is at least one byte, so a count beyond the
+	// remaining payload is corruption — reject before allocating.
+	if n > uint64(r.Len()) {
+		return walOp{}, fmt.Errorf("minidb: row value count %d exceeds remaining payload", n)
+	}
 	op.row = make(Row, n)
 	for i := range op.row {
 		if op.row[i], err = decodeValue(r); err != nil {
@@ -130,43 +207,91 @@ func decodeWalOp(payload []byte) (walOp, error) {
 	return op, nil
 }
 
-// readWal scans the log, returning every fully written record. A torn tail
-// (truncated record or checksum mismatch at the end) terminates the scan
-// without error — that is the expected shape after a crash.
-func readWal(path string) ([]walOp, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
+// readWal loads and parses the log. A missing file is an empty log.
+func readWal(fs VFS, path string) ([]walOp, int64, error) {
+	data, err := fs.ReadFile(path)
+	if errors.Is(err, fsErrNotExist) {
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+	return parseWal(data)
+}
+
+// parseWal scans the log, returning every fully written record and the byte
+// offset just past the last valid one (the known-good size new appends must
+// start from). A torn tail — a truncated or checksum-failing record with
+// nothing valid after it — terminates the scan without error; that is the
+// expected shape after a crash. Damage *followed by* valid records cannot
+// come from a torn write and is surfaced as ErrWalCorrupt instead of
+// silently dropping the sealed transactions behind it.
+func parseWal(data []byte) ([]walOp, int64, error) {
 	var ops []walOp
+	off := 0
 	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return ops, nil // clean EOF or torn header
+		good := int64(off)
+		rest := data[off:]
+		if len(rest) == 0 {
+			return ops, good, nil // clean EOF
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		want := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > 1<<30 {
-			return ops, nil // corrupt length: treat as torn tail
+		if len(rest) < 8 {
+			return ops, good, tornOrCorrupt(data, off+1, len(ops))
 		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return ops, nil
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if n < 2 || n > maxWalRecord {
+			// No real payload is shorter than 2 bytes or longer than the
+			// record cap: garbage length, record boundaries are lost.
+			return ops, good, tornOrCorrupt(data, off+1, len(ops))
 		}
+		end := 8 + int(n)
+		if end > len(rest) {
+			return ops, good, tornOrCorrupt(data, off+1, len(ops))
+		}
+		payload := rest[8:end]
 		if crc32.ChecksumIEEE(payload) != want {
-			return ops, nil
+			// The length field may still be intact (a flipped payload bit
+			// leaves it valid), so resume the search right after this
+			// record as well as at every byte offset in between.
+			return ops, good, tornOrCorrupt(data, off+1, len(ops))
 		}
 		op, err := decodeWalOp(payload)
 		if err != nil {
-			return ops, fmt.Errorf("minidb: wal record decode: %w", err)
+			// Checksum valid but undecodable: the record was fully
+			// written, so this is structural corruption, not a torn tail.
+			return ops, good, fmt.Errorf("minidb: wal record decode: %w", err)
 		}
 		ops = append(ops, op)
+		off += end
 	}
+}
+
+// tornOrCorrupt decides how a scan that hit a damaged record at some offset
+// ends: if any complete, checksum-valid, decodable record exists at or after
+// `from`, the damage sits mid-log (bit rot) and is an error; otherwise it is
+// the torn tail of an interrupted write and replay simply stops.
+func tornOrCorrupt(data []byte, from, sealedOps int) error {
+	for off := from; off+8 <= len(data); off++ {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n < 2 || n > maxWalRecord { // every real payload is >= 2 bytes
+			continue
+		}
+		end := off + 8 + int(n)
+		if end > len(data) {
+			continue
+		}
+		payload := data[off+8 : end]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			continue
+		}
+		if _, err := decodeWalOp(payload); err != nil {
+			continue
+		}
+		return fmt.Errorf("%w: damaged record after %d sealed ops, intact record at offset %d",
+			ErrWalCorrupt, sealedOps, off)
+	}
+	return nil
 }
 
 // Value wire encoding shared by the WAL and snapshots.
@@ -224,6 +349,9 @@ func decodeValue(r *bytes.Reader) (Value, error) {
 		n, err := binary.ReadUvarint(r)
 		if err != nil {
 			return Value{}, err
+		}
+		if n > uint64(r.Len()) {
+			return Value{}, fmt.Errorf("minidb: bytes length %d exceeds remaining payload", n)
 		}
 		v.B = make([]byte, n)
 		if _, err = io.ReadFull(r, v.B); err != nil {

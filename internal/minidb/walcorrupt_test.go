@@ -1,0 +1,223 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// walRecord frames one op exactly as walWriter.append does.
+func walRecord(op walOp) []byte {
+	payload := encodeWalOp(op)
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return append(hdr, payload...)
+}
+
+func corruptSchema() *Schema {
+	return &Schema{Name: "t", Columns: []Column{
+		{Name: "id", Type: IntType},
+		{Name: "s", Type: StringType},
+	}}
+}
+
+// sealedTxn returns the two records (insert + commit) of one sealed
+// transaction.
+func sealedTxn(txn uint64, rowid int64, tag string) []byte {
+	ins := walRecord(walOp{kind: walInsert, txn: txn, table: "t", rowid: rowid,
+		row: Row{I(rowid * 10), S(tag)}})
+	commit := walRecord(walOp{kind: walCommit, txn: txn})
+	return append(ins, commit...)
+}
+
+// TestParseWalCorruption is the table-driven damage suite: each case mangles
+// a clean two-transaction log and asserts how many records survive and
+// whether the damage reads as a torn tail (silent stop) or as mid-log
+// corruption (ErrWalCorrupt) or a structural decode failure.
+func TestParseWalCorruption(t *testing.T) {
+	t1 := sealedTxn(1, 1, "first")
+	t2 := sealedTxn(2, 2, "second")
+	clean := append(append([]byte{}, t1...), t2...)
+	// Offsets of the four records inside clean.
+	recOff := []int{0, 0, 0, 0}
+	{
+		insLen := len(walRecord(walOp{kind: walInsert, txn: 1, table: "t", rowid: 1, row: Row{I(10), S("first")}}))
+		comLen := len(walRecord(walOp{kind: walCommit, txn: 1}))
+		recOff[1] = insLen
+		recOff[2] = insLen + comLen
+		ins2Len := len(walRecord(walOp{kind: walInsert, txn: 2, table: "t", rowid: 2, row: Row{I(20), S("second")}}))
+		recOff[3] = recOff[2] + ins2Len
+	}
+
+	cases := []struct {
+		name     string
+		mangle   func([]byte) []byte
+		wantOps  int
+		wantErr  error  // nil, ErrWalCorrupt, or sentinel below
+		errMatch string // substring for non-sentinel errors
+	}{
+		{
+			name:    "clean log",
+			mangle:  func(d []byte) []byte { return d },
+			wantOps: 4,
+		},
+		{
+			name:    "truncated header at tail",
+			mangle:  func(d []byte) []byte { return d[:recOff[3]+4] },
+			wantOps: 3,
+		},
+		{
+			name:    "truncated payload at tail",
+			mangle:  func(d []byte) []byte { return d[:len(d)-3] },
+			wantOps: 3,
+		},
+		{
+			name: "crc mismatch in final record",
+			mangle: func(d []byte) []byte {
+				d[len(d)-1] ^= 0x01 // flip a payload bit of the last commit
+				return d
+			},
+			wantOps: 3,
+		},
+		{
+			name: "crc mismatch mid-log with sealed records after",
+			mangle: func(d []byte) []byte {
+				d[recOff[1]+9] ^= 0x01 // payload bit of txn1's commit record
+				return d
+			},
+			wantOps: 1,
+			wantErr: ErrWalCorrupt,
+		},
+		{
+			name: "oversized length at tail",
+			mangle: func(d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[recOff[3]:], maxWalRecord+1)
+				return d
+			},
+			wantOps: 3,
+		},
+		{
+			name: "oversized length mid-log with sealed records after",
+			mangle: func(d []byte) []byte {
+				binary.LittleEndian.PutUint32(d[recOff[1]:], maxWalRecord+1)
+				return d
+			},
+			wantOps: 1,
+			wantErr: ErrWalCorrupt,
+		},
+		{
+			name: "unknown op kind with valid checksum",
+			mangle: func(d []byte) []byte {
+				payload := []byte{9, 1} // kind 9 does not exist
+				rec := make([]byte, 8)
+				binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+				binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+				return append(d, append(rec, payload...)...)
+			},
+			wantOps:  4,
+			errMatch: "unknown wal op kind",
+		},
+		{
+			name: "trailing garbage reads as torn tail",
+			mangle: func(d []byte) []byte {
+				return append(d, 0xDE, 0xAD, 0xBE, 0xEF, 0xFF)
+			},
+			wantOps: 4,
+		},
+		{
+			name:    "empty log",
+			mangle:  func([]byte) []byte { return nil },
+			wantOps: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mangle(append([]byte{}, clean...))
+			ops, good, err := parseWal(data)
+			if len(ops) != tc.wantOps {
+				t.Fatalf("got %d ops, want %d (err=%v)", len(ops), tc.wantOps, err)
+			}
+			switch {
+			case tc.wantErr != nil:
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("got err %v, want %v", err, tc.wantErr)
+				}
+			case tc.errMatch != "":
+				if err == nil || !strings.Contains(err.Error(), tc.errMatch) {
+					t.Fatalf("got err %v, want match %q", err, tc.errMatch)
+				}
+			default:
+				if err != nil {
+					t.Fatalf("unexpected err: %v", err)
+				}
+			}
+			if good < 0 || good > int64(len(data)) {
+				t.Fatalf("good offset %d out of range 0..%d", good, len(data))
+			}
+		})
+	}
+}
+
+// TestRecoveryTornTailVsBitRot drives the same distinction through the full
+// Open path: a torn tail recovers silently to the sealed prefix, while the
+// identical damage with sealed transactions behind it refuses to open.
+func TestRecoveryTornTailVsBitRot(t *testing.T) {
+	t.Run("torn tail recovers sealed prefix", func(t *testing.T) {
+		dir := t.TempDir()
+		log := sealedTxn(1, 1, "sealed")
+		// Unsealed txn 2: insert record only, its commit never made it.
+		log = append(log, walRecord(walOp{kind: walInsert, txn: 2, table: "t", rowid: 2,
+			row: Row{I(20), S("unsealed")}})...)
+		log = append(log, 0x07, 0x00) // plus a few torn bytes
+		if err := os.WriteFile(filepath.Join(dir, walName), log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := Open(dir, corruptSchema())
+		if err != nil {
+			t.Fatalf("open over torn tail: %v", err)
+		}
+		res, err := db.Query(Query{Table: "t"})
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("want 1 recovered row, got %d (err=%v)", len(res.Rows), err)
+		}
+		// The torn tail was truncated at open: a new commit must append
+		// cleanly and survive another reopen.
+		tx := db.Begin()
+		if _, err := tx.Insert("t", Row{I(30), S("after")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit after torn-tail recovery: %v", err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := Open(dir, corruptSchema())
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer db2.Close()
+		res2, err := db2.Query(Query{Table: "t"})
+		if err != nil || len(res2.Rows) != 2 {
+			t.Fatalf("want 2 rows after reopen, got %d (err=%v)", len(res2.Rows), err)
+		}
+	})
+
+	t.Run("bit rot mid-log refuses to open", func(t *testing.T) {
+		dir := t.TempDir()
+		log := append(sealedTxn(1, 1, "first"), sealedTxn(2, 2, "second")...)
+		log[9] ^= 0x04 // flip one payload bit inside txn 1's insert record
+		if err := os.WriteFile(filepath.Join(dir, walName), log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(dir, corruptSchema())
+		if !errors.Is(err, ErrWalCorrupt) {
+			t.Fatalf("open over mid-log damage: got %v, want ErrWalCorrupt", err)
+		}
+	})
+}

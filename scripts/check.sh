@@ -1,6 +1,8 @@
 #!/bin/sh
-# Full verification: vet, build, race-enabled tests, and one iteration of
-# the parallel query benchmark (smoke-checks the concurrent read path).
+# Full verification: vet, build, race-enabled tests (including the
+# crash-recovery torture harness), one iteration of the parallel query
+# benchmark (smoke-checks the concurrent read path), and short runs of the
+# WAL decode fuzz targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,17 @@ go build ./...
 echo "==> go test -race"
 go test -race ./...
 
+echo "==> crash-recovery torture harness (-race)"
+go test -race -count=1 ./internal/torture/
+
 echo "==> parallel query benchmark (1 iteration)"
 go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
+
+# -fuzz accepts a pattern matching exactly one target, so each gets its own
+# short smoke run over the checked-in corpus plus fresh mutations.
+for target in FuzzDecodeWalOp FuzzDecodeValue FuzzReadWal; do
+	echo "==> fuzz smoke: $target (10s)"
+	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/minidb/
+done
 
 echo "==> OK"
