@@ -4,16 +4,19 @@
 // Usage:
 //
 //	hedc-bench                  # run everything
-//	hedc-bench -exp fig4        # one experiment: fig4, fig5, table1,
-//	                            # table2, table3, approx, engine
+//	hedc-bench -exp fig4        # one experiment: fig4, fig5, fig5live,
+//	                            # table1, table2, table3, approx, engine
+//	hedc-bench -json out/       # also write BENCH_fig4.json, BENCH_fig5.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,23 +30,38 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|table1|table2|table3|approx|engine")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|approx|engine")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
 
+	var fig4Pts, fig5Pts []bench.BrowsePoint
+	var livePts []bench.LivePoint
+
 	if run("fig4") {
 		any = true
-		pts := bench.Figure4(bench.DefaultBrowseParams(), nil)
-		fmt.Println(bench.FormatBrowse("Figure 4 — browse throughput vs clients (1 middle-tier node)", pts))
+		fig4Pts = bench.Figure4(bench.DefaultBrowseParams(), nil)
+		fmt.Println(bench.FormatBrowse("Figure 4 — browse throughput vs clients (1 middle-tier node)", fig4Pts))
 		fmt.Printf("paper: ~17 req/s peak at 16 clients, ~3 req/s at 96\n\n")
 	}
-	if run("fig5") {
+	if run("fig5") || run("fig5live") {
 		any = true
-		pts := bench.Figure5(bench.DefaultBrowseParams(), nil)
-		fmt.Println(bench.FormatBrowse("Figure 5 — browse throughput vs middle-tier nodes (96 clients)", pts))
+		fig5Pts = bench.Figure5(bench.DefaultBrowseParams(), nil)
+		fmt.Println(bench.FormatBrowse("Figure 5 — browse throughput vs middle-tier nodes (96 clients)", fig5Pts))
 		fmt.Printf("paper: 3 req/s at 1 node rising to 18 req/s (~120 DB queries/s) at 5 nodes\n\n")
+	}
+	if run("fig5live") {
+		any = true
+		var err error
+		livePts, err = bench.Figure5Live(bench.DefaultLiveParams(), log.New(os.Stderr, "", 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig5live:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatLive("Figure 5 (live) — measured gateway+replicas vs simulated curve", livePts, fig5Pts))
+		fmt.Printf("live: real clients through a real gateway over real replicas sharing one networked DB\n\n")
 	}
 	if run("table1") {
 		any = true
@@ -88,6 +106,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonDir != "" {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchJSON persists whatever figure data this invocation produced
+// as machine-readable files, so plots and regression checks don't have
+// to scrape the human tables. Figure 5 carries both curves: the
+// simulated sweep and, when fig5live ran, the measured one.
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, v any) error {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+	if fig4 != nil {
+		err := write("BENCH_fig4.json", map[string]any{
+			"figure": "fig4", "axis": "clients", "simulated": fig4,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if fig5 != nil || live != nil {
+		payload := map[string]any{"figure": "fig5", "axis": "nodes"}
+		if fig5 != nil {
+			payload["simulated"] = fig5
+		}
+		if live != nil {
+			payload["live"] = live
+		}
+		if err := write("BENCH_fig5.json", payload); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runEngine is the one experiment that exercises the real storage engine

@@ -1,52 +1,117 @@
-// Command hedc-server runs a full HEDC node: web interface at /, DM RPC at
-// /dm/ for remote DMs, StreamCorders and peers.
+// Command hedc-server runs one HEDC process. Four modes:
 //
-//	hedc-server -data /var/hedc -addr :8081 -load-days 2
+//	-mode repo     (default) a full standalone node: web interface at /,
+//	               DM RPC at /dm/ for remote DMs, StreamCorders and peers
+//	-mode db       serve the shared metadata database over the dbnet wire
+//	               protocol, with the calibrated ops/sec ceiling
+//	-mode replica  a middle-tier replica: a full DM dialing a -db-addr
+//	               database, serving /dm/ and /healthz
+//	-mode gateway  the cluster front door: load-balances /dm/ across
+//	               -replicas with health checks and failover
+//
+// A shared-database cluster on one machine:
+//
+//	hedc-server -mode db -addr 127.0.0.1:7000 -data /var/hedc-db
+//	hedc-server -mode replica -addr 127.0.0.1:8081 -db-addr 127.0.0.1:7000 -node r1
+//	hedc-server -mode replica -addr 127.0.0.1:8082 -db-addr 127.0.0.1:7000 -node r2
+//	hedc-server -mode gateway -addr 127.0.0.1:8080 \
+//	    -replicas http://127.0.0.1:8081/dm/,http://127.0.0.1:8082/dm/
+//
+// Every mode shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes, in-flight requests drain, and state is flushed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	hedc "repro"
+	"repro/internal/cluster"
+	"repro/internal/dbnet"
+	"repro/internal/dm"
+	"repro/internal/minidb"
+	"repro/internal/schema"
 )
 
 func main() {
 	var (
+		mode     = flag.String("mode", "repo", "process role: repo|db|replica|gateway")
 		data     = flag.String("data", "./hedc-data", "data directory (database + archives)")
-		addr     = flag.String("addr", ":8081", "HTTP listen address")
+		addr     = flag.String("addr", ":8081", "listen address (HTTP, or TCP in db mode)")
 		node     = flag.String("node", "hedc-0", "node name")
-		loadDays = flag.Int("load-days", 0, "generate and ingest this many synthetic mission days at startup")
+		loadDays = flag.Int("load-days", 0, "generate and ingest this many synthetic mission days at startup (repo mode)")
 		seed     = flag.Int64("seed", 2002, "telemetry seed")
 		dayLen   = flag.Float64("day-length", 7200, "seconds of observation per synthetic day")
-		partDom  = flag.Bool("partition", false, "put the domain schema on a separate database instance")
+		partDom  = flag.Bool("partition", false, "put the domain schema on a separate database instance (repo mode)")
 		importPw = flag.String("import-password", "import", "password of the system import account")
+		dbAddr   = flag.String("db-addr", "", "dbnet address of the shared metadata database (replica mode)")
+		dbMaxOps = flag.Float64("db-max-ops", 0, "database ops/sec ceiling, 0 = unlimited (db mode)")
+		replicas = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
+		bootPw   = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
 	)
 	flag.Parse()
 
-	repo, err := hedc.Open(hedc.Config{
-		DataDir:         *data,
-		Node:            *node,
-		ImportPassword:  *importPw,
-		URLRoot:         "http://localhost" + *addr,
-		PartitionDomain: *partDom,
-		Logger:          log.New(os.Stderr, "hedc ", log.LstdFlags),
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch *mode {
+	case "repo":
+		err = runRepo(ctx, repoConfig{
+			data: *data, addr: *addr, node: *node, loadDays: *loadDays,
+			seed: *seed, dayLen: *dayLen, partDom: *partDom, importPw: *importPw,
+		})
+	case "db":
+		err = runDB(ctx, *data, *addr, *dbMaxOps, *bootPw)
+	case "replica":
+		err = runReplica(ctx, *addr, *dbAddr, *node)
+	case "gateway":
+		err = runGateway(ctx, *addr, *replicas)
+	default:
+		err = fmt.Errorf("unknown -mode %q (repo|db|replica|gateway)", *mode)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+type repoConfig struct {
+	data, addr, node, importPw string
+	loadDays                   int
+	seed                       int64
+	dayLen                     float64
+	partDom                    bool
+}
+
+func runRepo(ctx context.Context, cfg repoConfig) error {
+	repo, err := hedc.Open(hedc.Config{
+		DataDir:         cfg.data,
+		Node:            cfg.node,
+		ImportPassword:  cfg.importPw,
+		URLRoot:         "http://localhost" + cfg.addr,
+		PartitionDomain: cfg.partDom,
+		Logger:          log.New(os.Stderr, "hedc ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
 	defer repo.Close()
 
-	for d := 1; d <= *loadDays; d++ {
+	for d := 1; d <= cfg.loadDays; d++ {
 		reports, err := repo.LoadDay(d, hedc.MissionConfig{
-			Seed: *seed, DayLength: *dayLen, BackgroundRate: 5, Flares: -1, Bursts: -1,
+			Seed: cfg.seed, DayLength: cfg.dayLen, BackgroundRate: 5, Flares: -1, Bursts: -1,
 		}, 0)
 		if err != nil {
-			log.Fatalf("load day %d: %v", d, err)
+			return fmt.Errorf("load day %d: %w", d, err)
 		}
 		var events int
 		for _, r := range reports {
@@ -55,13 +120,136 @@ func main() {
 		log.Printf("day %d: %d units, %d events", d, len(reports), events)
 	}
 	if err := repo.Checkpoint(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	stopMaintenance := repo.Node().StartMaintenance(time.Minute)
 	defer stopMaintenance()
 
-	fmt.Printf("HEDC node %s serving on %s (data in %s)\n", *node, *addr, *data)
-	fmt.Printf("  web UI:  http://localhost%s/\n", *addr)
-	fmt.Printf("  DM RPC:  http://localhost%s/dm/\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, repo.Handler()))
+	fmt.Printf("HEDC node %s serving on %s (data in %s)\n", cfg.node, cfg.addr, cfg.data)
+	fmt.Printf("  web UI:  http://localhost%s/\n", cfg.addr)
+	fmt.Printf("  DM RPC:  http://localhost%s/dm/\n", cfg.addr)
+	return serveHTTP(ctx, cfg.addr, repo.Handler())
+}
+
+// runDB serves one minidb over the dbnet wire protocol — the shared
+// database that every replica dials.
+func runDB(ctx context.Context, data, addr string, maxOps float64, bootPw string) error {
+	dir := filepath.Join(data, "metadb")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	db, err := minidb.Open(dir, schema.AllSchemas()...)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if bootPw != "" {
+		// A fresh database needs accounts before replicas can serve
+		// logins; bootstrap through a throwaway DM if none exist yet.
+		d, err := dm.Open(dm.Options{Node: "db-bootstrap", MetaDB: db,
+			Logger: log.New(os.Stderr, "boot ", 0)})
+		if err != nil {
+			return err
+		}
+		if err := d.Bootstrap(bootPw); err != nil {
+			return err
+		}
+	}
+
+	srv, err := dbnet.Listen(addr, dbnet.Options{
+		DB: db, MaxOpsPerSec: maxOps,
+		Logger: log.New(os.Stderr, "dbnet ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HEDC metadata database serving dbnet on %s (data in %s)\n", srv.Addr(), dir)
+	<-ctx.Done()
+	log.Printf("dbnet: shutting down")
+	return srv.Close()
+}
+
+// runReplica runs one middle-tier node: a full DM whose metadata engine
+// is a dbnet client dialing the shared database.
+func runReplica(ctx context.Context, addr, dbAddr, name string) error {
+	if dbAddr == "" {
+		return fmt.Errorf("replica mode requires -db-addr")
+	}
+	cl, err := dbnet.Dial(dbnet.ClientOptions{Addr: dbAddr})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	rep, err := cluster.StartReplica(cluster.ReplicaOptions{
+		Name: name, DB: cl, Addr: addr,
+		Logger: log.New(os.Stderr, name+" ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("HEDC replica %s serving on %s (database at %s)\n", name, rep.Addr(), dbAddr)
+	fmt.Printf("  DM RPC:  %s\n", rep.URL())
+	fmt.Printf("  health:  %s\n", rep.HealthURL())
+	<-ctx.Done()
+	log.Printf("%s: shutting down", name)
+	rep.Stop()
+	return nil
+}
+
+// runGateway fronts a set of replicas with the cluster gateway:
+// health-checked, cache-affine load balancing with failover, exposed as
+// the same /dm/ protocol the replicas speak.
+func runGateway(ctx context.Context, addr, replicaList string) error {
+	gw := cluster.NewGateway(cluster.GatewayOptions{
+		Logger: log.New(os.Stderr, "gateway ", log.LstdFlags),
+	})
+	defer gw.Close()
+	n := 0
+	for _, u := range strings.Split(replicaList, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		n++
+		gw.AddReplica(fmt.Sprintf("replica-%d", n), dm.NewRemote(u, nil))
+	}
+	if n == 0 {
+		return fmt.Errorf("gateway mode requires -replicas url,url,...")
+	}
+
+	mux := dm.NewServer(gw, "/dm/").Mux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthy := 0
+		for _, m := range gw.Members() {
+			if m.Healthy {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, `{"members":%d,"healthy":%d}`+"\n", n, healthy)
+	})
+	fmt.Printf("HEDC gateway serving on %s over %d replicas\n", addr, n)
+	return serveHTTP(ctx, addr, mux)
+}
+
+// serveHTTP runs an HTTP server until ctx is cancelled, then drains
+// in-flight requests before returning.
+func serveHTTP(ctx context.Context, addr string, h http.Handler) error {
+	srv := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }

@@ -62,13 +62,13 @@ func DefaultBrowseParams() BrowseParams {
 
 // BrowsePoint is one measured configuration.
 type BrowsePoint struct {
-	Clients        int
-	Nodes          int
-	RequestsPerSec float64
-	DBQueriesPS    float64
-	MeanResponseS  float64
-	WebUtilization float64 // mean across nodes
-	DBUtilization  float64
+	Clients        int     `json:"clients"`
+	Nodes          int     `json:"nodes"`
+	RequestsPerSec float64 `json:"req_per_sec"`
+	DBQueriesPS    float64 `json:"db_queries_per_sec"`
+	MeanResponseS  float64 `json:"mean_response_s"`
+	WebUtilization float64 `json:"web_utilization"` // mean across nodes
+	DBUtilization  float64 `json:"db_utilization"`
 }
 
 // RunBrowse simulates nClients closed-loop web clients spread over nNodes

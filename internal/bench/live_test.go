@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure5LiveShape runs a scaled-down live sweep and checks the
+// Figure 5 shape: more replicas means more throughput (one node is
+// thrashed by the client population), zero client-visible errors, and a
+// database ceiling that is respected, not exceeded.
+func TestFigure5LiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster measurement")
+	}
+	if raceEnabled {
+		t.Skip("race-detector slowdown swamps the scaled capacity model")
+	}
+	p := DefaultLiveParams()
+	p.Clients = 32
+	p.Nodes = []int{1, 3}
+	p.HLEs = 120
+	p.Filters = 12
+	p.TimeScale = 0.02
+	p.Warmup = 300 * time.Millisecond
+	p.Measure = 1200 * time.Millisecond
+
+	pts, err := Figure5Live(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	one, three := pts[0], pts[1]
+	for _, pt := range pts {
+		if pt.ClientErrors != 0 {
+			t.Fatalf("nodes=%d: %d client errors", pt.Nodes, pt.ClientErrors)
+		}
+		if pt.RequestsPerSec <= 0 {
+			t.Fatalf("nodes=%d: no throughput", pt.Nodes)
+		}
+		// The shared station must cap normalized DB throughput at the
+		// calibrated ceiling (some slack for window-edge effects).
+		if pt.DBOpsPerSec > p.Base.DBMaxQueriesPerSec*1.25 {
+			t.Fatalf("nodes=%d: DB %.1f ops/s exceeds ceiling %.0f",
+				pt.Nodes, pt.DBOpsPerSec, p.Base.DBMaxQueriesPerSec)
+		}
+	}
+	// 32 clients thrash a single node (threshold 16); three nodes carry
+	// ~11 each and should clearly outperform it.
+	if three.RequestsPerSec < one.RequestsPerSec*1.3 {
+		t.Fatalf("throughput did not scale with replicas: 1 node %.1f req/s, 3 nodes %.1f req/s",
+			one.RequestsPerSec, three.RequestsPerSec)
+	}
+}

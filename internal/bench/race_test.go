@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; its
+// ~10x slowdown swamps the scaled model sleeps that timing-sensitive
+// measurements depend on.
+const raceEnabled = true

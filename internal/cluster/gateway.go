@@ -1,0 +1,563 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dm"
+	"repro/internal/schema"
+)
+
+// ErrOverloaded is returned when admission control sheds a request: the
+// shared database is saturated and queueing longer would only grow the
+// backlog (§7.3's ceiling made visible to the caller instead of as an
+// unbounded queue).
+var ErrOverloaded = fmt.Errorf("cluster: middle tier overloaded, request shed")
+
+// ErrNoReplicas is returned when no healthy replica is available.
+var ErrNoReplicas = fmt.Errorf("cluster: no healthy replicas")
+
+// GatewayOptions tunes routing, health checking and admission control.
+type GatewayOptions struct {
+	// HealthInterval is the active health-check period (default 500ms).
+	HealthInterval time.Duration
+	// RetryBackoff is the pause before retrying a failed call on another
+	// replica (default 10ms, doubling per attempt).
+	RetryBackoff time.Duration
+	// MaxInflight caps concurrently admitted requests; 0 disables
+	// admission control.
+	MaxInflight int
+	// QueueTimeout bounds how long an admitted-pending request may wait
+	// for capacity before being shed (default 5s).
+	QueueTimeout time.Duration
+	// AffinitySpill is how many in-flight requests beyond the least
+	// loaded replica the affinity choice may carry before the gateway
+	// spills to the least loaded one (default 8). Affinity keeps each
+	// replica's epoch-keyed query cache hot; spilling keeps a hot key
+	// from melting one node.
+	AffinitySpill int
+	// Logger receives health transitions and failovers. Nil discards.
+	Logger *log.Logger
+}
+
+// Pinger is implemented by replica endpoints that support liveness
+// probes (dm.Remote does). Members without it count as always healthy.
+type Pinger interface{ Ping() error }
+
+type member struct {
+	name string
+	api  dm.API
+
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	served   atomic.Int64
+	failed   atomic.Int64
+}
+
+// MemberStatus is one replica's observable state.
+type MemberStatus struct {
+	Name     string
+	Healthy  bool
+	Inflight int64
+	Served   int64
+	Failed   int64
+}
+
+// Gateway fronts N replicas with one dm.API: the presentation tier
+// programs against it exactly as against a single DM ("the calling
+// methods do not know where the code is actually executed", §5.4).
+type Gateway struct {
+	opts GatewayOptions
+
+	mu      sync.RWMutex
+	members []*member
+
+	pinMu sync.Mutex
+	pins  map[string]*member // session token -> replica holding the session
+
+	admit chan struct{} // admission semaphore (nil = unlimited)
+
+	shed      atomic.Int64
+	failovers atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+var _ dm.API = (*Gateway)(nil)
+
+// NewGateway builds a gateway; add replicas with AddReplica.
+func NewGateway(opts GatewayOptions) *Gateway {
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 500 * time.Millisecond
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10 * time.Millisecond
+	}
+	if opts.QueueTimeout <= 0 {
+		opts.QueueTimeout = 5 * time.Second
+	}
+	if opts.AffinitySpill <= 0 {
+		opts.AffinitySpill = 8
+	}
+	g := &Gateway{
+		opts: opts,
+		pins: make(map[string]*member),
+		stop: make(chan struct{}),
+	}
+	if opts.MaxInflight > 0 {
+		g.admit = make(chan struct{}, opts.MaxInflight)
+	}
+	g.wg.Add(1)
+	go g.healthLoop()
+	return g
+}
+
+// AddReplica registers a replica endpoint under a unique name.
+func (g *Gateway) AddReplica(name string, api dm.API) {
+	m := &member{name: name, api: api}
+	m.healthy.Store(true)
+	g.mu.Lock()
+	g.members = append(g.members, m)
+	g.mu.Unlock()
+}
+
+// RemoveReplica deregisters a replica and drops its session pins.
+func (g *Gateway) RemoveReplica(name string) {
+	g.mu.Lock()
+	var removed *member
+	keep := g.members[:0]
+	for _, m := range g.members {
+		if m.name == name && removed == nil {
+			removed = m
+			continue
+		}
+		keep = append(keep, m)
+	}
+	g.members = keep
+	g.mu.Unlock()
+	if removed != nil {
+		g.unpinMember(removed)
+	}
+}
+
+// Members reports every replica's state.
+func (g *Gateway) Members() []MemberStatus {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]MemberStatus, 0, len(g.members))
+	for _, m := range g.members {
+		out = append(out, MemberStatus{
+			Name:     m.name,
+			Healthy:  m.healthy.Load(),
+			Inflight: m.inflight.Load(),
+			Served:   m.served.Load(),
+			Failed:   m.failed.Load(),
+		})
+	}
+	return out
+}
+
+// Shed returns requests dropped by admission control; Failovers counts
+// calls retried on another replica after a transport failure.
+func (g *Gateway) Shed() int64      { return g.shed.Load() }
+func (g *Gateway) Failovers() int64 { return g.failovers.Load() }
+
+// Close stops the health loop. In-flight calls complete.
+func (g *Gateway) Close() {
+	select {
+	case <-g.stop:
+	default:
+		close(g.stop)
+	}
+	g.wg.Wait()
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.opts.Logger != nil {
+		g.opts.Logger.Printf(format, args...)
+	}
+}
+
+// healthLoop actively probes every member. A replica that fails its
+// probe is taken out of rotation until a probe succeeds again.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		}
+		g.mu.RLock()
+		members := append([]*member(nil), g.members...)
+		g.mu.RUnlock()
+		for _, m := range members {
+			p, ok := m.api.(Pinger)
+			if !ok {
+				m.healthy.Store(true)
+				continue
+			}
+			up := p.Ping() == nil
+			if was := m.healthy.Swap(up); was != up {
+				if up {
+					g.logf("cluster: replica %s back in rotation", m.name)
+				} else {
+					g.logf("cluster: replica %s failed health check, removed from rotation", m.name)
+					g.unpinMember(m)
+				}
+			}
+		}
+	}
+}
+
+func (g *Gateway) unpinMember(m *member) {
+	g.pinMu.Lock()
+	for tok, pm := range g.pins {
+		if pm == m {
+			delete(g.pins, tok)
+		}
+	}
+	g.pinMu.Unlock()
+}
+
+// healthyMembers snapshots the in-rotation replicas.
+func (g *Gateway) healthyMembers() []*member {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*member, 0, len(g.members))
+	for _, m := range g.members {
+		if m.healthy.Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// rank orders candidates by rendezvous (highest-random-weight) hash of
+// (affinity, member): the same affinity key always prefers the same
+// replica while it is healthy, so the epoch-keyed query cache for that
+// key stays hot on one node; when the replica set changes, only the keys
+// that hashed to the lost node move.
+func rank(candidates []*member, affinity string) []*member {
+	out := append([]*member(nil), candidates...)
+	weight := func(m *member) uint64 {
+		h := fnv.New64a()
+		h.Write([]byte(affinity))
+		h.Write([]byte{0})
+		h.Write([]byte(m.name))
+		return h.Sum64()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return weight(out[i]) > weight(out[j]) })
+	return out
+}
+
+// pick chooses the replica for a call: the affinity favourite unless it
+// is carrying AffinitySpill more in-flight requests than the least
+// loaded healthy replica, in which case the load winner takes it.
+func (g *Gateway) pick(candidates []*member, affinity string) *member {
+	if len(candidates) == 0 {
+		return nil
+	}
+	ranked := rank(candidates, affinity)
+	fav := ranked[0]
+	least := candidates[0]
+	for _, m := range candidates[1:] {
+		if m.inflight.Load() < least.inflight.Load() {
+			least = m
+		}
+	}
+	if fav.inflight.Load() > least.inflight.Load()+int64(g.opts.AffinitySpill) {
+		return least
+	}
+	return fav
+}
+
+// do routes one API call: admission, replica choice (session pin or
+// affinity), execution, and failover. Transport errors mark the replica
+// unhealthy and — when safe — retry on the next-ranked one; application
+// errors (including denials) pass straight through.
+func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) error) error {
+	if g.admit != nil {
+		select {
+		case g.admit <- struct{}{}:
+		default:
+			timer := time.NewTimer(g.opts.QueueTimeout)
+			select {
+			case g.admit <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				g.shed.Add(1)
+				return ErrOverloaded
+			}
+		}
+		defer func() { <-g.admit }()
+	}
+
+	// A live session is state on one replica: calls carrying its token
+	// must land there. If that replica is gone, the session is gone with
+	// it — fail over to a fresh choice and let the caller re-auth (the
+	// reply is a denial, not a transport error).
+	if token != "" {
+		g.pinMu.Lock()
+		pinned := g.pins[token]
+		g.pinMu.Unlock()
+		if pinned != nil && pinned.healthy.Load() {
+			err := g.callMember(pinned, fn)
+			if err == nil || !dm.IsUnreachable(err) {
+				return err
+			}
+			g.noteFailure(pinned)
+			g.pinMu.Lock()
+			delete(g.pins, token)
+			g.pinMu.Unlock()
+			if mutation && !dm.IsDialError(err) {
+				return err // may have executed; do not re-run elsewhere
+			}
+		}
+	}
+
+	candidates := g.healthyMembers()
+	if len(candidates) == 0 {
+		return ErrNoReplicas
+	}
+	// Try order: load-aware affinity choice first, then the remaining
+	// replicas in affinity-rank order.
+	first := g.pick(candidates, affinity)
+	order := []*member{first}
+	for _, m := range rank(candidates, affinity) {
+		if m != first {
+			order = append(order, m)
+		}
+	}
+	backoff := g.opts.RetryBackoff
+	var lastErr error
+	for attempt, m := range order {
+		if attempt > 0 {
+			g.failovers.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err := g.callMember(m, fn)
+		if err == nil || !dm.IsUnreachable(err) {
+			return err
+		}
+		g.noteFailure(m)
+		lastErr = err
+		if mutation && !dm.IsDialError(err) {
+			// The request reached the replica before the wire broke: it
+			// may have committed against the shared database. Retrying
+			// would risk a duplicate — surface the failure instead.
+			return err
+		}
+	}
+	return lastErr
+}
+
+func (g *Gateway) callMember(m *member, fn func(api dm.API) error) error {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	err := fn(m.api)
+	if err == nil || !dm.IsUnreachable(err) {
+		m.served.Add(1)
+	}
+	return err
+}
+
+// noteFailure takes a replica out of rotation after a transport error;
+// the health loop brings it back when it answers probes again.
+func (g *Gateway) noteFailure(m *member) {
+	m.failed.Add(1)
+	if m.healthy.Swap(false) {
+		g.logf("cluster: replica %s unreachable, removed from rotation", m.name)
+		g.unpinMember(m)
+	}
+}
+
+// --- dm.API ---
+
+// Authenticate routes to any healthy replica and pins the issued token
+// to it: the session cache is that node's memory.
+func (g *Gateway) Authenticate(user, password, ip, kind string) (*dm.SessionInfo, error) {
+	var out *dm.SessionInfo
+	var chosen *member
+	err := g.do("auth:"+user, "", true, func(api dm.API) error {
+		si, err := api.Authenticate(user, password, ip, kind)
+		if err != nil {
+			return err
+		}
+		out = si
+		g.mu.RLock()
+		for _, m := range g.members {
+			if m.api == api {
+				chosen = m
+			}
+		}
+		g.mu.RUnlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if chosen != nil {
+		g.pinMu.Lock()
+		g.pins[out.Token] = chosen
+		g.pinMu.Unlock()
+	}
+	return out, nil
+}
+
+// Logout implements dm.API and releases the token's pin.
+func (g *Gateway) Logout(token string) error {
+	err := g.do("logout", token, false, func(api dm.API) error {
+		return api.Logout(token)
+	})
+	g.pinMu.Lock()
+	delete(g.pins, token)
+	g.pinMu.Unlock()
+	return err
+}
+
+// QueryHLEs implements dm.API.
+func (g *Gateway) QueryHLEs(token, ip string, f dm.HLEFilter) ([]*schema.HLE, error) {
+	var out []*schema.HLE
+	err := g.do(filterAffinity(f), token, false, func(api dm.API) error {
+		var e error
+		out, e = api.QueryHLEs(token, ip, f)
+		return e
+	})
+	return out, err
+}
+
+// CountHLEs implements dm.API.
+func (g *Gateway) CountHLEs(token, ip string, f dm.HLEFilter) (int, error) {
+	var out int
+	err := g.do(filterAffinity(f), token, false, func(api dm.API) error {
+		var e error
+		out, e = api.CountHLEs(token, ip, f)
+		return e
+	})
+	return out, err
+}
+
+// GetHLE implements dm.API.
+func (g *Gateway) GetHLE(token, ip, id string) (*schema.HLE, error) {
+	var out *schema.HLE
+	err := g.do("hle:"+id, token, false, func(api dm.API) error {
+		var e error
+		out, e = api.GetHLE(token, ip, id)
+		return e
+	})
+	return out, err
+}
+
+// AnalysesForHLE implements dm.API.
+func (g *Gateway) AnalysesForHLE(token, ip, hleID string) ([]*schema.ANA, error) {
+	var out []*schema.ANA
+	err := g.do("hle:"+hleID, token, false, func(api dm.API) error {
+		var e error
+		out, e = api.AnalysesForHLE(token, ip, hleID)
+		return e
+	})
+	return out, err
+}
+
+// GetANA implements dm.API.
+func (g *Gateway) GetANA(token, ip, id string) (*schema.ANA, error) {
+	var out *schema.ANA
+	err := g.do("ana:"+id, token, false, func(api dm.API) error {
+		var e error
+		out, e = api.GetANA(token, ip, id)
+		return e
+	})
+	return out, err
+}
+
+// ListCatalogs implements dm.API.
+func (g *Gateway) ListCatalogs(token, ip string) ([]*dm.Catalog, error) {
+	var out []*dm.Catalog
+	err := g.do("catalogs", token, false, func(api dm.API) error {
+		var e error
+		out, e = api.ListCatalogs(token, ip)
+		return e
+	})
+	return out, err
+}
+
+// CreateHLE implements dm.API.
+func (g *Gateway) CreateHLE(token, ip string, h *schema.HLE) (string, error) {
+	var out string
+	err := g.do("create", token, true, func(api dm.API) error {
+		var e error
+		out, e = api.CreateHLE(token, ip, h)
+		return e
+	})
+	return out, err
+}
+
+// ImportAnalysis implements dm.API.
+func (g *Gateway) ImportAnalysis(token, ip string, a *schema.ANA, files []dm.StoredFile) (string, error) {
+	var out string
+	err := g.do("import", token, true, func(api dm.API) error {
+		var e error
+		out, e = api.ImportAnalysis(token, ip, a, files)
+		return e
+	})
+	return out, err
+}
+
+// FindExistingAnalysis implements dm.API.
+func (g *Gateway) FindExistingAnalysis(token, ip string, spec *schema.ANA) (*schema.ANA, error) {
+	var out *schema.ANA
+	err := g.do("find-ana", token, false, func(api dm.API) error {
+		var e error
+		out, e = api.FindExistingAnalysis(token, ip, spec)
+		return e
+	})
+	return out, err
+}
+
+// Publish implements dm.API.
+func (g *Gateway) Publish(token, ip, kind, id string) error {
+	return g.do("publish:"+id, token, true, func(api dm.API) error {
+		return api.Publish(token, ip, kind, id)
+	})
+}
+
+// ReadItem implements dm.API.
+func (g *Gateway) ReadItem(token, ip, itemID string) (*dm.ItemData, error) {
+	var out *dm.ItemData
+	err := g.do("item:"+itemID, token, false, func(api dm.API) error {
+		var e error
+		out, e = api.ReadItem(token, ip, itemID)
+		return e
+	})
+	return out, err
+}
+
+// UnitsInRange implements dm.API.
+func (g *Gateway) UnitsInRange(token, ip string, t0, t1 float64) ([]*dm.UnitInfo, error) {
+	var out []*dm.UnitInfo
+	err := g.do(fmt.Sprintf("units:%g:%g", t0, t1), token, false, func(api dm.API) error {
+		var e error
+		out, e = api.UnitsInRange(token, ip, t0, t1)
+		return e
+	})
+	return out, err
+}
+
+// filterAffinity renders a browse filter as a routing key so identical
+// filters — the unit of the DM's epoch-keyed query cache — keep hitting
+// the replica whose cache already holds them.
+func filterAffinity(f dm.HLEFilter) string {
+	return fmt.Sprintf("q:%s:%s:%t%d:%t%g-%g:%s:%t:%d:%d",
+		f.Kind, f.Owner, f.HasDay, f.Day, f.HasTime, f.TimeFrom, f.TimeTo,
+		f.Catalog, f.OrderDesc, f.Offset, f.Limit)
+}

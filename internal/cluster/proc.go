@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// Proc is a replica running as a child process (hedc-server in replica
+// mode). The in-process Replica is the common path; Proc exists so a
+// node can also live in its own address space — killing the process is
+// then a faithful machine failure.
+type Proc struct {
+	cmd       *exec.Cmd
+	healthURL string
+}
+
+// SpawnProcess starts binary with args and waits until its health
+// endpoint answers (or timeout, in which case the child is killed).
+func SpawnProcess(binary string, args []string, healthURL string, timeout time.Duration) (*Proc, error) {
+	cmd := exec.Command(binary, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("cluster: spawn %s: %w", binary, err)
+	}
+	p := &Proc{cmd: cmd, healthURL: healthURL}
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		resp, err := client.Get(healthURL)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			p.Kill()
+			return nil, fmt.Errorf("cluster: %s did not become healthy within %v", binary, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Healthy re-probes the child's health endpoint.
+func (p *Proc) Healthy() bool {
+	client := &http.Client{Timeout: time.Second}
+	resp, err := client.Get(p.healthURL)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Stop terminates the child gracefully (SIGTERM, then SIGKILL after
+// grace) and reaps it.
+func (p *Proc) Stop(grace time.Duration) error {
+	if p.cmd.Process == nil {
+		return nil
+	}
+	_ = p.cmd.Process.Signal(os.Interrupt)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(grace):
+		_ = p.cmd.Process.Kill()
+		return <-done
+	}
+}
+
+// Kill terminates the child immediately and reaps it.
+func (p *Proc) Kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		_, _ = p.cmd.Process.Wait()
+	}
+}

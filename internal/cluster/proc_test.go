@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dbnet"
+	"repro/internal/dm"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// TestProcReplicaLifecycle runs a replica as a real child process — the
+// hedc-server binary in replica mode — against an in-test networked
+// database, routes a call through a gateway to it, and shuts it down
+// gracefully. This is the out-of-process half of the replica lifecycle;
+// the in-process half is covered by the other cluster tests.
+func TestProcReplicaLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns a child process")
+	}
+	bin := filepath.Join(t.TempDir(), "hedc-server")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/hedc-server")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build hedc-server: %v\n%s", err, out)
+	}
+
+	db, err := minidb.Open("", schema.AllSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	dbSrv, err := dbnet.Listen("127.0.0.1:0", dbnet.Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbSrv.Close()
+	h := &schema.HLE{ID: "hle-proc-1", Version: 1, Owner: "loader", Public: true,
+		KindHint: "flare", TStop: 1, CalibVersion: 1}
+	if _, err := db.Insert(schema.TableHLE, h.ToRow()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A free port for the child to listen on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	proc, err := SpawnProcess(bin, []string{
+		"-mode", "replica", "-addr", addr, "-db-addr", dbSrv.Addr(), "-node", "proc-1",
+	}, fmt.Sprintf("http://%s/healthz", addr), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Kill()
+	if !proc.Healthy() {
+		t.Fatal("spawned replica not healthy")
+	}
+
+	gw := NewGateway(GatewayOptions{})
+	defer gw.Close()
+	gw.AddReplica("proc-1", dm.NewRemote(fmt.Sprintf("http://%s/dm/", addr), nil))
+	n, err := gw.CountHLEs("", "10.9.0.1", dm.HLEFilter{Kind: "flare"})
+	if err != nil || n != 1 {
+		t.Fatalf("count through child replica = %d, %v", n, err)
+	}
+
+	// Graceful stop: SIGTERM, the child's signal handler drains and
+	// exits cleanly within the grace period.
+	if err := proc.Stop(5 * time.Second); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	if proc.Healthy() {
+		t.Fatal("replica still answering after stop")
+	}
+}

@@ -1,0 +1,79 @@
+// Package dbnet serves a minidb database over TCP so that N middle-tier
+// replicas can share one metadata DBMS. HEDC's middle tier "scales by
+// replication" while the database tier stays singular (Figure 5); this
+// package is that singular tier's network face. The protocol is
+// deliberately small: length-prefixed binary frames carrying the same
+// structured queries, rows, and values the engine already encodes in its
+// WAL — no SQL text, no generic serialization layer.
+//
+// Framing: every message is a 4-byte little-endian payload length
+// followed by the payload. Requests are [opcode][body]; responses are
+// [status][body] where status 0 is success and 1 carries an error
+// string. Each connection is synchronous — one request, one response —
+// which keeps interactive transactions trivial: a connection that issued
+// Begin simply routes subsequent operations through its transaction.
+package dbnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	opQuery byte = iota + 1
+	opGet
+	opInsert
+	opUpdate
+	opDelete
+	opTableNames
+	opTableLen
+	opTableEpoch
+	opSchema
+	opStats
+	opCreateView
+	opViewCount
+	opBegin
+	opCommit
+	opRollback
+	opPing
+)
+
+// Response status bytes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// DefaultMaxFrame bounds a single frame; metadata rows are small, so
+// anything larger is a corrupt or hostile peer.
+const DefaultMaxFrame = 16 << 20
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame of at most max bytes.
+func readFrame(r io.Reader, max int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > max {
+		return nil, fmt.Errorf("dbnet: frame of %d bytes exceeds limit %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,480 @@
+package dbnet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/minidb"
+)
+
+// Options configures a database server.
+type Options struct {
+	// DB is the engine being served (normally a local *minidb.DB).
+	DB minidb.Engine
+	// MaxOpsPerSec caps query/write throughput, modeling the ~120
+	// queries/second ceiling HEDC measured against its DBMS (§7.3).
+	// Zero means unlimited.
+	MaxOpsPerSec float64
+	// TxnIdleTimeout bounds how long an interactive transaction may sit
+	// idle holding the writer lock before the server rolls it back and
+	// drops the connection. Default 10s.
+	TxnIdleTimeout time.Duration
+	// MaxFrame bounds request frames. Default DefaultMaxFrame.
+	MaxFrame int
+	// Logger receives per-connection errors. Nil discards them.
+	Logger *log.Logger
+}
+
+// Server serves one minidb engine to many replica clients.
+type Server struct {
+	opts    Options
+	db      minidb.Engine
+	station *serialStation
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	ops      atomic.Int64 // capacity-counted operations served
+	freeOps  atomic.Int64 // exempt operations (epochs, schemas, pings)
+	txns     atomic.Int64 // interactive transactions begun
+	timeouts atomic.Int64 // transactions reaped by the idle timeout
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, opts), nil
+}
+
+// Serve starts a server on an existing listener.
+func Serve(ln net.Listener, opts Options) *Server {
+	if opts.TxnIdleTimeout <= 0 {
+		opts.TxnIdleTimeout = 10 * time.Second
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
+	s := &Server{
+		opts:    opts,
+		db:      opts.DB,
+		station: newSerialStation(opts.MaxOpsPerSec),
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Ops returns capacity-counted operations served so far.
+func (s *Server) Ops() int64 { return s.ops.Load() }
+
+// FreeOps returns capacity-exempt operations served so far.
+func (s *Server) FreeOps() int64 { return s.freeOps.Load() }
+
+// Txns returns interactive transactions begun; TxnTimeouts counts those
+// reaped while idle.
+func (s *Server) Txns() int64        { return s.txns.Load() }
+func (s *Server) TxnTimeouts() int64 { return s.timeouts.Load() }
+
+// Close stops accepting, closes every live connection, and waits for the
+// handlers to drain. The engine itself is not closed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Printf(format, args...)
+	}
+}
+
+// handle runs one connection's request loop. A connection inside an
+// interactive transaction reads under a deadline so a dead client cannot
+// hold the single writer lock forever.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var tx minidb.Tx // non-nil while this connection is mid-transaction
+	defer func() {
+		if tx != nil {
+			tx.Rollback()
+		}
+	}()
+
+	for {
+		if tx != nil {
+			conn.SetReadDeadline(time.Now().Add(s.opts.TxnIdleTimeout))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		req, err := readFrame(br, s.opts.MaxFrame)
+		if err != nil {
+			var nerr net.Error
+			if tx != nil && errors.As(err, &nerr) && nerr.Timeout() {
+				s.timeouts.Add(1)
+				s.logf("dbnet: %s: reaping idle transaction: %v", conn.RemoteAddr(), err)
+			} else if !errors.Is(err, io.EOF) {
+				s.logf("dbnet: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if len(req) == 0 {
+			s.logf("dbnet: %s: empty frame", conn.RemoteAddr())
+			return
+		}
+		resp, newTx := s.dispatch(req[0], bytes.NewReader(req[1:]), tx)
+		tx = newTx
+		if err := writeFrame(bw, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func okFrame(body func(*bytes.Buffer)) []byte {
+	var b bytes.Buffer
+	b.WriteByte(statusOK)
+	if body != nil {
+		body(&b)
+	}
+	return b.Bytes()
+}
+
+func errFrame(err error) []byte {
+	var b bytes.Buffer
+	b.WriteByte(statusErr)
+	minidb.WirePutString(&b, err.Error())
+	return b.Bytes()
+}
+
+// dispatch decodes and executes one request. It returns the response
+// frame and the connection's transaction state after the request.
+func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp []byte, txOut minidb.Tx) {
+	txOut = tx
+	fail := func(err error) ([]byte, minidb.Tx) { return errFrame(err), txOut }
+
+	switch op {
+	case opPing:
+		s.freeOps.Add(1)
+		return okFrame(nil), txOut
+
+	case opTableEpoch:
+		// Epoch reads are exempt from the capacity model: they are the
+		// cache-coherence heartbeat of every replica's query cache, tiny
+		// on a real DBMS, and charging them would let cache *checks*
+		// saturate the station the cache exists to protect.
+		name, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.freeOps.Add(1)
+		epoch := s.db.TableEpoch(name)
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutUvarint(b, epoch) }), txOut
+
+	case opSchema:
+		name, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.freeOps.Add(1)
+		schema := s.db.Schema(name)
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutSchema(b, schema) }), txOut
+
+	case opTableNames:
+		s.freeOps.Add(1)
+		names := s.db.TableNames()
+		return okFrame(func(b *bytes.Buffer) {
+			minidb.WirePutUvarint(b, uint64(len(names)))
+			for _, n := range names {
+				minidb.WirePutString(b, n)
+			}
+		}), txOut
+
+	case opTableLen:
+		name, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.freeOps.Add(1)
+		n := s.db.TableLen(name)
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutVarint(b, int64(n)) }), txOut
+
+	case opStats:
+		s.freeOps.Add(1)
+		st := s.db.Stats()
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutStats(b, st) }), txOut
+
+	case opCreateView:
+		name, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		groupBy, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.freeOps.Add(1)
+		if err := s.db.CreateCountView(name, table, groupBy); err != nil {
+			return fail(err)
+		}
+		return okFrame(nil), txOut
+
+	case opQuery:
+		q, err := minidb.WireQuery(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		var res *minidb.Result
+		if tx != nil {
+			res, err = tx.Query(q)
+		} else {
+			res, err = s.db.Query(q)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutResult(b, res) }), txOut
+
+	case opGet:
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		rowid, err := minidb.WireVarint(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		var row minidb.Row
+		if tx != nil {
+			row, err = tx.Get(table, rowid)
+		} else {
+			row, err = s.db.Get(table, rowid)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutRow(b, row) }), txOut
+
+	case opInsert:
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		row, err := minidb.WireRow(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		var id int64
+		if tx != nil {
+			id, err = tx.Insert(table, row)
+		} else {
+			id, err = s.db.Insert(table, row)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutVarint(b, id) }), txOut
+
+	case opUpdate:
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		rowid, err := minidb.WireVarint(r)
+		if err != nil {
+			return fail(err)
+		}
+		row, err := minidb.WireRow(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		if tx != nil {
+			err = tx.Update(table, rowid, row)
+		} else {
+			err = s.db.Update(table, rowid, row)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(nil), txOut
+
+	case opDelete:
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		rowid, err := minidb.WireVarint(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		if tx != nil {
+			err = tx.Delete(table, rowid)
+		} else {
+			err = s.db.Delete(table, rowid)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(nil), txOut
+
+	case opViewCount:
+		name, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		key, err := minidb.WireValue(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		n, err := s.db.ViewCount(name, key)
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { minidb.WirePutVarint(b, int64(n)) }), txOut
+
+	case opBegin:
+		if tx != nil {
+			return fail(fmt.Errorf("dbnet: transaction already open on this connection"))
+		}
+		s.txns.Add(1)
+		// BeginTx blocks on the engine's single writer lock; every
+		// replica's writes serialize here, exactly as they would against
+		// a shared DBMS.
+		return okFrame(nil), s.db.BeginTx()
+
+	case opCommit:
+		if tx == nil {
+			return fail(fmt.Errorf("dbnet: commit outside transaction"))
+		}
+		s.charge()
+		txOut = nil
+		if err := tx.Commit(); err != nil {
+			return errFrame(err), nil
+		}
+		return okFrame(nil), nil
+
+	case opRollback:
+		if tx == nil {
+			return fail(fmt.Errorf("dbnet: rollback outside transaction"))
+		}
+		txOut = nil
+		tx.Rollback()
+		return okFrame(nil), nil
+
+	default:
+		return fail(fmt.Errorf("dbnet: unknown opcode %d", op))
+	}
+}
+
+// charge accounts one operation against the shared capacity station.
+func (s *Server) charge() {
+	s.ops.Add(1)
+	s.station.visit()
+}
+
+// serialStation models the database tier as a single serial service
+// center: operations queue and depart at most rate per second no matter
+// how many connections submit them. This is what makes the Figure 5
+// ceiling observable over the network — past ~rate ops/s, added replicas
+// add queueing delay, not throughput (§7.3).
+type serialStation struct {
+	service time.Duration // per-operation service demand; 0 = unlimited
+	mu      sync.Mutex
+	next    time.Time // when the station is next free
+}
+
+func newSerialStation(ratePerSec float64) *serialStation {
+	st := &serialStation{}
+	if ratePerSec > 0 {
+		st.service = time.Duration(float64(time.Second) / ratePerSec)
+	}
+	return st
+}
+
+// visit occupies the station for one service time, sleeping (outside the
+// lock) until this operation's departure instant.
+func (st *serialStation) visit() {
+	if st.service == 0 {
+		return
+	}
+	now := time.Now()
+	st.mu.Lock()
+	start := st.next
+	if start.Before(now) {
+		start = now
+	}
+	depart := start.Add(st.service)
+	st.next = depart
+	st.mu.Unlock()
+	time.Sleep(time.Until(depart))
+}

@@ -35,9 +35,13 @@ import (
 
 // Options configures a DM node.
 type Options struct {
-	Node     string     // node name, e.g. "dm-0"
-	MetaDB   *minidb.DB // generic part of the schema (and domain, if DomainDB nil)
-	DomainDB *minidb.DB // optional vertical partition for the domain tables
+	Node string // node name, e.g. "dm-0"
+	// MetaDB holds the generic part of the schema (and domain, if DomainDB
+	// nil). Any minidb.Engine works: an in-process *minidb.DB, or a
+	// dbnet.Client when this node is a replica sharing a networked
+	// database with its peers (Figure 5's scaling axis).
+	MetaDB   minidb.Engine
+	DomainDB minidb.Engine // optional vertical partition for the domain tables
 	Archives *archive.Set
 	// DefaultArchive receives newly stored files.
 	DefaultArchive string
@@ -51,39 +55,39 @@ type Options struct {
 
 // Stats counts DM activity; experiments and tests read it.
 type Stats struct {
-	Requests       atomic.Int64 // semantic-layer entry points served
-	Queries        atomic.Int64 // database queries issued
-	Edits          atomic.Int64 // database mutations issued
-	FilesStored    atomic.Int64
-	FilesRead      atomic.Int64
-	BytesStored    atomic.Int64
-	BytesRead      atomic.Int64
-	NameLookups    atomic.Int64
-	CacheHits      atomic.Int64 // session-cache hits
-	CacheMisses    atomic.Int64
+	Requests    atomic.Int64 // semantic-layer entry points served
+	Queries     atomic.Int64 // database queries issued
+	Edits       atomic.Int64 // database mutations issued
+	FilesStored atomic.Int64
+	FilesRead   atomic.Int64
+	BytesStored atomic.Int64
+	BytesRead   atomic.Int64
+	NameLookups atomic.Int64
+	CacheHits   atomic.Int64 // session-cache hits
+	CacheMisses atomic.Int64
 	// Epoch-keyed query cache (cache.go). Distinct from the session cache
 	// above: these count semantic-layer reads served without touching the
 	// database engine.
 	QueryCacheHits   atomic.Int64
 	QueryCacheMisses atomic.Int64
-	AccessDenied   atomic.Int64
-	RedirectsOut   atomic.Int64 // calls shipped to a remote DM
-	RedirectsIn    atomic.Int64 // calls served on behalf of a remote caller
-	EventsDetected atomic.Int64
-	UnitsLoaded    atomic.Int64
+	AccessDenied     atomic.Int64
+	RedirectsOut     atomic.Int64 // calls shipped to a remote DM
+	RedirectsIn      atomic.Int64 // calls served on behalf of a remote caller
+	EventsDetected   atomic.Int64
+	UnitsLoaded      atomic.Int64
 }
 
 // DM is one Data Management node.
 type DM struct {
 	node     string
-	meta     *minidb.DB
-	domain   *minidb.DB
+	meta     minidb.Engine
+	domain   minidb.Engine
 	archives *archive.Set
 	defArch  string
 	urlRoot  string
 	logger   *log.Logger
 
-	pools map[*minidb.DB]*dbPools
+	pools map[minidb.Engine]*dbPools
 
 	sessions *sessionCache
 	cache    *queryCache
@@ -136,7 +140,7 @@ func Open(opts Options) (*DM, error) {
 		defArch:  opts.DefaultArchive,
 		urlRoot:  opts.URLRoot,
 		logger:   opts.Logger,
-		pools:    make(map[*minidb.DB]*dbPools),
+		pools:    make(map[minidb.Engine]*dbPools),
 		sessions: newSessionCache(),
 		cache:    newQueryCache(4096),
 		seqHi:    make(map[string]int64),
@@ -145,7 +149,7 @@ func Open(opts Options) (*DM, error) {
 	if d.domain == nil {
 		d.domain = d.meta
 	}
-	for _, db := range []*minidb.DB{d.meta, d.domain} {
+	for _, db := range []minidb.Engine{d.meta, d.domain} {
 		if _, done := d.pools[db]; done {
 			continue
 		}
@@ -179,14 +183,14 @@ func (d *DM) Stats() *Stats { return &d.stats }
 func (d *DM) Archives() *archive.Set { return d.archives }
 
 // MetaDB and DomainDB expose the underlying engines for diagnostics.
-func (d *DM) MetaDB() *minidb.DB   { return d.meta }
-func (d *DM) DomainDB() *minidb.DB { return d.domain }
+func (d *DM) MetaDB() minidb.Engine   { return d.meta }
+func (d *DM) DomainDB() minidb.Engine { return d.domain }
 
 // routeDB implements vertical partitioning: domain tables go to the domain
 // database instance, everything else to the meta instance (§5.2: "data
 // requests for certain parts of a database schema are routed to a
 // different DBMS").
-func (d *DM) routeDB(table string) *minidb.DB {
+func (d *DM) routeDB(table string) minidb.Engine {
 	switch table {
 	case schema.TableHLE, schema.TableANA, schema.TableCatalog,
 		schema.TableCatalogMembers, schema.TableRawUnits,
@@ -209,9 +213,9 @@ func (d *DM) query(q minidb.Query) (*minidb.Result, error) {
 
 // exec runs fn inside a transaction on the routed database, counting each
 // mutation it performs via the returned edit counter.
-func (d *DM) exec(table string, fn func(tx *minidb.Txn) error) error {
+func (d *DM) exec(table string, fn func(tx minidb.Tx) error) error {
 	db := d.routeDB(table)
-	tx := db.Begin()
+	tx := db.BeginTx()
 	if err := fn(tx); err != nil {
 		tx.Rollback()
 		return err
@@ -221,18 +225,21 @@ func (d *DM) exec(table string, fn func(tx *minidb.Txn) error) error {
 
 // nextID hands out "prefix-n" identifiers using a hi-lo allocator: the
 // persisted ceiling in admin_config moves in blocks, so restarts never
-// reuse ids and allocation rarely touches the database.
+// reuse ids and allocation rarely touches the database. Block claims are
+// transactional: replicas sharing one database serialize on the writer
+// lock and each walks away with a disjoint block.
 func (d *DM) nextID(prefix string) (string, error) {
 	const block = 64
 	d.seqMu.Lock()
 	defer d.seqMu.Unlock()
 	n := d.seqHi[prefix]
 	if n >= d.seqMax[prefix] {
-		newMax := d.seqMax[prefix] + block
-		if err := d.persistSequence(prefix, newMax); err != nil {
+		newMax, err := d.claimSequenceBlock(prefix, block)
+		if err != nil {
 			return "", err
 		}
 		d.seqMax[prefix] = newMax
+		n = newMax - block
 	}
 	d.seqHi[prefix] = n + 1
 	return fmt.Sprintf("%s-%08d", prefix, n), nil
@@ -264,22 +271,42 @@ func (d *DM) loadSequences() error {
 	return nil
 }
 
-func (d *DM) persistSequence(prefix string, max int64) error {
+// claimSequenceBlock advances the persisted ceiling by block inside one
+// transaction and returns the new ceiling. The re-read under the writer
+// lock is what makes concurrent claims from different nodes disjoint.
+func (d *DM) claimSequenceBlock(prefix string, block int64) (int64, error) {
 	key := seqKey(prefix)
-	res, err := d.meta.Query(minidb.Query{
+	var newMax int64
+	tx := d.meta.BeginTx()
+	res, err := tx.Query(minidb.Query{
 		Table: schema.TableConfig,
 		Where: []minidb.Pred{{Col: "key", Op: minidb.OpEq, Val: minidb.S(key)}},
 	})
 	if err != nil {
-		return err
+		tx.Rollback()
+		return 0, err
 	}
-	val := fmt.Sprintf("%d", max)
-	row := minidb.Row{minidb.S(key), minidb.S("sequence"), minidb.S(val), minidb.Null()}
+	var persisted int64
+	if len(res.Rows) > 0 {
+		fmt.Sscanf(res.Rows[0][2].Str(), "%d", &persisted)
+	}
+	newMax = persisted + block
+	row := minidb.Row{
+		minidb.S(key), minidb.S("sequence"), minidb.S(fmt.Sprintf("%d", newMax)), minidb.Null(),
+	}
 	if len(res.RowIDs) > 0 {
-		return d.meta.Update(schema.TableConfig, res.RowIDs[0], row)
+		err = tx.Update(schema.TableConfig, res.RowIDs[0], row)
+	} else {
+		_, err = tx.Insert(schema.TableConfig, row)
 	}
-	_, err = d.meta.Insert(schema.TableConfig, row)
-	return err
+	if err != nil {
+		tx.Rollback()
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return newMax, nil
 }
 
 // logOp writes to the operational log table and the process logger.

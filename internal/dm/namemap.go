@@ -90,7 +90,7 @@ func (d *DM) StoreItemFiles(itemID, owner string, public bool, files []StoredFil
 		}
 		pendings = append(pendings, p)
 	}
-	err = d.exec(schema.TableLocEntries, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableLocEntries, func(tx minidb.Tx) error {
 		for _, p := range pendings {
 			for i, nameType := range []string{schema.NameFile, schema.NameURL} {
 				if _, insErr := tx.Insert(schema.TableLocEntries, minidb.Row{
@@ -217,7 +217,7 @@ func (d *DM) RegisterArchive(a *archive.Archive, pathRoot string) error {
 	if err := d.archives.Add(a); err != nil {
 		return err
 	}
-	err := d.exec(schema.TableArchives, func(tx *minidb.Txn) error {
+	err := d.exec(schema.TableArchives, func(tx minidb.Tx) error {
 		if _, err := tx.Insert(schema.TableArchives, minidb.Row{
 			minidb.S(a.ID()), minidb.S(a.Kind().String()), minidb.S("online"),
 			minidb.I(a.CapacityLeft()), minidb.S(a.Root()),
@@ -255,7 +255,7 @@ func (d *DM) RelocateItem(itemID, toArchive string) error {
 	if err := archive.Copy(src, dst, rn.Path); err != nil {
 		return fmt.Errorf("dm: relocate %s: %w", itemID, err)
 	}
-	err = d.exec(schema.TableLocEntries, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableLocEntries, func(tx minidb.Tx) error {
 		res, qerr := tx.Query(minidb.Query{
 			Table: schema.TableLocEntries,
 			Where: []minidb.Pred{{Col: "item_id", Op: minidb.OpEq, Val: minidb.S(itemID)}},

@@ -62,7 +62,7 @@ func (d *DM) Bootstrap(importPassword string) error {
 		RightBrowse, RightDownload, RightAnalyze, RightUpload); err != nil {
 		return err
 	}
-	err := d.exec(schema.TableLocRoots, func(tx *minidb.Txn) error {
+	err := d.exec(schema.TableLocRoots, func(tx minidb.Tx) error {
 		for _, r := range [][2]string{
 			{schema.NameFile, ""},
 			{schema.NameURL, d.urlRoot},
@@ -166,7 +166,7 @@ func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
 	}
 
 	// 2. The raw_units tuple.
-	err = d.exec(schema.TableRawUnits, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableRawUnits, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableRawUnits, minidb.Row{
 			minidb.S(unitID), minidb.I(int64(u.Day)), minidb.I(int64(u.Seq)),
 			minidb.F(u.TStart), minidb.F(u.TStop), minidb.I(int64(len(u.Photons))),
@@ -201,7 +201,7 @@ func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
 			return nil, err
 		}
 		viewID := fmt.Sprintf("%s-v%02d", unitID, i)
-		err = d.exec(schema.TableViews, func(tx *minidb.Txn) error {
+		err = d.exec(schema.TableViews, func(tx minidb.Tx) error {
 			_, err := tx.Insert(schema.TableViews, minidb.Row{
 				minidb.S(viewID), minidb.S(unitID),
 				minidb.F(v.TStart), minidb.F(v.TStop),
@@ -402,7 +402,7 @@ func (d *DM) Recalibrate(unitID, reason string) (int64, error) {
 	}
 	var vn int64
 	fmt.Sscanf(vid, "ver-%d", &vn)
-	err = d.exec(schema.TableVersions, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableVersions, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableVersions, minidb.Row{
 			minidb.I(vn), minidb.S("unit"), minidb.S(unitID),
 			minidb.I(newVersion), minidb.F(nowSecs()), minidb.S(reason),

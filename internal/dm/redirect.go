@@ -3,8 +3,10 @@ package dm
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -102,6 +104,9 @@ func decodeArgs(env rpcEnvelope, into interface{}) error {
 
 func (s *Server) dispatch(method string, env rpcEnvelope) (interface{}, error) {
 	switch method {
+	case "ping":
+		// Liveness probe for cluster health checks: no auth, no DB touch.
+		return "pong", nil
 	case "authenticate":
 		var a struct{ User, Password, Kind string }
 		if err := decodeArgs(env, &a); err != nil {
@@ -204,6 +209,38 @@ func NewRemote(baseURL string, source *DM) *Remote {
 	}
 }
 
+// TransportError marks a call that failed before a well-formed reply
+// arrived: dial failure, broken connection, HTTP-level error, mangled
+// response. Application errors (including denials) never wear it. The
+// cluster gateway keys failover on this distinction — a TransportError
+// from a replica means the replica, not the request, is suspect.
+type TransportError struct {
+	Method string
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("dm: remote call %s: %v", e.Method, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsUnreachable reports whether err is a transport failure rather than
+// an answer from the remote DM.
+func IsUnreachable(err error) bool {
+	var te *TransportError
+	return errors.As(err, &te)
+}
+
+// IsDialError reports whether err failed during connection establishment
+// — before the request could have reached the remote DM. Only such
+// failures make retrying a *mutation* on another replica safe; anything
+// later may have executed.
+func IsDialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
 func (r *Remote) call(method, token, ip string, args, result interface{}) error {
 	if r.Source != nil {
 		r.Source.stats.RedirectsOut.Add(1)
@@ -224,15 +261,15 @@ func (r *Remote) call(method, token, ip string, args, result interface{}) error 
 	}
 	resp, err := r.Client.Post(r.BaseURL+method, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("dm: remote call %s: %w", method, err)
+		return &TransportError{Method: method, Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("dm: remote call %s: http %d", method, resp.StatusCode)
+		return &TransportError{Method: method, Err: fmt.Errorf("http %d", resp.StatusCode)}
 	}
 	var reply rpcReply
 	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
-		return fmt.Errorf("dm: remote call %s: %w", method, err)
+		return &TransportError{Method: method, Err: err}
 	}
 	if reply.Error != "" {
 		if reply.Denied {
@@ -244,6 +281,12 @@ func (r *Remote) call(method, token, ip string, args, result interface{}) error 
 		return json.Unmarshal(reply.Result, result)
 	}
 	return nil
+}
+
+// Ping probes the remote DM's liveness.
+func (r *Remote) Ping() error {
+	var out string
+	return r.call("ping", "", "", struct{}{}, &out)
 }
 
 // Authenticate implements API.

@@ -1,8 +1,13 @@
 package dm
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/schema"
 )
@@ -238,6 +243,144 @@ func TestDispatcherFullSurface(t *testing.T) {
 	}
 	if d.Stats().RedirectsIn.Load() < 10 {
 		t.Fatalf("only %d calls went remote", d.Stats().RedirectsIn.Load())
+	}
+}
+
+func TestRemoteErrorPropagation(t *testing.T) {
+	remote, d := newRemotePair(t)
+	alice := newScientist(t, d, "alice")
+
+	// An application error (not a denial) crosses the wire with its
+	// message intact — and must not look like a transport failure, or the
+	// gateway would fail the replica over for a bad request.
+	_, err := remote.GetHLE(alice.Token, alice.IP, "hle-does-not-exist")
+	if err == nil || !strings.Contains(err.Error(), "no such HLE") {
+		t.Fatalf("err = %v, want remote not-found message", err)
+	}
+	if IsDenied(err) || IsUnreachable(err) {
+		t.Fatalf("app error misclassified: denied=%v unreachable=%v", IsDenied(err), IsUnreachable(err))
+	}
+	// Ping works without a session or a database touch.
+	if err := remote.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+}
+
+func TestServerMalformedEnvelopes(t *testing.T) {
+	remote, _ := newRemotePair(t)
+
+	// Body that is not JSON at all: HTTP 400 from the server, which the
+	// client reports as a transport error (no well-formed reply arrived).
+	resp, err := http.Post(remote.BaseURL+"query-hles", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+
+	// Valid envelope, args of the wrong shape: a clean application error.
+	resp, err = http.Post(remote.BaseURL+"get-hle", "application/json",
+		strings.NewReader(`{"args":["not","an","object"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		Error  string `json:"error"`
+		Denied bool   `json:"denied"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&reply)
+	resp.Body.Close()
+	if derr != nil || reply.Error == "" || reply.Denied {
+		t.Fatalf("reply = %+v (decode %v), want non-denied error", reply, derr)
+	}
+
+	// Missing args where the method needs them.
+	resp, err = http.Post(remote.BaseURL+"count-hles", "application/json",
+		strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr = json.NewDecoder(resp.Body).Decode(&reply)
+	resp.Body.Close()
+	if derr != nil || !strings.Contains(reply.Error, "missing args") {
+		t.Fatalf("reply = %+v (decode %v)", reply, derr)
+	}
+
+	// GET is rejected: the protocol is POST-only.
+	resp, err = http.Get(remote.BaseURL + "list-catalogs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRemoteTransportErrors(t *testing.T) {
+	// A server that answers garbage: the reply never decodes, so the
+	// client must classify the call as a transport failure.
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html>not the rpc protocol</html>")
+	}))
+	defer garbage.Close()
+	r := NewRemote(garbage.URL+"/dm/", nil)
+	if _, err := r.ListCatalogs("", ""); !IsUnreachable(err) {
+		t.Fatalf("garbage reply: err = %v, want transport error", err)
+	}
+
+	// A server that 500s before the protocol layer.
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "proxy exploded", http.StatusBadGateway)
+	}))
+	defer broken.Close()
+	r = NewRemote(broken.URL+"/dm/", nil)
+	err := r.Publish("tok", "ip", "ana", "x")
+	if !IsUnreachable(err) || !strings.Contains(err.Error(), "http 502") {
+		t.Fatalf("http 502: err = %v", err)
+	}
+	// An HTTP-level failure is not a dial failure: the request may have
+	// been delivered, so mutations must not be blindly retried.
+	if IsDialError(err) {
+		t.Fatal("http 502 classified as dial error")
+	}
+
+	// Nothing listening at all: dial failure, the one transport error
+	// after which even mutations are safe to retry elsewhere.
+	r = NewRemote("http://127.0.0.1:1/dm/", nil)
+	_, err = r.CountHLEs("", "", HLEFilter{})
+	if !IsUnreachable(err) || !IsDialError(err) {
+		t.Fatalf("refused conn: unreachable=%v dial=%v (%v)", IsUnreachable(err), IsDialError(err), err)
+	}
+}
+
+func TestRemoteTimeout(t *testing.T) {
+	// A hung server: the client's deadline turns the call into a
+	// transport error instead of blocking forever.
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer slow.Close()
+	defer close(release)
+
+	r := &Remote{
+		BaseURL: slow.URL + "/dm/",
+		Client:  &http.Client{Timeout: 50 * time.Millisecond},
+	}
+	start := time.Now()
+	_, err := r.QueryHLEs("", "", HLEFilter{})
+	if !IsUnreachable(err) {
+		t.Fatalf("timeout: err = %v, want transport error", err)
+	}
+	if IsDialError(err) {
+		t.Fatal("timeout after connect classified as dial error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not enforced: call took %v", elapsed)
 	}
 }
 

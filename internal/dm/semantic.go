@@ -138,7 +138,7 @@ func (d *DM) CreateHLE(s *Session, h *schema.HLE) (string, error) {
 	}
 	h.Created = nowSecs()
 	h.Modified = h.Created
-	err = d.exec(schema.TableHLE, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableHLE, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableHLE, h.ToRow())
 		return err
 	})
@@ -277,7 +277,7 @@ func (d *DM) ImportAnalysis(s *Session, a *schema.ANA, files []StoredFile) (stri
 			a.OutputBytes = out
 		}
 	}
-	err = d.exec(schema.TableANA, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableANA, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableANA, a.ToRow())
 		return err
 	})
@@ -483,7 +483,7 @@ func (d *DM) CreateCatalog(s *Session, name, kind, description string, public bo
 	if err != nil {
 		return "", err
 	}
-	err = d.exec(schema.TableCatalog, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableCatalog, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableCatalog, minidb.Row{
 			minidb.S(id), minidb.S(name), minidb.S(s.User), minidb.Bo(public),
 			minidb.S(kind), minidb.S(description), minidb.F(nowSecs()),
@@ -592,7 +592,7 @@ func (d *DM) AddToCatalog(s *Session, catalogID, hleID string) error {
 	if s != nil {
 		user = s.User
 	}
-	err = d.exec(schema.TableCatalogMembers, func(tx *minidb.Txn) error {
+	err = d.exec(schema.TableCatalogMembers, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableCatalogMembers, minidb.Row{
 			minidb.I(n), minidb.S(catalogID), minidb.S(hleID), minidb.S(user), minidb.F(nowSecs()),
 		})

@@ -195,7 +195,7 @@ func (d *DM) CreateUser(userID, password, group string, rights ...string) error 
 	default:
 		return fmt.Errorf("dm: unknown group %q", group)
 	}
-	err := d.exec(schema.TableUsers, func(tx *minidb.Txn) error {
+	err := d.exec(schema.TableUsers, func(tx minidb.Tx) error {
 		_, err := tx.Insert(schema.TableUsers, minidb.Row{
 			minidb.S(userID),
 			minidb.S(hashPassword(userID, password)),

@@ -88,8 +88,8 @@ func FuzzReadWal(f *testing.F) {
 		clean = append(clean, walRecord(op)...)
 	}
 	f.Add(clean)
-	f.Add(clean[:len(clean)-3])                              // torn tail
-	f.Add(append(append([]byte{}, clean...), 0xDE, 0xAD))    // trailing garbage
+	f.Add(clean[:len(clean)-3])                           // torn tail
+	f.Add(append(append([]byte{}, clean...), 0xDE, 0xAD)) // trailing garbage
 	f.Add([]byte{})
 	mid := append([]byte{}, clean...)
 	mid[9] ^= 0x01 // mid-log damage with valid records after

@@ -48,7 +48,13 @@ func (db *DB) CreateCountView(name, table, groupBy string) error {
 	if db.views == nil {
 		db.views = make(map[string]*matView)
 	}
-	if _, dup := db.views[name]; dup {
+	if old, dup := db.views[name]; dup {
+		// Idempotent re-registration: every replica of a shared database
+		// issues the same CreateCountView on first use; only a genuinely
+		// conflicting definition is an error.
+		if old.table == table && old.groupBy == groupBy {
+			return nil
+		}
 		return fmt.Errorf("minidb: duplicate view %s", name)
 	}
 	v := &matView{name: name, table: table, groupBy: groupBy}

@@ -13,15 +13,15 @@ import (
 // top of this type.
 type Pool struct {
 	name string
-	db   *DB
+	db   Engine
 	sem  chan struct{}
 
 	acquires atomic.Int64
 	waits    atomic.Int64 // acquisitions that had to queue
 }
 
-// NewPool creates a pool of size connections against db.
-func NewPool(db *DB, name string, size int) (*Pool, error) {
+// NewPool creates a pool of size connections against db (local or remote).
+func NewPool(db Engine, name string, size int) (*Pool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("minidb: pool %s size must be >= 1", name)
 	}
@@ -74,11 +74,11 @@ func (c *Conn) Query(q Query) (*Result, error) {
 }
 
 // Begin starts a transaction on the leased connection.
-func (c *Conn) Begin() (*Txn, error) {
+func (c *Conn) Begin() (Tx, error) {
 	if c.released.Load() {
 		return nil, fmt.Errorf("minidb: use of released connection")
 	}
-	return c.pool.db.Begin(), nil
+	return c.pool.db.BeginTx(), nil
 }
 
 // Release returns the connection to the pool. Releasing twice is a no-op.

@@ -22,10 +22,12 @@ echo "==> parallel query benchmark (1 iteration)"
 go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
 
 # -fuzz accepts a pattern matching exactly one target, so each gets its own
-# short smoke run over the checked-in corpus plus fresh mutations.
+# short smoke run over the checked-in corpus plus fresh mutations. CI can
+# shorten (or lengthen) the runs via FUZZTIME without editing this script.
+FUZZTIME="${FUZZTIME:-10s}"
 for target in FuzzDecodeWalOp FuzzDecodeValue FuzzReadWal; do
-	echo "==> fuzz smoke: $target (10s)"
-	go test -run '^$' -fuzz "^$target\$" -fuzztime 10s ./internal/minidb/
+	echo "==> fuzz smoke: $target ($FUZZTIME)"
+	go test -run '^$' -fuzz "^$target\$" -fuzztime "$FUZZTIME" ./internal/minidb/
 done
 
 echo "==> OK"
