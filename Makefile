@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench torture fuzz check
+.PHONY: build test race bench bench-ingest torture fuzz check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-ingest measures the fast ingest path (serial vs grouped vs
+# pipeline, local and over dbnet) and records BENCH_tables.json.
+bench-ingest:
+	$(GO) run ./cmd/hedc-bench -exp tables -json .
 
 # torture enumerates every crash site of the scripted workload under the
 # race detector (see internal/torture).

@@ -72,6 +72,34 @@ func BenchmarkTable1Histogram(b *testing.B) {
 	}
 }
 
+// --- Fast-ingest path: the data preparation behind Tables 1-3 ---
+
+// BenchmarkIngest measures loading raw units through the real engine in the
+// three ingest configurations (serial LoadUnit, group-committed concurrent
+// LoadUnit, batched pipeline LoadUnits), locally and over dbnet. The
+// headline number is units/s; the pipeline is the fast path the ISSUE's
+// acceptance targets (>=3x local, >=2x dbnet vs serial).
+func BenchmarkIngest(b *testing.B) {
+	p := bench.IngestParams{Day: 11, DayLength: 3600, UnitSeconds: 300, Workers: 8}
+	units := bench.IngestUnits(p)
+	for _, engine := range []string{"local", "dbnet"} {
+		for _, mode := range []string{"serial", "grouped", "pipeline"} {
+			b.Run(engine+"/"+mode, func(b *testing.B) {
+				var last bench.IngestResult
+				for i := 0; i < b.N; i++ {
+					r, err := bench.IngestCell(engine, mode, p, units)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.UnitsPerSec, "units/s")
+				b.ReportMetric(last.PhotonsPerSec, "photons/s")
+			})
+		}
+	}
+}
+
 // --- Tables 2 and 3: workload characteristics (deterministic) ---
 
 func BenchmarkTable2Characteristics(b *testing.B) {

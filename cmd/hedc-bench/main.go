@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|approx|engine")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -39,6 +39,7 @@ func main() {
 
 	var fig4Pts, fig5Pts []bench.BrowsePoint
 	var livePts []bench.LivePoint
+	var ingestRes []bench.IngestResult
 
 	if run("fig4") {
 		any = true
@@ -79,6 +80,18 @@ func main() {
 		any = true
 		fmt.Println(bench.FormatCharacteristics(bench.WorkloadCharacteristics(bench.HistogramWorkload()), 3))
 	}
+	if run("tables") {
+		any = true
+		var err error
+		ingestRes, err = bench.RunIngest(bench.DefaultIngestParams(), log.New(os.Stderr, "", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatIngest(ingestRes))
+		fmt.Printf("measured fast-ingest path behind Tables 1-3's data preparation:\n")
+		fmt.Printf("group-committed WAL, batched wire writes, parallel unit pipeline\n\n")
+	}
 	if run("approx") {
 		any = true
 		r, err := bench.RunApprox(300_000, schema.AnaLightcurve, 0.05)
@@ -107,7 +120,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -118,7 +131,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -151,6 +164,15 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 			payload["live"] = live
 		}
 		if err := write("BENCH_fig5.json", payload); err != nil {
+			return err
+		}
+	}
+	if ingest != nil {
+		err := write("BENCH_tables.json", map[string]any{
+			"experiment": "ingest", "note": "fast-ingest path behind Tables 1-3 data preparation",
+			"results": ingest,
+		})
+		if err != nil {
 			return err
 		}
 	}

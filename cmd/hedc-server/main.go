@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,13 +56,32 @@ func main() {
 		importPw = flag.String("import-password", "import", "password of the system import account")
 		dbAddr   = flag.String("db-addr", "", "dbnet address of the shared metadata database (replica mode)")
 		dbMaxOps = flag.Float64("db-max-ops", 0, "database ops/sec ceiling, 0 = unlimited (db mode)")
-		replicas = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
-		bootPw   = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
+		replicas  = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
+		bootPw    = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Profiling is opt-in and listens on its own address, so no production
+	// mode ever exposes pprof on the service port. Started before the mode
+	// switch: every role (repo, db, replica, gateway) gets it.
+	if *pprofAddr != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("pprof: serving /debug/pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	var err error
 	switch *mode {

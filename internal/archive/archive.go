@@ -86,6 +86,8 @@ var (
 type fileMeta struct {
 	size int64
 	crc  uint32
+	pack string // container file (archive-relative) holding the bytes; "" = own file
+	off  int64  // byte offset within pack
 }
 
 // Archive is one storage unit rooted at a directory.
@@ -100,6 +102,8 @@ type Archive struct {
 	capacity int64 // bytes; 0 = unlimited
 	used     int64
 	files    map[string]fileMeta
+	pending  map[string]bool // paths reserved by an in-flight StoreBatch
+	packSeq  int64           // next container-file sequence number
 }
 
 const manifestName = "MANIFEST.crc"
@@ -122,6 +126,7 @@ func NewVFS(fsys VFS, id string, kind Kind, dir string, capacityBytes int64) (*A
 	a := &Archive{
 		id: id, kind: kind, root: dir, fsys: fsys, online: true,
 		capacity: capacityBytes, files: make(map[string]fileMeta),
+		pending: make(map[string]bool),
 	}
 	if err := a.loadManifest(); err != nil {
 		return nil, err
@@ -204,6 +209,9 @@ func (a *Archive) Store(rel string, data []byte) error {
 	if _, exists := a.files[rel]; exists {
 		return fmt.Errorf("%w: %s", ErrExists, rel)
 	}
+	if a.pending[rel] {
+		return fmt.Errorf("%w: %s (store in flight)", ErrExists, rel)
+	}
 	if a.capacity > 0 && a.used+int64(len(data)) > a.capacity {
 		return fmt.Errorf("%w: %s needs %d bytes, %d left", ErrFull, rel, len(data), a.capacity-a.used)
 	}
@@ -228,6 +236,160 @@ func (a *Archive) Store(rel string, data []byte) error {
 	a.files[rel] = meta
 	a.used += meta.size
 	return nil
+}
+
+// BatchFile is one file of a StoreBatch.
+type BatchFile struct {
+	Rel  string
+	Data []byte
+}
+
+// StoreBatch stores several new files as ONE container ("pack") file plus
+// ONE manifest append — two fsyncs for the whole group instead of two per
+// file. This is the bulk form the ingest pipeline uses: a raw unit and its
+// wavelet views arrive together, and storing each as its own file pays the
+// small-file penalty (per-file create, fsync, journal commit) five times
+// over. Mass-storage systems solve this by aggregating small members into
+// containers; the manifest records each member as rel→(pack, offset, size,
+// crc), so readers address members exactly as if they were plain files.
+//
+// The durability order of Store is preserved: the pack's bytes are written
+// AND fsynced before any manifest line referencing them, so a crash
+// mid-batch leaves at most an orphaned container. The batch is
+// all-or-nothing: on any failure the container is removed and the manifest
+// keeps its prior tail.
+//
+// Unlike Store, the container write and fsync happen OUTSIDE the archive
+// lock: the batch's paths are reserved first (so concurrent stores conflict
+// deterministically), then written, then registered under the lock together
+// with the manifest append. Concurrent StoreBatch callers therefore overlap
+// their data fsyncs and serialize only on the shared manifest.
+func (a *Archive) StoreBatch(files []BatchFile) error {
+	if len(files) == 0 {
+		return nil
+	}
+	// Phase 1 (locked): validate, reserve the paths and the capacity.
+	rels := make([]string, len(files))
+	var total int64
+	a.mu.Lock()
+	if !a.online {
+		a.mu.Unlock()
+		return ErrOffline
+	}
+	for i, f := range files {
+		rel, err := cleanRel(f.Rel)
+		if err != nil {
+			a.mu.Unlock()
+			return err
+		}
+		if _, exists := a.files[rel]; exists {
+			a.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrExists, rel)
+		}
+		if a.pending[rel] {
+			a.mu.Unlock()
+			return fmt.Errorf("%w: %s (store in flight)", ErrExists, rel)
+		}
+		for j := 0; j < i; j++ {
+			if rels[j] == rel {
+				a.mu.Unlock()
+				return fmt.Errorf("%w: %s duplicated in batch", ErrExists, rel)
+			}
+		}
+		rels[i] = rel
+		total += int64(len(f.Data))
+	}
+	if a.capacity > 0 && a.used+total > a.capacity {
+		left := a.capacity - a.used
+		a.mu.Unlock()
+		return fmt.Errorf("%w: batch needs %d bytes, %d left", ErrFull, total, left)
+	}
+	for _, rel := range rels {
+		a.pending[rel] = true
+	}
+	a.used += total // reserved; released again if the batch fails
+	packRel := fmt.Sprintf("packs/p%08d.pack", a.packSeq)
+	a.packSeq++
+	a.mu.Unlock()
+
+	undo := func(packWritten bool) {
+		if packWritten {
+			_ = a.fsys.Remove(filepath.Join(a.root, packRel))
+		}
+		a.mu.Lock()
+		for _, rel := range rels {
+			delete(a.pending, rel)
+		}
+		a.used -= total
+		a.mu.Unlock()
+	}
+
+	// Phase 2 (unlocked): concatenate the members and write the container
+	// with one fsync. Safe without the lock — the reservation guarantees
+	// nobody else touches these paths, and the sequence number guarantees
+	// the container name is fresh (a crash-orphaned container of the same
+	// name is unreferenced and safe to overwrite).
+	metas := make([]fileMeta, len(files))
+	blob := make([]byte, 0, total)
+	for i, f := range files {
+		metas[i] = fileMeta{
+			size: int64(len(f.Data)), crc: crc32.ChecksumIEEE(f.Data),
+			pack: packRel, off: int64(len(blob)),
+		}
+		blob = append(blob, f.Data...)
+	}
+	abs := filepath.Join(a.root, packRel)
+	if err := a.fsys.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+		undo(false)
+		return err
+	}
+	if err := a.writeFileSync(abs, blob, 0o444); err != nil {
+		undo(true)
+		return err
+	}
+
+	// Phase 3 (locked): seal the batch in the manifest and register it.
+	a.mu.Lock()
+	if err := a.appendManifestBatch(rels, metas); err != nil {
+		a.mu.Unlock()
+		undo(true)
+		return err
+	}
+	for i := range rels {
+		a.files[rels[i]] = metas[i]
+		delete(a.pending, rels[i])
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// appendManifestBatch appends one line per file and fsyncs once. A failed
+// append truncates back to the prior tail, as in appendManifest.
+func (a *Archive) appendManifestBatch(rels []string, metas []fileMeta) error {
+	f, err := a.fsys.OpenAppend(a.manifestPath(), 0o644)
+	if err != nil {
+		return err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range rels {
+		if _, err = fmt.Fprintf(f, "%s\t%d\t%d\t%s\t%d\n",
+			rels[i], metas[i].size, metas[i].crc, metas[i].pack, metas[i].off); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		_ = f.Truncate(size)
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFileSync creates abs with data and forces it to stable storage.
@@ -267,7 +429,7 @@ func (a *Archive) Read(rel string) ([]byte, error) {
 	if d := a.kind.latency(); d > 0 {
 		time.Sleep(d)
 	}
-	data, err := a.fsys.ReadFile(filepath.Join(a.root, rel))
+	data, err := a.readMember(rel, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +437,22 @@ func (a *Archive) Read(rel string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrCorrupt, rel)
 	}
 	return data, nil
+}
+
+// readMember fetches a file's raw bytes: its own file for plain entries,
+// the right slice of the container for pack members.
+func (a *Archive) readMember(rel string, meta fileMeta) ([]byte, error) {
+	if meta.pack == "" {
+		return a.fsys.ReadFile(filepath.Join(a.root, rel))
+	}
+	blob, err := a.fsys.ReadFile(filepath.Join(a.root, meta.pack))
+	if err != nil {
+		return nil, err
+	}
+	if meta.off < 0 || meta.off+meta.size > int64(len(blob)) {
+		return nil, fmt.Errorf("%w: %s (container %s truncated)", ErrCorrupt, rel, meta.pack)
+	}
+	return blob[meta.off : meta.off+meta.size], nil
 }
 
 // Open returns a reader over the file without checksum verification (used
@@ -286,7 +464,7 @@ func (a *Archive) Open(rel string) (io.ReadCloser, error) {
 	}
 	a.mu.RLock()
 	online := a.online
-	_, exists := a.files[rel]
+	meta, exists := a.files[rel]
 	a.mu.RUnlock()
 	if !online {
 		return nil, ErrOffline
@@ -297,11 +475,13 @@ func (a *Archive) Open(rel string) (io.ReadCloser, error) {
 	if d := a.kind.latency(); d > 0 {
 		time.Sleep(d)
 	}
-	abs := filepath.Join(a.root, rel)
-	if o, ok := a.fsys.(opener); ok {
-		return o.Open(abs)
+	if meta.pack == "" {
+		abs := filepath.Join(a.root, rel)
+		if o, ok := a.fsys.(opener); ok {
+			return o.Open(abs)
+		}
 	}
-	data, err := a.fsys.ReadFile(abs)
+	data, err := a.readMember(rel, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +541,20 @@ func (a *Archive) Remove(rel string) error {
 		a.files[rel] = meta // manifest unchanged on disk; restore state
 		a.used += meta.size
 		return err
+	}
+	if meta.pack != "" {
+		// A pack member owns no file of its own. The container is deleted
+		// only when its last member goes; until then its bytes stay (the
+		// space is reclaimed at the end, like a tape aggregate).
+		for _, m := range a.files {
+			if m.pack == meta.pack {
+				return nil
+			}
+		}
+		if err := a.fsys.Remove(filepath.Join(a.root, meta.pack)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
 	}
 	if err := a.fsys.Remove(filepath.Join(a.root, rel)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
@@ -433,7 +627,11 @@ func (a *Archive) rewriteManifest() error {
 	sort.Strings(paths)
 	for _, p := range paths {
 		m := a.files[p]
-		fmt.Fprintf(&sb, "%s\t%d\t%d\n", p, m.size, m.crc)
+		if m.pack != "" {
+			fmt.Fprintf(&sb, "%s\t%d\t%d\t%s\t%d\n", p, m.size, m.crc, m.pack, m.off)
+		} else {
+			fmt.Fprintf(&sb, "%s\t%d\t%d\n", p, m.size, m.crc)
+		}
 	}
 	// Atomic replace: write aside, fsync, rename over the old manifest. A
 	// crash at any point leaves either the old or the new manifest, never
@@ -460,11 +658,14 @@ func (a *Archive) loadManifest() error {
 		}
 		parts := strings.Split(line, "\t")
 		bad := ""
-		if len(parts) != 3 {
+		// 3 fields: a plain file. 5 fields: a pack member — rel, size, crc,
+		// container path, offset within the container.
+		if len(parts) != 3 && len(parts) != 5 {
 			bad = "shape"
 		}
-		var size int64
+		var size, off int64
 		var crc uint64
+		pack := ""
 		if bad == "" {
 			if size, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
 				bad = "size"
@@ -473,6 +674,12 @@ func (a *Archive) loadManifest() error {
 		if bad == "" {
 			if crc, err = strconv.ParseUint(parts[2], 10, 32); err != nil {
 				bad = "crc"
+			}
+		}
+		if bad == "" && len(parts) == 5 {
+			pack = parts[3]
+			if off, err = strconv.ParseInt(parts[4], 10, 64); err != nil {
+				bad = "offset"
 			}
 		}
 		if bad != "" {
@@ -486,10 +693,28 @@ func (a *Archive) loadManifest() error {
 			}
 			return fmt.Errorf("archive: malformed manifest %s in line %q", bad, line)
 		}
-		a.files[parts[0]] = fileMeta{size: size, crc: uint32(crc)}
+		a.files[parts[0]] = fileMeta{size: size, crc: uint32(crc), pack: pack, off: off}
 		a.used += size
+		// Keep the container sequence ahead of every referenced container
+		// so fresh batches never collide with live pack files.
+		if n := packSeqOf(pack); n >= a.packSeq {
+			a.packSeq = n + 1
+		}
 	}
 	return nil
+}
+
+// packSeqOf extracts the sequence number from a "packs/p%08d.pack" path,
+// returning -1 for plain files or foreign names.
+func packSeqOf(pack string) int64 {
+	if !strings.HasPrefix(pack, "packs/p") || !strings.HasSuffix(pack, ".pack") {
+		return -1
+	}
+	n, err := strconv.ParseInt(pack[len("packs/p"):len(pack)-len(".pack")], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
 }
 
 // Copy moves one file's contents from src to dst (both ends verified).

@@ -123,3 +123,51 @@ func TestRemoveCrashNeverLosesOtherFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreBatchCrashAtomic enumerates every crash site of a StoreBatch:
+// after recovery either every member of the batch is readable with the right
+// bytes, or none is listed — never a partial batch, and never damage to
+// files stored before it.
+func TestStoreBatchCrashAtomic(t *testing.T) {
+	members := []archive.BatchFile{
+		{Rel: "u/raw.fits.gz", Data: []byte("raw-bytes")},
+		{Rel: "u/v0.wav", Data: []byte("view-zero")},
+		{Rel: "u/v1.wav", Data: []byte("view-one")},
+	}
+	for site := 1; ; site++ {
+		fs := fault.NewFS()
+		a := newFaultArchive(t, fs)
+		if err := a.Store("prior/keep.dat", []byte("keep")); err != nil {
+			t.Fatal(err)
+		}
+		base := fs.OpCount()
+		fs.SetFault(base+site, fault.ModeCrash)
+		err := a.StoreBatch(members)
+		if err == nil {
+			if site == 1 {
+				t.Fatal("fault never fired")
+			}
+			return
+		}
+		fs.Recover()
+		a2 := newFaultArchive(t, fs)
+		if got, rerr := a2.Read("prior/keep.dat"); rerr != nil || string(got) != "keep" {
+			t.Fatalf("site %d: prior file damaged by crashed batch: %q, %v", site, got, rerr)
+		}
+		listed := 0
+		for _, m := range members {
+			got, rerr := a2.Read(m.Rel)
+			if rerr == nil {
+				if !bytes.Equal(got, m.Data) {
+					t.Fatalf("site %d: member %s has wrong content: %q", site, m.Rel, got)
+				}
+				listed++
+			} else if !errors.Is(rerr, archive.ErrNotFound) {
+				t.Fatalf("site %d: member %s unreadable: %v", site, m.Rel, rerr)
+			}
+		}
+		if listed != 0 && listed != len(members) {
+			t.Fatalf("site %d: partial batch surfaced: %d of %d members", site, listed, len(members))
+		}
+	}
+}

@@ -246,21 +246,14 @@ func (n *Node) Checkpoint() error {
 }
 
 // LoadDay generates (or accepts) one synthetic mission day and ingests its
-// units. unitSeconds controls segmentation (0 = 4 units per day).
+// units through the parallel loading pipeline. unitSeconds controls
+// segmentation (0 = 4 units per day).
 func (n *Node) LoadDay(dayNum int, tcfg telemetry.Config, unitSeconds float64) ([]*dm.LoadReport, error) {
 	day := telemetry.GenerateDay(dayNum, tcfg)
 	if unitSeconds <= 0 {
 		unitSeconds = day.Length / 4
 	}
-	var reports []*dm.LoadReport
-	for _, u := range telemetry.SegmentDay(day, unitSeconds) {
-		rep, err := n.DM.LoadUnit(u)
-		if err != nil {
-			return reports, err
-		}
-		reports = append(reports, rep)
-	}
-	return reports, nil
+	return n.DM.LoadUnits(telemetry.SegmentDay(day, unitSeconds), 0)
 }
 
 // Login authenticates a user for programmatic use of the node.

@@ -1,0 +1,284 @@
+package dbnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/minidb"
+)
+
+func TestApplyRoundTrip(t *testing.T) {
+	db, srv, cl := newPair(t, Options{})
+
+	var b minidb.Batch
+	for i := int64(0); i < 10; i++ {
+		b.Insert("events", minidb.Row{minidb.I(i), minidb.S("flare"), minidb.F(1), minidb.Null()})
+	}
+	ids, err := cl.Apply(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("rowids=%d, want 10", len(ids))
+	}
+	if n := db.TableLen("events"); n != 10 {
+		t.Fatalf("events=%d, want 10", n)
+	}
+	// A mixed batch referencing the first one's rowids, still one round trip.
+	var b2 minidb.Batch
+	b2.Update("events", ids[0], minidb.Row{minidb.I(0), minidb.S("burst"), minidb.F(2), minidb.Null()})
+	b2.Delete("events", ids[1])
+	if _, err := cl.Apply(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.TableLen("events"); n != 9 {
+		t.Fatalf("events=%d, want 9", n)
+	}
+	// The whole exercise charged 2 capacity ops: batching is what the wire
+	// capacity model rewards.
+	if got := srv.Ops(); got != 2 {
+		t.Fatalf("charged ops=%d, want 2", got)
+	}
+	if ids, err := cl.Apply(nil); err != nil || ids != nil {
+		t.Fatalf("nil batch: %v %v", ids, err)
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	db, _, cl := newPair(t, Options{})
+	rows := make([]minidb.Row, 25)
+	for i := range rows {
+		rows[i] = minidb.Row{minidb.I(int64(i)), minidb.S("flare"), minidb.F(0), minidb.Null()}
+	}
+	ids, err := cl.InsertBatch("events", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 25 {
+		t.Fatalf("rowids=%d, want 25", len(ids))
+	}
+	if n := db.TableLen("events"); n != 25 {
+		t.Fatalf("events=%d, want 25", n)
+	}
+}
+
+// TestApplyMidBatchError: a batch whose Nth op fails must be rejected whole
+// — nothing applied — and the connection must stay usable.
+func TestApplyMidBatchError(t *testing.T) {
+	db, _, cl := newPair(t, Options{})
+	insertEvent(t, cl, 1, "flare")
+
+	var bad minidb.Batch
+	bad.Insert("events", minidb.Row{minidb.I(2), minidb.S("flare"), minidb.F(0), minidb.Null()})
+	bad.Insert("events", minidb.Row{minidb.I(1), minidb.S("dup"), minidb.F(0), minidb.Null()}) // duplicate pk
+	bad.Insert("events", minidb.Row{minidb.I(3), minidb.S("flare"), minidb.F(0), minidb.Null()})
+	_, err := cl.Apply(&bad)
+	if err == nil || !IsRemote(err) || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Fatalf("want remote duplicate-pk error, got %v", err)
+	}
+	if n := db.TableLen("events"); n != 1 {
+		t.Fatalf("failed batch leaked rows: events=%d", n)
+	}
+	// The connection survived the rejection: next call works.
+	insertEvent(t, cl, 2, "flare")
+	if n := db.TableLen("events"); n != 2 {
+		t.Fatalf("events=%d, want 2", n)
+	}
+}
+
+func TestBatchInsideTransactionRejected(t *testing.T) {
+	_, _, cl := newPair(t, Options{})
+	// A raw connection that begins a transaction, then attempts a batch:
+	// the server must refuse (batches route through group commit, which a
+	// held writer lock would deadlock against).
+	wc, err := cl.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.c.Close()
+	resp, err := wc.roundTrip([]byte{opBegin}, 5*time.Second, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseResponse(resp); err != nil {
+		t.Fatal(err)
+	}
+	var b minidb.Batch
+	b.Insert("events", minidb.Row{minidb.I(9), minidb.S("x"), minidb.F(0), minidb.Null()})
+	req := getFrameBuf()
+	req.WriteByte(opExecBatch)
+	minidb.WirePutBatch(req, &b)
+	resp, err = wc.roundTrip(req.Bytes(), 5*time.Second, DefaultMaxFrame)
+	putFrameBuf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseResponse(resp); err == nil || !strings.Contains(err.Error(), "batch inside transaction") {
+		t.Fatalf("want batch-inside-transaction rejection, got %v", err)
+	}
+	// Roll back so the deferred close doesn't leave a lingering txn.
+	if resp, err = wc.roundTrip([]byte{opRollback}, 5*time.Second, DefaultMaxFrame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseResponse(resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOversizedBatchRejected: a batch frame beyond the server's MaxFrame is
+// refused at the framing layer; the client sees a transport error and a
+// fresh connection still works.
+func TestOversizedBatchRejected(t *testing.T) {
+	_, _, cl := newPair(t, Options{MaxFrame: 4096})
+	big := strings.Repeat("x", 8192)
+	var b minidb.Batch
+	b.Insert("events", minidb.Row{minidb.I(1), minidb.S(big), minidb.F(0), minidb.Null()})
+	if _, err := cl.Apply(&b); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+	// The server dropped that connection; the pool dials a new one.
+	insertEvent(t, cl, 1, "flare")
+}
+
+func TestPipelineBasic(t *testing.T) {
+	db, srv, cl := newPair(t, Options{})
+	p, err := cl.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 40
+	for i := int64(0); i < n; i++ {
+		p.Insert("events", minidb.Row{minidb.I(i), minidb.S("flare"), minidb.F(1), minidb.Null()})
+	}
+	if p.Len() != n {
+		t.Fatalf("Len=%d, want %d", p.Len(), n)
+	}
+	results, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("results=%d, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if len(r.RowIDs) != 1 {
+			t.Fatalf("request %d: rowids=%v", i, r.RowIDs)
+		}
+	}
+	// Reuse after Flush: updates and a batch in the same window.
+	p.Update("events", results[0].RowIDs[0], minidb.Row{minidb.I(0), minidb.S("burst"), minidb.F(2), minidb.Null()})
+	p.Delete("events", results[1].RowIDs[0])
+	var b minidb.Batch
+	b.Insert("events", minidb.Row{minidb.I(100), minidb.S("burst"), minidb.F(3), minidb.Null()})
+	p.Apply(&b)
+	results, err = p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if got := len(results[2].RowIDs); got != 1 {
+		t.Fatalf("batch rowids=%d, want 1", got)
+	}
+	if n := db.TableLen("events"); n != 40 {
+		t.Fatalf("events=%d, want 40", n)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ops charged for 43 pipelined requests: %d", srv.Ops())
+}
+
+// TestPipelineMidStreamError: a rejected request mid-window must land in
+// its own slot; every other request still completes and the connection
+// stays healthy.
+func TestPipelineMidStreamError(t *testing.T) {
+	db, _, cl := newPair(t, Options{})
+	p, err := cl.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Insert("events", minidb.Row{minidb.I(1), minidb.S("flare"), minidb.F(0), minidb.Null()})
+	p.Insert("events", minidb.Row{minidb.I(1), minidb.S("dup"), minidb.F(0), minidb.Null()}) // duplicate pk
+	p.Insert("events", minidb.Row{minidb.I(2), minidb.S("flare"), minidb.F(0), minidb.Null()})
+	results, err := p.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good requests failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !IsRemote(results[1].Err) {
+		t.Fatalf("want remote error in slot 1, got %v", results[1].Err)
+	}
+	if n := db.TableLen("events"); n != 2 {
+		t.Fatalf("events=%d, want 2", n)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineConnectionDrop: the server dies between pipelined requests;
+// every unanswered request fails with a transport error, the pipeline is
+// poisoned, and Close reports the failure.
+func TestPipelineConnectionDrop(t *testing.T) {
+	_, srv, cl := newPair(t, Options{})
+	p, err := cl.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		p.Insert("events", minidb.Row{minidb.I(i), minidb.S("flare"), minidb.F(0), minidb.Null()})
+	}
+	srv.Close() // kills every live connection mid-window
+	results, err := p.Flush()
+	if err == nil {
+		t.Fatal("flush succeeded over a dead server")
+	}
+	if len(results) != 5 {
+		t.Fatalf("results=%d, want 5", len(results))
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no request reported the transport failure")
+	}
+	// Poisoned: further windows fail immediately.
+	p.Insert("events", minidb.Row{minidb.I(9), minidb.S("x"), minidb.F(0), minidb.Null()})
+	if _, err := p.Flush(); err == nil {
+		t.Fatal("poisoned pipeline flushed")
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("close of failed pipeline reported success")
+	}
+}
+
+func TestPipelineAfterCloseFails(t *testing.T) {
+	_, _, cl := newPair(t, Options{})
+	p, err := cl.Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.Insert("events", minidb.Row{minidb.I(1), minidb.S("x"), minidb.F(0), minidb.Null()})
+	if _, err := p.Flush(); err == nil {
+		t.Fatal("flush after close succeeded")
+	}
+}

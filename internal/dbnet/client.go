@@ -178,13 +178,14 @@ func parseResponse(resp []byte) (*bytes.Reader, error) {
 	}
 }
 
-// call runs one pooled request: encode, round-trip, decode. Transport
-// errors discard the connection; server errors recycle it.
+// call runs one pooled request: encode (into a pooled buffer), round-trip,
+// decode. Transport errors discard the connection; server errors recycle it.
 func (c *Client) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader) error) error {
-	var req bytes.Buffer
+	req := getFrameBuf()
+	defer putFrameBuf(req)
 	req.WriteByte(op)
 	if enc != nil {
-		enc(&req)
+		enc(req)
 	}
 	wc, err := c.get()
 	if err != nil {
@@ -265,6 +266,41 @@ func (c *Client) Delete(table string, rowid int64) error {
 		minidb.WirePutString(b, table)
 		minidb.WirePutVarint(b, rowid)
 	}, nil)
+}
+
+// Apply ships a whole mutation batch as ONE wire round trip; the server
+// commits it atomically through the engine's group-commit path and returns
+// the insert rowids in order. This is the bulk-ingest workhorse: where the
+// serial loader pays ~30 round trips per telemetry unit, the batched one
+// pays ~3.
+func (c *Client) Apply(b *minidb.Batch) ([]int64, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, nil
+	}
+	var ids []int64
+	err := c.call(opExecBatch,
+		func(buf *bytes.Buffer) { minidb.WirePutBatch(buf, b) },
+		func(r *bytes.Reader) (e error) { ids, e = wireRowIDs(r); return })
+	return ids, err
+}
+
+// InsertBatch inserts many rows into one table in one round trip and one
+// remote transaction, returning their rowids.
+func (c *Client) InsertBatch(table string, rows []minidb.Row) ([]int64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	var ids []int64
+	err := c.call(opInsertBatch,
+		func(b *bytes.Buffer) {
+			minidb.WirePutString(b, table)
+			minidb.WirePutUvarint(b, uint64(len(rows)))
+			for _, row := range rows {
+				minidb.WirePutRow(b, row)
+			}
+		},
+		func(r *bytes.Reader) (e error) { ids, e = wireRowIDs(r); return })
+	return ids, err
 }
 
 // TableNames lists the remote tables.

@@ -1,0 +1,185 @@
+package dbnet
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/minidb"
+)
+
+// Pipeline batches N independent requests onto one connection and reads the
+// N replies in order — classic wire pipelining. The server is synchronous
+// per connection, so replies arrive in exactly request order; the client
+// needs no correlation ids, only strict in-order matching. Combined with
+// the server's flush coalescing, a flushed pipeline costs one round trip
+// of latency for the whole window instead of one per request.
+//
+// A Pipeline leases one pooled connection at creation and is not safe for
+// concurrent use. Queue requests (nothing is sent yet), then Flush to send
+// them all and collect per-request results. Server-side rejections (say, a
+// duplicate key on the third insert) land in that request's PipeResult and
+// the remaining replies still match; a transport failure kills the
+// connection and fails every unanswered request.
+type Pipeline struct {
+	c      *Client
+	wc     *wireConn
+	queued []pipeReq
+	err    error // sticky transport error; the connection is gone
+}
+
+type pipeReq struct {
+	frame []byte
+	dec   func(*bytes.Reader, *PipeResult)
+}
+
+// PipeResult is the outcome of one pipelined request: the insert rowids it
+// produced (nil for updates/deletes) and its error, if any.
+type PipeResult struct {
+	RowIDs []int64
+	Err    error
+}
+
+// Pipeline leases a connection for a pipelined request window.
+func (c *Client) Pipeline() (*Pipeline, error) {
+	wc, err := c.get()
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{c: c, wc: wc}, nil
+}
+
+func (p *Pipeline) enqueue(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader, *PipeResult)) {
+	buf := getFrameBuf()
+	buf.WriteByte(op)
+	if enc != nil {
+		enc(buf)
+	}
+	frame := make([]byte, buf.Len())
+	copy(frame, buf.Bytes())
+	putFrameBuf(buf)
+	p.queued = append(p.queued, pipeReq{frame: frame, dec: dec})
+}
+
+// Insert queues a single-row insert.
+func (p *Pipeline) Insert(table string, row minidb.Row) {
+	p.enqueue(opInsert,
+		func(b *bytes.Buffer) {
+			minidb.WirePutString(b, table)
+			minidb.WirePutRow(b, row)
+		},
+		func(r *bytes.Reader, res *PipeResult) {
+			id, err := minidb.WireVarint(r)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			res.RowIDs = []int64{id}
+		})
+}
+
+// Update queues a single-row update.
+func (p *Pipeline) Update(table string, rowid int64, row minidb.Row) {
+	p.enqueue(opUpdate, func(b *bytes.Buffer) {
+		minidb.WirePutString(b, table)
+		minidb.WirePutVarint(b, rowid)
+		minidb.WirePutRow(b, row)
+	}, nil)
+}
+
+// Delete queues a single-row delete.
+func (p *Pipeline) Delete(table string, rowid int64) {
+	p.enqueue(opDelete, func(b *bytes.Buffer) {
+		minidb.WirePutString(b, table)
+		minidb.WirePutVarint(b, rowid)
+	}, nil)
+}
+
+// Apply queues a whole mutation batch (one atomic transaction server-side).
+func (p *Pipeline) Apply(b *minidb.Batch) {
+	p.enqueue(opExecBatch,
+		func(buf *bytes.Buffer) { minidb.WirePutBatch(buf, b) },
+		func(r *bytes.Reader, res *PipeResult) { res.RowIDs, res.Err = wireRowIDs(r) })
+}
+
+// Len returns the number of queued, unflushed requests.
+func (p *Pipeline) Len() int { return len(p.queued) }
+
+// Flush sends every queued request back to back, then reads their replies
+// strictly in order. The returned slice has one PipeResult per queued
+// request. Per-request server errors are delivered in their slot and do
+// not disturb later replies; a transport error fails this and every later
+// request and poisons the pipeline.
+func (p *Pipeline) Flush() ([]PipeResult, error) {
+	reqs := p.queued
+	p.queued = nil
+	results := make([]PipeResult, len(reqs))
+	if p.err == nil && p.wc == nil {
+		p.err = fmt.Errorf("dbnet: pipeline closed")
+	}
+	if p.err != nil {
+		for i := range results {
+			results[i].Err = p.err
+		}
+		return results, p.err
+	}
+	if len(reqs) == 0 {
+		return results, nil
+	}
+	// One deadline covers the whole window: the requests ride together, so
+	// a per-request deadline would just be the same wall-clock budget.
+	p.wc.c.SetDeadline(time.Now().Add(p.c.opts.CallTimeout))
+	for _, rq := range reqs {
+		if err := writeFrame(p.wc.bw, rq.frame); err != nil {
+			return p.fail(results, 0, fmt.Errorf("dbnet: pipeline write: %w", err))
+		}
+	}
+	if err := p.wc.bw.Flush(); err != nil {
+		return p.fail(results, 0, fmt.Errorf("dbnet: pipeline write: %w", err))
+	}
+	for i := range reqs {
+		resp, err := readFrame(p.wc.br, p.c.opts.MaxFrame)
+		if err != nil {
+			return p.fail(results, i, fmt.Errorf("dbnet: pipeline read: %w", err))
+		}
+		r, err := parseResponse(resp)
+		if err != nil {
+			// Server-side rejection: this request alone failed; the
+			// connection and the remaining replies are fine.
+			results[i].Err = err
+			continue
+		}
+		if reqs[i].dec != nil {
+			reqs[i].dec(r, &results[i])
+		}
+	}
+	return results, nil
+}
+
+// fail poisons the pipeline from request index from onward.
+func (p *Pipeline) fail(results []PipeResult, from int, err error) ([]PipeResult, error) {
+	p.err = err
+	p.wc.c.Close()
+	for i := from; i < len(results); i++ {
+		results[i].Err = err
+	}
+	return results, err
+}
+
+// Close releases the pipeline's connection: back to the pool when the wire
+// is healthy and fully drained, closed otherwise. Queued-but-unflushed
+// requests are discarded (nothing was ever sent for them).
+func (p *Pipeline) Close() error {
+	if p.wc == nil {
+		return p.err
+	}
+	wc := p.wc
+	p.wc = nil
+	p.queued = nil
+	if p.err != nil {
+		return p.err // already closed by fail
+	}
+	wc.c.SetDeadline(time.Time{})
+	p.c.put(wc)
+	return nil
+}

@@ -15,9 +15,11 @@
 package dbnet
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Request opcodes.
@@ -38,6 +40,12 @@ const (
 	opCommit
 	opRollback
 	opPing
+	// Batch opcodes (appended for wire stability). Both commit atomically
+	// via the engine's group-commit path and are charged as ONE operation
+	// against the capacity station: the round trip is what a real DBMS
+	// charges for a bulk statement, and amortizing it is the point.
+	opInsertBatch // many rows into one table
+	opExecBatch   // a full minidb.Batch (mixed tables and op kinds)
 )
 
 // Response status bytes.
@@ -49,6 +57,25 @@ const (
 // DefaultMaxFrame bounds a single frame; metadata rows are small, so
 // anything larger is a corrupt or hostile peer.
 const DefaultMaxFrame = 16 << 20
+
+// frameBufs pools the scratch buffers both sides encode frames into —
+// request bodies on the client, response bodies on the server. Ingest
+// pushes thousands of frames per second through these paths; pooling keeps
+// the encode cost at zero steady-state allocations.
+var frameBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getFrameBuf() *bytes.Buffer {
+	b := frameBufs.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putFrameBuf(b *bytes.Buffer) {
+	if b.Cap() > 1<<20 {
+		return // don't let one giant frame pin memory in the pool
+	}
+	frameBufs.Put(b)
+}
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {

@@ -182,36 +182,45 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		resp, newTx := s.dispatch(req[0], bytes.NewReader(req[1:]), tx)
 		tx = newTx
-		if err := writeFrame(bw, resp); err != nil {
+		err = writeFrame(bw, resp.Bytes())
+		putFrameBuf(resp)
+		if err != nil {
 			return
 		}
-		if err := bw.Flush(); err != nil {
-			return
+		// Flush coalescing: when a pipelining client has already delivered
+		// (part of) its next request, hold the response in the write buffer
+		// and keep serving — one TCP segment then carries many replies.
+		// Only flush before a read that could block on the network.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
 
-func okFrame(body func(*bytes.Buffer)) []byte {
-	var b bytes.Buffer
+func okFrame(body func(*bytes.Buffer)) *bytes.Buffer {
+	b := getFrameBuf()
 	b.WriteByte(statusOK)
 	if body != nil {
-		body(&b)
+		body(b)
 	}
-	return b.Bytes()
+	return b
 }
 
-func errFrame(err error) []byte {
-	var b bytes.Buffer
+func errFrame(err error) *bytes.Buffer {
+	b := getFrameBuf()
 	b.WriteByte(statusErr)
-	minidb.WirePutString(&b, err.Error())
-	return b.Bytes()
+	minidb.WirePutString(b, err.Error())
+	return b
 }
 
 // dispatch decodes and executes one request. It returns the response
-// frame and the connection's transaction state after the request.
-func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp []byte, txOut minidb.Tx) {
+// frame (a pooled buffer the caller must return via putFrameBuf) and the
+// connection's transaction state after the request.
+func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.Buffer, txOut minidb.Tx) {
 	txOut = tx
-	fail := func(err error) ([]byte, minidb.Tx) { return errFrame(err), txOut }
+	fail := func(err error) (*bytes.Buffer, minidb.Tx) { return errFrame(err), txOut }
 
 	switch op {
 	case opPing:
@@ -386,6 +395,51 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp []byte, 
 		}
 		return okFrame(nil), txOut
 
+	case opInsertBatch:
+		if tx != nil {
+			return fail(fmt.Errorf("dbnet: batch inside transaction"))
+		}
+		table, err := minidb.WireString(r)
+		if err != nil {
+			return fail(err)
+		}
+		n, err := minidb.WireUvarint(r)
+		if err != nil {
+			return fail(err)
+		}
+		if n > uint64(r.Len()) {
+			return fail(fmt.Errorf("dbnet: batch row count %d exceeds payload", n))
+		}
+		var batch minidb.Batch
+		for i := uint64(0); i < n; i++ {
+			row, err := minidb.WireRow(r)
+			if err != nil {
+				return fail(err)
+			}
+			batch.Insert(table, row)
+		}
+		s.charge()
+		ids, err := s.db.Apply(&batch)
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { wirePutRowIDs(b, ids) }), txOut
+
+	case opExecBatch:
+		if tx != nil {
+			return fail(fmt.Errorf("dbnet: batch inside transaction"))
+		}
+		batch, err := minidb.WireBatch(r)
+		if err != nil {
+			return fail(err)
+		}
+		s.charge()
+		ids, err := s.db.Apply(batch)
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { wirePutRowIDs(b, ids) }), txOut
+
 	case opViewCount:
 		name, err := minidb.WireString(r)
 		if err != nil {
@@ -434,6 +488,34 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp []byte, 
 	default:
 		return fail(fmt.Errorf("dbnet: unknown opcode %d", op))
 	}
+}
+
+// wirePutRowIDs / wireRowIDs encode a batch response's insert rowids.
+func wirePutRowIDs(b *bytes.Buffer, ids []int64) {
+	minidb.WirePutUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		minidb.WirePutVarint(b, id)
+	}
+}
+
+func wireRowIDs(r *bytes.Reader) ([]int64, error) {
+	n, err := minidb.WireUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("dbnet: rowid count %d exceeds payload", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		if ids[i], err = minidb.WireVarint(r); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
 }
 
 // charge accounts one operation against the shared capacity station.

@@ -229,20 +229,51 @@ func (d *DM) exec(table string, fn func(tx minidb.Tx) error) error {
 // transactional: replicas sharing one database serialize on the writer
 // lock and each walks away with a disjoint block.
 func (d *DM) nextID(prefix string) (string, error) {
+	ids, err := d.nextIDs(prefix, 1)
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// nextIDs allocates n identifiers at once — the bulk form the ingest
+// pipeline uses. The local window is drained first; if it runs dry, ONE
+// transactional claim covers the remainder (at least a full block), so a
+// loader asking for hundreds of ids pays one database round trip instead of
+// one per block. Ids within one call need not be contiguous across the
+// claim boundary; they are merely unique.
+func (d *DM) nextIDs(prefix string, n int) ([]string, error) {
 	const block = 64
+	if n <= 0 {
+		return nil, nil
+	}
 	d.seqMu.Lock()
 	defer d.seqMu.Unlock()
-	n := d.seqHi[prefix]
-	if n >= d.seqMax[prefix] {
-		newMax, err := d.claimSequenceBlock(prefix, block)
+	out := make([]string, 0, n)
+	for d.seqHi[prefix] < d.seqMax[prefix] && len(out) < n {
+		out = append(out, fmt.Sprintf("%s-%08d", prefix, d.seqHi[prefix]))
+		d.seqHi[prefix]++
+	}
+	if rem := n - len(out); rem > 0 {
+		claim := int64(rem)
+		if claim < block {
+			claim = block
+		}
+		newMax, err := d.claimSequenceBlock(prefix, claim)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		d.seqMax[prefix] = newMax
-		n = newMax - block
+		start := newMax - claim
+		if start < d.seqHi[prefix] {
+			start = d.seqHi[prefix] // never step back into handed-out ids
+		}
+		for i := int64(0); i < int64(rem); i++ {
+			out = append(out, fmt.Sprintf("%s-%08d", prefix, start+i))
+		}
+		d.seqHi[prefix] = start + int64(rem)
 	}
-	d.seqHi[prefix] = n + 1
-	return fmt.Sprintf("%s-%08d", prefix, n), nil
+	return out, nil
 }
 
 func seqKey(prefix string) string { return "seq." + prefix }

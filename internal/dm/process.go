@@ -1,9 +1,8 @@
 package dm
 
 import (
-	"bytes"
-	"compress/gzip"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/analysis"
@@ -146,13 +145,9 @@ func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
 		return nil, fmt.Errorf("dm: unit %s already loaded", unitID)
 	}
 
-	// 1. Archive the raw file.
-	var raw bytes.Buffer
-	zw := gzip.NewWriter(&raw)
-	if err := u.FITS().Encode(zw); err != nil {
-		return nil, err
-	}
-	if err := zw.Close(); err != nil {
+	// 1. Archive the raw file (pooled gzip writer: see telemetry.PackGz).
+	raw, err := u.PackGz()
+	if err != nil {
 		return nil, err
 	}
 	itemID, err := d.nextID("item")
@@ -160,7 +155,7 @@ func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
 		return nil, err
 	}
 	if err := d.StoreItemFiles(itemID, ImportUser, true, []StoredFile{
-		{Suffix: ".fits.gz", Format: "fits.gz", Data: raw.Bytes()},
+		{Suffix: ".fits.gz", Format: "fits.gz", Data: raw},
 	}); err != nil {
 		return nil, err
 	}
@@ -183,7 +178,7 @@ func (d *DM) LoadUnit(u *telemetry.Unit) (*LoadReport, error) {
 
 	report := &LoadReport{
 		UnitID: unitID, ItemID: itemID,
-		Photons: len(u.Photons), RawBytes: int64(raw.Len()),
+		Photons: len(u.Photons), RawBytes: int64(len(raw)),
 	}
 
 	// 3. Wavelet views (§3.4 pre-processing).
@@ -312,12 +307,12 @@ func (d *DM) RawPhotons(s *Session, t0, t1 float64) ([]fits.Photon, int64, error
 			return nil, 0, err
 		}
 		bytesRead += int64(len(data))
-		zr, err := gzip.NewReader(bytes.NewReader(data))
-		if err != nil {
-			return nil, 0, fmt.Errorf("dm: unit %s: %w", u.UnitID, err)
-		}
-		f, err := fits.Decode(zr)
-		zr.Close()
+		var f *fits.File
+		err = telemetry.WithGzipReader(data, func(r io.Reader) error {
+			var derr error
+			f, derr = fits.Decode(r)
+			return derr
+		})
 		if err != nil {
 			return nil, 0, fmt.Errorf("dm: unit %s: %w", u.UnitID, err)
 		}
@@ -390,31 +385,14 @@ func (d *DM) Recalibrate(unitID, reason string) (int64, error) {
 	row := res.Rows[0].Clone()
 	newVersion := row[6].Int() + 1
 	row[6] = minidb.I(newVersion)
-	if err := d.routeDB(schema.TableRawUnits).Update(schema.TableRawUnits, res.RowIDs[0], row); err != nil {
-		return 0, err
-	}
-	d.stats.Edits.Add(1)
 
-	// Version record.
 	vid, err := d.nextID("ver")
 	if err != nil {
 		return 0, err
 	}
 	var vn int64
 	fmt.Sscanf(vid, "ver-%d", &vn)
-	err = d.exec(schema.TableVersions, func(tx minidb.Tx) error {
-		_, err := tx.Insert(schema.TableVersions, minidb.Row{
-			minidb.I(vn), minidb.S("unit"), minidb.S(unitID),
-			minidb.I(newVersion), minidb.F(nowSecs()), minidb.S(reason),
-		})
-		return err
-	})
-	if err != nil {
-		return 0, err
-	}
-	d.stats.Edits.Add(1)
 
-	// Mark dependent HLEs as based on stale calibration.
 	hles, err := d.query(minidb.Query{
 		Table: schema.TableHLE,
 		Where: []minidb.Pred{{Col: "unit_id", Op: minidb.OpEq, Val: minidb.S(unitID)}},
@@ -422,15 +400,26 @@ func (d *DM) Recalibrate(unitID, reason string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+
+	// The unit bump, the version record and every dependent-HLE flag are all
+	// domain tuples — one atomic batch, one commit, one fsync, instead of
+	// the 2+N transactions the serial form issued.
+	var b minidb.Batch
+	b.Update(schema.TableRawUnits, res.RowIDs[0], row)
+	b.Insert(schema.TableVersions, minidb.Row{
+		minidb.I(vn), minidb.S("unit"), minidb.S(unitID),
+		minidb.I(newVersion), minidb.F(nowSecs()), minidb.S(reason),
+	})
 	for i, hrow := range hles.Rows {
 		updated := hrow.Clone()
 		updated[1] = minidb.I(newVersion) // version
 		updated[22] = minidb.F(nowSecs()) // modified
-		if err := d.routeDB(schema.TableHLE).Update(schema.TableHLE, hles.RowIDs[i], updated); err != nil {
-			return 0, err
-		}
-		d.stats.Edits.Add(1)
+		b.Update(schema.TableHLE, hles.RowIDs[i], updated)
 	}
+	if _, err := d.routeDB(schema.TableRawUnits).Apply(&b); err != nil {
+		return 0, err
+	}
+	d.stats.Edits.Add(int64(b.Len()))
 	_ = d.recordLineage(unitID, "", "recalibrate", newVersion, reason)
 	d.logOp("info", "recalibrate", "unit %s -> v%d (%d HLEs flagged): %s",
 		unitID, newVersion, len(hles.Rows), reason)

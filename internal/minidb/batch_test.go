@@ -1,0 +1,345 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func batchSchemas() []*Schema {
+	return []*Schema{
+		{
+			Name: "events",
+			Columns: []Column{
+				{Name: "id", Type: IntType},
+				{Name: "band", Type: StringType},
+				{Name: "flux", Type: FloatType},
+			},
+			PrimaryKey: "id",
+			Indexes:    []string{"band"},
+		},
+		{
+			Name: "notes",
+			Columns: []Column{
+				{Name: "body", Type: StringType},
+			},
+		},
+	}
+}
+
+func TestApplyBasic(t *testing.T) {
+	db, err := Open(t.TempDir(), batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var b Batch
+	for i := 0; i < 5; i++ {
+		b.Insert("events", Row{I(int64(i)), S("hard"), F(float64(i))})
+	}
+	b.Insert("notes", Row{S("loaded")})
+	if b.Len() != 6 || b.Inserts() != 6 {
+		t.Fatalf("Len=%d Inserts=%d", b.Len(), b.Inserts())
+	}
+	ids, err := db.Apply(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 6 {
+		t.Fatalf("got %d rowids, want 6", len(ids))
+	}
+	// Mixed batch: update and delete refer to rowids from the first batch.
+	var b2 Batch
+	b2.Update("events", ids[0], Row{I(0), S("soft"), F(9)})
+	b2.Delete("events", ids[1])
+	b2.Insert("events", Row{I(100), S("soft"), F(1)})
+	if _, err := db.Apply(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.TableLen("events"); n != 5 {
+		t.Fatalf("events live=%d, want 5", n)
+	}
+	res, err := db.Query(Query{Table: "events", Where: []Pred{{Col: "band", Op: OpEq, Val: S("soft")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("soft rows=%d, want 2", len(res.Rows))
+	}
+	st := db.Stats()
+	if st.GroupCommits == 0 || st.GroupedTxns < 2 {
+		t.Fatalf("group stats not maintained: %+v", st)
+	}
+}
+
+func TestApplyEmptyAndNil(t *testing.T) {
+	db, err := Open("", batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if ids, err := db.Apply(nil); err != nil || ids != nil {
+		t.Fatalf("nil batch: %v %v", ids, err)
+	}
+	if ids, err := db.Apply(&Batch{}); err != nil || ids != nil {
+		t.Fatalf("empty batch: %v %v", ids, err)
+	}
+}
+
+func TestApplyValidationError(t *testing.T) {
+	db, err := Open(t.TempDir(), batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var ok Batch
+	ok.Insert("events", Row{I(1), S("hard"), F(1)})
+	if _, err := db.Apply(&ok); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate primary key: the whole batch must fail, including the row
+	// queued before the bad one.
+	var bad Batch
+	bad.Insert("events", Row{I(2), S("hard"), F(2)})
+	bad.Insert("events", Row{I(1), S("hard"), F(3)})
+	if _, err := db.Apply(&bad); err == nil || !strings.Contains(err.Error(), "duplicate primary key") {
+		t.Fatalf("want duplicate pk error, got %v", err)
+	}
+	if n := db.TableLen("events"); n != 1 {
+		t.Fatalf("failed batch leaked rows: live=%d", n)
+	}
+
+	var missing Batch
+	missing.Insert("nope", Row{I(1)})
+	if _, err := db.Apply(&missing); err == nil || !strings.Contains(err.Error(), "no such table") {
+		t.Fatalf("want no-such-table error, got %v", err)
+	}
+	var badUpd Batch
+	badUpd.Update("events", 99, Row{I(9), S("x"), F(0)})
+	if _, err := db.Apply(&badUpd); err == nil || !strings.Contains(err.Error(), "missing rowid") {
+		t.Fatalf("want missing-rowid error, got %v", err)
+	}
+}
+
+// TestApplyGroupIsolation forces many batches into one group (MaxDelay holds
+// the window open) with one poisoned batch in the middle: the good batches
+// commit, the bad one alone fails.
+func TestApplyGroupIsolation(t *testing.T) {
+	db, err := Open(t.TempDir(), batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetGroupCommit(64, 20*time.Millisecond)
+
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var b Batch
+			if i == 3 {
+				// Poisoned: second op dups the first's key.
+				b.Insert("events", Row{I(int64(1000 + i)), S("bad"), F(0)})
+				b.Insert("events", Row{I(int64(1000 + i)), S("bad"), F(0)})
+			} else {
+				b.Insert("events", Row{I(int64(i)), S("hard"), F(float64(i))})
+				b.Insert("events", Row{I(int64(100 + i)), S("soft"), F(float64(i))})
+			}
+			_, errs[i] = db.Apply(&b)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("poisoned batch committed")
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if live := db.TableLen("events"); live != 2*(n-1) {
+		t.Fatalf("events live=%d, want %d", live, 2*(n-1))
+	}
+	res, err := db.Query(Query{Table: "events", Where: []Pred{{Col: "band", Op: OpEq, Val: S("bad")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("poisoned batch rows visible: %d", len(res.Rows))
+	}
+}
+
+// TestApplyConcurrentDurable hammers Apply from many goroutines, then
+// reopens the database and checks every acknowledged batch survived intact.
+func TestApplyConcurrentDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const batches = 25 // 200 batches, disjoint id ranges per worker
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				base := int64(w*10000 + i*10)
+				var b Batch
+				b.Insert("events", Row{I(base), S("hard"), F(1)})
+				b.Insert("events", Row{I(base + 1), S("soft"), F(2)})
+				b.Insert("notes", Row{S(fmt.Sprintf("w%d-b%d", w, i))})
+				if _, err := db.Apply(&b); err != nil {
+					errCh <- fmt.Errorf("worker %d batch %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.GroupedTxns != workers*batches {
+		t.Fatalf("GroupedTxns=%d, want %d", st.GroupedTxns, workers*batches)
+	}
+	if st.GroupCommits > st.GroupedTxns {
+		t.Fatalf("GroupCommits=%d > GroupedTxns=%d", st.GroupCommits, st.GroupedTxns)
+	}
+	t.Logf("grouping: %d txns in %d fsync groups", st.GroupedTxns, st.GroupCommits)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.TableLen("events"); n != workers*batches*2 {
+		t.Fatalf("after reopen events=%d, want %d", n, workers*batches*2)
+	}
+	if n := re.TableLen("notes"); n != workers*batches {
+		t.Fatalf("after reopen notes=%d, want %d", n, workers*batches)
+	}
+}
+
+// TestApplyConcurrentWithTxns interleaves Apply with classic Begin/Commit
+// transactions and lock-free reads — the mixed workload the DM produces.
+func TestApplyConcurrentWithTxns(t *testing.T) {
+	db, err := Open(t.TempDir(), batchSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var wg, readerWg sync.WaitGroup
+	stop := make(chan struct{})
+	readerWg.Add(1)
+	go func() { // reader: snapshots must always be internally consistent
+		defer readerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := db.Query(Query{Table: "events"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			seen := make(map[int64]bool, len(res.Rows))
+			for _, r := range res.Rows {
+				id := r[0].Int()
+				if seen[id] {
+					t.Errorf("duplicate id %d in snapshot", id)
+					return
+				}
+				seen[id] = true
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				base := int64(w*1000 + i*2)
+				if i%2 == 0 {
+					var b Batch
+					b.Insert("events", Row{I(base), S("hard"), F(0)})
+					if _, err := db.Apply(&b); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					tx := db.Begin()
+					if _, err := tx.Insert("events", Row{I(base), S("soft"), F(0)}); err != nil {
+						tx.Rollback()
+						t.Error(err)
+						return
+					}
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWg.Wait()
+	if n := db.TableLen("events"); n != 4*50 {
+		t.Fatalf("events=%d, want %d", n, 4*50)
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	var b Batch
+	b.Insert("events", Row{I(7), S("hard"), F(3.5)})
+	b.Update("events", 2, Row{I(8), S("soft"), Null()})
+	b.Delete("notes", 4)
+
+	var buf bytes.Buffer
+	WirePutBatch(&buf, &b)
+	got, err := WireBatch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != b.Len() || got.Inserts() != b.Inserts() {
+		t.Fatalf("round trip: Len=%d Inserts=%d", got.Len(), got.Inserts())
+	}
+	for i, op := range got.ops {
+		want := b.ops[i]
+		if op.kind != want.kind || op.table != want.table || op.rowid != want.rowid {
+			t.Fatalf("op %d: got %+v want %+v", i, op, want)
+		}
+		if len(op.row) != len(want.row) {
+			t.Fatalf("op %d row width %d != %d", i, len(op.row), len(want.row))
+		}
+		for j := range op.row {
+			if !Equal(op.row[j], want.row[j]) {
+				t.Fatalf("op %d col %d: %v != %v", i, j, op.row[j], want.row[j])
+			}
+		}
+	}
+}

@@ -45,6 +45,10 @@ type DB struct {
 	replayFloor uint64
 	views       map[string]*matView
 
+	// group is the group-commit queue (batch.go): concurrent Apply calls
+	// elect a leader that seals many batches under one fsync.
+	group groupCommitter
+
 	stats Stats
 }
 
@@ -66,6 +70,8 @@ type Stats struct {
 	Checkpoints       atomic.Int64
 	ViewRefreshes     atomic.Int64
 	SnapshotPublishes atomic.Int64 // per-table snapshot views installed by commits
+	GroupCommits      atomic.Int64 // fsync groups sealed by Apply leaders
+	GroupedTxns       atomic.Int64 // batches committed inside those groups
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -85,6 +91,8 @@ type StatsSnapshot struct {
 	Checkpoints       int64
 	ViewRefreshes     int64
 	SnapshotPublishes int64
+	GroupCommits      int64
+	GroupedTxns       int64
 }
 
 // Stats returns a point-in-time copy of the engine counters.
@@ -105,6 +113,8 @@ func (db *DB) Stats() StatsSnapshot {
 		Checkpoints:       db.stats.Checkpoints.Load(),
 		ViewRefreshes:     db.stats.ViewRefreshes.Load(),
 		SnapshotPublishes: db.stats.SnapshotPublishes.Load(),
+		GroupCommits:      db.stats.GroupCommits.Load(),
+		GroupedTxns:       db.stats.GroupedTxns.Load(),
 	}
 }
 
@@ -123,6 +133,7 @@ func Open(dir string, schemas ...*Schema) (*DB, error) {
 // the engine issues becomes an enumerable crash site.
 func OpenVFS(fs VFS, dir string, schemas ...*Schema) (*DB, error) {
 	db := &DB{tables: make(map[string]*Table), dir: dir, fs: fs}
+	db.group.cond = sync.NewCond(&db.group.mu)
 	for _, s := range schemas {
 		if _, dup := db.tables[s.Name]; dup {
 			return nil, fmt.Errorf("minidb: duplicate table %s", s.Name)
@@ -260,35 +271,33 @@ func (db *DB) Get(table string, rowid int64) (Row, error) {
 	return r.Clone(), nil
 }
 
-// Insert runs a single-statement transaction inserting one row.
+// Insert runs a single-statement transaction inserting one row. It routes
+// through Apply, so concurrent single-row writers share group commits (one
+// fsync covers many of them) instead of each paying its own.
 func (db *DB) Insert(table string, r Row) (int64, error) {
-	txn := db.Begin()
-	rowid, err := txn.Insert(table, r)
+	var b Batch
+	b.Insert(table, r)
+	rowids, err := db.Apply(&b)
 	if err != nil {
-		txn.Rollback()
 		return 0, err
 	}
-	return rowid, txn.Commit()
+	return rowids[0], nil
 }
 
 // Update runs a single-statement transaction replacing one row.
 func (db *DB) Update(table string, rowid int64, r Row) error {
-	txn := db.Begin()
-	if err := txn.Update(table, rowid, r); err != nil {
-		txn.Rollback()
-		return err
-	}
-	return txn.Commit()
+	var b Batch
+	b.Update(table, rowid, r)
+	_, err := db.Apply(&b)
+	return err
 }
 
 // Delete runs a single-statement transaction deleting one row.
 func (db *DB) Delete(table string, rowid int64) error {
-	txn := db.Begin()
-	if err := txn.Delete(table, rowid); err != nil {
-		txn.Rollback()
-		return err
-	}
-	return txn.Commit()
+	var b Batch
+	b.Delete(table, rowid)
+	_, err := db.Apply(&b)
+	return err
 }
 
 // Checkpoint writes a snapshot of all tables and truncates the redo log.

@@ -16,6 +16,11 @@ type Engine interface {
 	Insert(table string, r Row) (int64, error)
 	Update(table string, rowid int64, r Row) error
 	Delete(table string, rowid int64) error
+	// Apply commits a batch of mutations as one transaction, returning the
+	// rowids of its inserts in order. Concurrent Apply calls group-commit:
+	// the local engine seals many batches under one fsync, the remote one
+	// ships the whole batch as a single wire round trip.
+	Apply(b *Batch) ([]int64, error)
 	// BeginTx starts a read-write transaction. Writers serialize on the
 	// engine's single writer lock — local and remote callers alike.
 	BeginTx() Tx

@@ -81,7 +81,15 @@ func (t *Table) Epoch() uint64 { return t.epoch.Load() }
 // shared (copy-on-write), index trees are cloned (path-copying), the index
 // map is fresh. The copy is exclusively owned by the calling transaction.
 func (t *Table) beginWrite() *tableView {
-	v := t.view.Load()
+	return t.beginWriteFrom(t.view.Load())
+}
+
+// beginWriteFrom is beginWrite starting from an arbitrary base view. Group
+// commit chains batches through it: batch k+1's working view starts from
+// batch k's unpublished result. The copy never owns the base's heap slice
+// (ownRows stays false even if the base owned it), so a batch that later
+// fails validation cannot have scribbled over its predecessor in place.
+func (t *Table) beginWriteFrom(v *tableView) *tableView {
 	w := &tableView{
 		rows:    v.rows,
 		live:    v.live,

@@ -390,12 +390,66 @@ func WireSchema(r *bytes.Reader) (*Schema, error) {
 	return s, nil
 }
 
+// WirePutBatch appends a mutation batch: op count, then per op a kind byte
+// (1 insert, 2 update, 3 delete — the WAL kinds), table, rowid and row.
+func WirePutBatch(b *bytes.Buffer, batch *Batch) {
+	putUvarint(b, uint64(len(batch.ops)))
+	for _, op := range batch.ops {
+		b.WriteByte(byte(op.kind))
+		putString(b, op.table)
+		putVarint(b, op.rowid)
+		WirePutRow(b, op.row)
+	}
+}
+
+// WireBatch reads a batch written by WirePutBatch.
+func WireBatch(r *bytes.Reader) (*Batch, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("minidb: batch op count %d exceeds remaining payload", n)
+	}
+	batch := &Batch{ops: make([]batchOp, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		table, err := getString(r)
+		if err != nil {
+			return nil, err
+		}
+		rowid, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		row, err := WireRow(r)
+		if err != nil {
+			return nil, err
+		}
+		switch walOpKind(kind) {
+		case walInsert:
+			batch.Insert(table, row)
+		case walUpdate:
+			batch.Update(table, rowid, row)
+		case walDelete:
+			batch.Delete(table, rowid)
+		default:
+			return nil, fmt.Errorf("minidb: batch op kind %d unknown", kind)
+		}
+	}
+	return batch, nil
+}
+
 // WirePutStats appends an engine counter snapshot.
 func WirePutStats(b *bytes.Buffer, s StatsSnapshot) {
 	for _, v := range []int64{
 		s.Queries, s.CountQueries, s.FullScans, s.IndexEqScans, s.IndexRanges,
 		s.FullIndexScans, s.RowsScanned, s.Inserts, s.Updates, s.Deletes,
 		s.Commits, s.Rollbacks, s.Checkpoints, s.ViewRefreshes, s.SnapshotPublishes,
+		s.GroupCommits, s.GroupedTxns,
 	} {
 		putVarint(b, v)
 	}
@@ -408,6 +462,7 @@ func WireStats(r *bytes.Reader) (StatsSnapshot, error) {
 		&s.Queries, &s.CountQueries, &s.FullScans, &s.IndexEqScans, &s.IndexRanges,
 		&s.FullIndexScans, &s.RowsScanned, &s.Inserts, &s.Updates, &s.Deletes,
 		&s.Commits, &s.Rollbacks, &s.Checkpoints, &s.ViewRefreshes, &s.SnapshotPublishes,
+		&s.GroupCommits, &s.GroupedTxns,
 	} {
 		v, err := binary.ReadVarint(r)
 		if err != nil {

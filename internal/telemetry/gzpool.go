@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"sync"
+)
+
+// Gzip codec pooling. Every raw unit is packaged as gzip-FITS on ingest and
+// unpackaged on read; a gzip.Writer alone is ~1.4MB of window and huffman
+// state, so allocating one per unit dominated the loader's allocation
+// profile. Both directions reuse codecs via sync.Pool — Reset makes a
+// pooled codec indistinguishable from a fresh one.
+
+// Ingest is throughput-critical and photon events are high-entropy floats:
+// BestSpeed compresses them almost as tightly as the default level at a
+// fraction of the deflate cost, so the pool hands out BestSpeed writers.
+var gzWriterPool = sync.Pool{
+	New: func() any {
+		zw, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return zw
+	},
+}
+
+var gzReaderPool sync.Pool // *gzip.Reader; lazily created (NewReader needs a valid stream)
+
+// WithGzipWriter runs fn with a pooled gzip.Writer targeting dst, then
+// closes (flushes) the stream and returns the writer to the pool.
+func WithGzipWriter(dst io.Writer, fn func(zw *gzip.Writer) error) error {
+	zw := gzWriterPool.Get().(*gzip.Writer)
+	zw.Reset(dst)
+	err := fn(zw)
+	cerr := zw.Close()
+	gzWriterPool.Put(zw)
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// WithGzipReader runs fn over the decompressed form of data using a pooled
+// gzip.Reader.
+func WithGzipReader(data []byte, fn func(r io.Reader) error) error {
+	var zr *gzip.Reader
+	if v := gzReaderPool.Get(); v != nil {
+		zr = v.(*gzip.Reader)
+		if err := zr.Reset(bytes.NewReader(data)); err != nil {
+			gzReaderPool.Put(zr)
+			return err
+		}
+	} else {
+		var err error
+		if zr, err = gzip.NewReader(bytes.NewReader(data)); err != nil {
+			return err
+		}
+	}
+	err := fn(zr)
+	cerr := zr.Close()
+	gzReaderPool.Put(zr)
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// PackGz returns the unit's archive representation: its FITS encoding,
+// gzip-compressed with a pooled writer. This is the CPU-heavy half of
+// ingest and is safe to run concurrently for different units.
+func (u *Unit) PackGz() ([]byte, error) {
+	var buf bytes.Buffer
+	// Compressed photon tables land near 8 bytes/photon; pre-sizing skips
+	// the doubling-regrowth copies that otherwise show up in the profile.
+	buf.Grow(8*len(u.Photons) + 4096)
+	if err := WithGzipWriter(&buf, func(zw *gzip.Writer) error {
+		return u.FITS().Encode(zw)
+	}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

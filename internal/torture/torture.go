@@ -44,6 +44,8 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/archive"
 	"repro/internal/fault"
@@ -440,6 +442,168 @@ func Run(fs *fault.FS, continueOnError bool) (m *Model, firstErr error) {
 		}
 	}
 	return m, firstErr
+}
+
+// --- Concurrent committers: torturing the group-commit WAL ---------------
+//
+// The serial workload above exercises one committer. Group commit changes
+// the durability machinery — many transactions ride one WAL append+fsync,
+// led by whichever committer got there first — so it gets its own
+// enumeration. The contract under crash faults:
+//
+//   - acknowledged batches (Apply returned nil) are never lost,
+//   - every batch is all-or-nothing: no recovered state may show part of
+//     one (the per-txn commit markers in the shared append run seal each
+//     batch independently),
+//   - un-acknowledged batches may surface whole (the group's fsync can
+//     complete before every waiter observes its acknowledgement) — but
+//     only batches that were actually submitted.
+//
+// Unlike the serial workload, concurrent grouping is nondeterministic: two
+// runs reach a given I/O-operation count at different workload points, and
+// a faulted run may finish without ever executing the rigged operation.
+// The enumeration therefore skips sites the run never reached.
+
+// concurrentBase is where the concurrent workload's key space starts.
+const concurrentBase = 10000
+
+// ConcurrentModel records per-batch outcomes of a concurrent run. Batches
+// are identified by their base key; each inserts a disjoint range of
+// events rows.
+type ConcurrentModel struct {
+	mu        sync.Mutex
+	attempted map[int64]map[int64]minidb.Row // base -> id -> row, every batch submitted
+	acked     map[int64]bool                 // bases whose Apply returned nil
+}
+
+func (cm *ConcurrentModel) noteAttempt(base int64, rows map[int64]minidb.Row) {
+	cm.mu.Lock()
+	cm.attempted[base] = rows
+	cm.mu.Unlock()
+}
+
+func (cm *ConcurrentModel) noteAck(base int64) {
+	cm.mu.Lock()
+	cm.acked[base] = true
+	cm.mu.Unlock()
+}
+
+// Acked returns how many batches were acknowledged.
+func (cm *ConcurrentModel) Acked() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return len(cm.acked)
+}
+
+// Attempted returns how many batches were submitted.
+func (cm *ConcurrentModel) Attempted() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return len(cm.attempted)
+}
+
+// RunConcurrent executes workers goroutines each committing batches
+// disjoint-key insert batches of rowsPerBatch events through DB.Apply —
+// the group-commit path. It returns the model of submitted and
+// acknowledged batches. A worker stops at its first error (the injected
+// crash); on a clean filesystem every batch must be acknowledged.
+func RunConcurrent(fs *fault.FS, workers, batches, rowsPerBatch int) (*ConcurrentModel, error) {
+	cm := &ConcurrentModel{
+		attempted: make(map[int64]map[int64]minidb.Row),
+		acked:     make(map[int64]bool),
+	}
+	db, err := minidb.OpenVFS(fs, DBDir, Schemas()...)
+	if err != nil {
+		return cm, fmt.Errorf("open db: %w", err)
+	}
+	db.SetGroupCommit(workers, 0)
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if stopped.Load() {
+					return
+				}
+				base := int64(concurrentBase + (w*batches+b)*rowsPerBatch)
+				rows := make(map[int64]minidb.Row, rowsPerBatch)
+				var batch minidb.Batch
+				for k := 0; k < rowsPerBatch; k++ {
+					id := base + int64(k)
+					row := minidb.Row{
+						minidb.I(id), minidb.S([]string{"ha", "vla", "gbo"}[w%3]),
+						minidb.F(float64(id) / 13), minidb.S(fmt.Sprintf("w%d-b%d", w, b)),
+					}
+					batch.Insert("events", row)
+					rows[id] = row
+				}
+				cm.noteAttempt(base, rows)
+				if _, err := db.Apply(&batch); err != nil {
+					stopped.Store(true) // the rigged op fired; stop submitting
+					return
+				}
+				cm.noteAck(base)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !fs.Crashed() {
+		if err := db.Close(); err != nil {
+			return cm, fmt.Errorf("close db: %w", err)
+		}
+	}
+	return cm, nil
+}
+
+// VerifyConcurrent reopens the database and checks the recovered events
+// table against the concurrent model's contract.
+func VerifyConcurrent(fs *fault.FS, cm *ConcurrentModel, mode fault.Mode) error {
+	db, err := minidb.OpenVFS(fs, DBDir, Schemas()...)
+	if err != nil {
+		if mode == fault.ModeBitFlip {
+			return nil // detected corruption at reopen is acceptable
+		}
+		return fmt.Errorf("reopen db: %v", err)
+	}
+	defer db.Close()
+	res, err := db.Query(minidb.Query{Table: "events"})
+	if err != nil {
+		return fmt.Errorf("dump events: %v", err)
+	}
+	got := make(map[int64]minidb.Row, len(res.Rows))
+	for _, r := range res.Rows {
+		got[r[0].Int()] = r
+	}
+
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	claimed := 0
+	for base, rows := range cm.attempted {
+		present := 0
+		for id, want := range rows {
+			g, ok := got[id]
+			if !ok {
+				continue
+			}
+			present++
+			if !rowsEqual(g, want) {
+				return fmt.Errorf("batch %d: row %d recovered with wrong content", base, id)
+			}
+		}
+		if present != 0 && present != len(rows) {
+			return fmt.Errorf("batch %d recovered torn: %d of %d rows", base, present, len(rows))
+		}
+		if cm.acked[base] && present == 0 {
+			return fmt.Errorf("acknowledged batch %d lost after recovery", base)
+		}
+		claimed += present
+	}
+	if claimed != len(got) {
+		return fmt.Errorf("recovered %d rows but only %d belong to submitted batches", len(got), claimed)
+	}
+	return nil
 }
 
 // Verify reopens the database and archive on the recovered filesystem and

@@ -125,13 +125,6 @@ func pack(buf []float64, w, h, origW, origH int, keep float64) *Encoded {
 			idx = append(idx, i)
 		}
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ma, mb := math.Abs(buf[idx[a]]), math.Abs(buf[idx[b]])
-		if ma != mb {
-			return ma > mb
-		}
-		return idx[a] < idx[b]
-	})
 	n := int(math.Ceil(keep * float64(len(idx))))
 	if n < 1 && len(idx) > 0 {
 		n = 1
@@ -139,11 +132,63 @@ func pack(buf []float64, w, h, origW, origH int, keep float64) *Encoded {
 	if n > len(idx) {
 		n = len(idx)
 	}
+	// Progressive-stream order: descending |value|, ties by index — a strict
+	// total order, so selecting the top n and then sorting just that prefix
+	// yields exactly the same stream head as sorting everything. With keep
+	// well below 1 the selection is O(len) and the sort shrinks by 1/keep.
+	streamLess := func(a, b int) bool {
+		ma, mb := math.Abs(buf[a]), math.Abs(buf[b])
+		if ma != mb {
+			return ma > mb
+		}
+		return a < b
+	}
+	if n < len(idx) {
+		quickselect(idx, n, streamLess)
+	}
+	sort.Slice(idx[:n], func(a, b int) bool { return streamLess(idx[a], idx[b]) })
 	enc := &Encoded{W: w, H: h, OrigW: origW, OrigH: origH, Coeffs: make([]Coeff, n)}
 	for i := 0; i < n; i++ {
 		enc.Coeffs[i] = Coeff{Index: uint32(idx[i]), Value: float32(buf[idx[i]])}
 	}
 	return enc
+}
+
+// quickselect partitions idx so that its n smallest entries under less
+// occupy idx[:n] (in arbitrary order). Median-of-three pivoting keeps the
+// worst case away from the sorted/reverse-sorted inputs wavelets produce.
+func quickselect(idx []int, n int, less func(a, b int) bool) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if less(idx[mid], idx[lo]) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if less(idx[hi], idx[lo]) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if less(idx[hi], idx[mid]) {
+			idx[hi], idx[mid] = idx[mid], idx[hi]
+		}
+		pivot := idx[mid]
+		idx[mid], idx[hi] = idx[hi], idx[mid]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if less(idx[j], pivot) {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+			}
+		}
+		idx[i], idx[hi] = idx[hi], idx[i]
+		switch {
+		case i == n:
+			return
+		case i > n:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
 }
 
 // Decode1D reconstructs an approximation from the first frac (0..1] of the

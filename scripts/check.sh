@@ -1,8 +1,8 @@
 #!/bin/sh
 # Full verification: vet, build, race-enabled tests (including the
-# crash-recovery torture harness), one iteration of the parallel query
-# benchmark (smoke-checks the concurrent read path), and short runs of the
-# WAL decode fuzz targets.
+# crash-recovery torture harness), one iteration each of the parallel query
+# and ingest benchmarks (smoke-checks the concurrent read and fast write
+# paths), and short runs of the WAL decode fuzz targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,9 @@ go test -race -count=1 ./internal/torture/
 
 echo "==> parallel query benchmark (1 iteration)"
 go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
+
+echo "==> ingest benchmark (1 iteration)"
+go test -run '^$' -bench BenchmarkIngest -benchtime=1x .
 
 # -fuzz accepts a pattern matching exactly one target, so each gets its own
 # short smoke run over the checked-in corpus plus fresh mutations. CI can
