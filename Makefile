@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest torture fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -19,16 +19,29 @@ bench:
 bench-ingest:
 	$(GO) run ./cmd/hedc-bench -exp tables -json .
 
+# bench-chaos runs every network fault schedule as an experiment and
+# records availability under chaos in BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/hedc-bench -exp chaos -json .
+
 # torture enumerates every crash site of the scripted workload under the
 # race detector (see internal/torture).
 torture:
 	$(GO) test -race -count=1 -v ./internal/torture/
 
-# fuzz runs each WAL decode fuzz target for 30s.
+# chaos enumerates every network fault schedule against a live
+# gateway+replicas+DB cell under the race detector (see internal/chaos).
+# CHAOSTIME=2s holds each fault under workload for at least that long.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos/
+
+# fuzz runs each WAL and dbnet wire decode fuzz target for 30s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWalOp$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWal$$' -fuzztime 30s ./internal/minidb/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s ./internal/dbnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s ./internal/dbnet/
 
 # check runs the full gate: vet, build, race tests (torture harness
 # included), a one-iteration smoke run of the parallel query benchmark, and

@@ -5,7 +5,7 @@
 //
 //	hedc-bench                  # run everything
 //	hedc-bench -exp fig4        # one experiment: fig4, fig5, fig5live,
-//	                            # table1, table2, table3, approx, engine
+//	                            # table1, table2, table3, approx, engine, chaos
 //	hedc-bench -json out/       # also write BENCH_fig4.json, BENCH_fig5.json
 package main
 
@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine|chaos")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json / BENCH_chaos.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -40,6 +40,7 @@ func main() {
 	var fig4Pts, fig5Pts []bench.BrowsePoint
 	var livePts []bench.LivePoint
 	var ingestRes []bench.IngestResult
+	var chaosRes *bench.ChaosResult
 
 	if run("fig4") {
 		any = true
@@ -115,12 +116,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if run("chaos") {
+		any = true
+		var err error
+		chaosRes, err = bench.RunChaos(log.New(os.Stderr, "", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatChaos(chaosRes))
+		fmt.Printf("every schedule held the invariants: bounded latency, no duplicate\n")
+		fmt.Printf("effects, typed failures only, convergence after heal\n\n")
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes, chaosRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -131,7 +144,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult, chaosRes *bench.ChaosResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -171,6 +184,16 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 		err := write("BENCH_tables.json", map[string]any{
 			"experiment": "ingest", "note": "fast-ingest path behind Tables 1-3 data preparation",
 			"results": ingest,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if chaosRes != nil {
+		err := write("BENCH_chaos.json", map[string]any{
+			"experiment": "chaos",
+			"note":       "availability under enumerated network faults; db_loss_degraded records stale-cache browse + fail-fast writes with the database partitioned away",
+			"results":    chaosRes,
 		})
 		if err != nil {
 			return err

@@ -7,7 +7,8 @@
 //	-mode replica  a middle-tier replica: a full DM dialing a -db-addr
 //	               database, serving /dm/ and /healthz
 //	-mode gateway  the cluster front door: load-balances /dm/ across
-//	               -replicas with health checks and failover
+//	               -replicas with health checks, circuit breakers and
+//	               failover; serves the web UI and /stats over the cluster
 //
 // A shared-database cluster on one machine:
 //
@@ -41,6 +42,7 @@ import (
 	"repro/internal/dm"
 	"repro/internal/minidb"
 	"repro/internal/schema"
+	"repro/internal/web"
 )
 
 func main() {
@@ -250,8 +252,28 @@ func runGateway(ctx context.Context, addr, replicaList string) error {
 		}
 		fmt.Fprintf(w, `{"members":%d,"healthy":%d}`+"\n", n, healthy)
 	})
+	// The gateway is a dm.API like any other, so the whole presentation
+	// tier runs over the cluster; /stats adds the per-replica health,
+	// circuit and retry-budget view.
+	mux.Handle("/", web.New(web.Config{API: gw, Cluster: gw, Node: "gateway"}).Handler())
 	fmt.Printf("HEDC gateway serving on %s over %d replicas\n", addr, n)
-	return serveHTTP(ctx, addr, mux)
+	err := serveHTTP(ctx, addr, mux)
+	logGatewayStatus(gw)
+	return err
+}
+
+// logGatewayStatus prints the resilience counters on shutdown, so an
+// operator reading the logs of a finished run sees what the cluster
+// absorbed: load shed, failovers, circuit opens, degraded serves.
+func logGatewayStatus(gw *cluster.Gateway) {
+	st := gw.Status()
+	log.Printf("gateway: shutdown: shed=%d failovers=%d retries-denied=%d retry-tokens=%.1f/%d degraded-serves=%d demotions=%d writes-failed-fast=%d write-epoch=%d stale-entries=%d",
+		st.Shed, st.Failovers, st.RetriesDenied, st.RetryTokens, st.RetryBurst,
+		st.DegradedServes, st.SessionDemotions, st.WritesFailedFast, st.WriteEpoch, st.StaleEntries)
+	for _, m := range st.Members {
+		log.Printf("gateway: replica %s: healthy=%v circuit=%s fails=%d opens=%d served=%d failed=%d",
+			m.Name, m.Healthy, m.Circuit, m.CircuitFails, m.CircuitOpens, m.Served, m.Failed)
+	}
 }
 
 // serveHTTP runs an HTTP server until ctx is cancelled, then drains

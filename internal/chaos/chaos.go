@@ -1,0 +1,502 @@
+// Package chaos is the network-fault torture harness for the live middle
+// tier — the counterpart of internal/torture (which breaks the storage
+// under the database) for the wires between the tiers. A cell is a full
+// small deployment: one shared networked database, two replicas dialing
+// it, and a gateway fronting them. One hop of that deployment is wrapped
+// in a fault.Net rig, and a scripted browse+write workload runs while the
+// rig breaks the hop at exactly the Nth network operation in one of the
+// shapes real networks fail (latency, partition, reset, slow drip, black
+// hole, torn frame).
+//
+// For every enumerated schedule the harness asserts the end-to-end
+// resilience contract:
+//
+//  1. Bounded latency: no request — served, degraded or failed — may
+//     exceed the harness deadline. A hang is the one unforgivable
+//     outcome; every timeout, breaker and deadline in the stack exists
+//     to prevent it.
+//  2. No duplicate effects: every write carries a unique marker value;
+//     after the run the shared database must hold at most one row per
+//     marker (exactly one if the write was acknowledged). Failover must
+//     never re-execute a mutation that may have landed.
+//  3. Bounded failure, full recovery: every error during the fault
+//     window must be one of the typed, expected failures (transport,
+//     DB-unavailable, deadline, overload, denial, degraded); after the
+//     fault clears, the cluster must converge to serving everything
+//     cleanly again within the convergence deadline.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dbnet"
+	"repro/internal/dm"
+	"repro/internal/fault"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+// Hop names the network link a schedule breaks.
+type Hop string
+
+const (
+	// HopDB is replica-0's connection to the shared database (dbnet).
+	HopDB Hop = "db"
+	// HopHTTP is the gateway's connection to replica-0 (dm RPC over HTTP).
+	HopHTTP Hop = "http"
+)
+
+// Schedule is one enumerated fault: break one hop, one way, at the
+// At-th network operation after arming.
+type Schedule struct {
+	Hop  Hop
+	Mode fault.NetMode
+	At   int
+}
+
+// Name is the schedule's subtest-friendly identifier.
+func (s Schedule) Name() string {
+	return fmt.Sprintf("%s-%s-at%02d", s.Hop, s.Mode, s.At)
+}
+
+var netModes = []fault.NetMode{
+	fault.NetLatency, fault.NetPartition, fault.NetReset,
+	fault.NetSlowDrip, fault.NetBlackHole, fault.NetDropHalf,
+}
+
+var opIndices = []int{1, 5, 11, 23, 37}
+
+// Schedules enumerates the full fault matrix: every mode on every hop at
+// every armed op index — 6 × 2 × 5 = 60 distinct schedules.
+func Schedules() []Schedule {
+	var out []Schedule
+	for _, hop := range []Hop{HopDB, HopHTTP} {
+		for _, mode := range netModes {
+			for _, at := range opIndices {
+				out = append(out, Schedule{Hop: hop, Mode: mode, At: at})
+			}
+		}
+	}
+	return out
+}
+
+// Config tunes a run.
+type Config struct {
+	// Rounds is the number of fault-phase workload rounds (default 8;
+	// each round is two anonymous reads and one write).
+	Rounds int
+	// MinFaultTime keeps the fault phase running for at least this long
+	// regardless of Rounds — the CHAOSTIME knob.
+	MinFaultTime time.Duration
+	// Logger receives cell noise. Nil discards it.
+	Logger *log.Logger
+}
+
+// Result is one schedule's outcome.
+type Result struct {
+	Schedule Schedule
+	Fired    bool // the armed fault actually triggered
+
+	// Fault-phase request accounting.
+	Requests int
+	OK       int // served live
+	Degraded int // served from the gateway's stale cache, tagged
+	TypedErr int // failed with an expected, typed error
+
+	WritesAcked  int
+	WritesFailed int
+
+	MaxWall   time.Duration // slowest fault-phase request
+	Converged time.Duration // time from heal to a fully clean round
+}
+
+// Available returns the fraction of fault-phase requests that were
+// answered with data (live or degraded).
+func (r *Result) Available() float64 {
+	if r.Requests == 0 {
+		return 1
+	}
+	return float64(r.OK+r.Degraded) / float64(r.Requests)
+}
+
+// Harness timeouts. Everything is short: the cell exists to prove that
+// no fault shape can stall a request past its budget, and short budgets
+// keep 60 schedules affordable.
+const (
+	httpTimeout    = 300 * time.Millisecond // gateway→replica RPC budget
+	dbCallTimeout  = 150 * time.Millisecond // replica→database call budget
+	healthInterval = 20 * time.Millisecond
+	breakerCool    = 80 * time.Millisecond
+	retryBackoff   = 2 * time.Millisecond
+
+	// reqDeadline is invariant 1's ceiling on any single workload request,
+	// derived from the budgets above (two replica attempts at httpTimeout
+	// plus a possible re-auth leg) with scheduler slack for parallel -race
+	// runs. Far below "hang".
+	reqDeadline = 2 * time.Second
+
+	convergeDeadline = 5 * time.Second
+	maxPumpOps       = 60 // extra reads to push the op counter to At
+)
+
+// cell is one live deployment under test.
+type cell struct {
+	db       *minidb.DB
+	dbSrv    *dbnet.Server
+	rig      *fault.Net
+	clients  []*dbnet.Client
+	replicas []*cluster.Replica
+	gw       *cluster.Gateway
+
+	token     string
+	ip        string
+	markerSeq int
+	markers   []marker
+}
+
+// marker is one write's unique fingerprint: the TStart value it inserts.
+type marker struct {
+	t     float64
+	acked bool
+}
+
+func (c *cell) close() {
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	if c.dbSrv != nil {
+		c.dbSrv.Close()
+	}
+	if c.db != nil {
+		c.db.Close()
+	}
+}
+
+// newCell builds the deployment with the schedule's hop wrapped in the
+// rig. Only replica-0's hop is faulted: chaos asserts that a cluster with
+// one broken link keeps its promises, not that a fully dead one does
+// (internal/cluster's degraded-mode tests cover total database loss).
+func newCell(s Schedule, logger *log.Logger) (*cell, error) {
+	c := &cell{rig: fault.NewNet(), ip: "10.9.0.1"}
+	ok := false
+	defer func() {
+		if !ok {
+			c.close()
+		}
+	}()
+
+	var err error
+	c.db, err = minidb.Open("", schema.AllSchemas()...)
+	if err != nil {
+		return nil, err
+	}
+	c.dbSrv, err = dbnet.Listen("127.0.0.1:0", dbnet.Options{DB: c.db})
+	if err != nil {
+		return nil, err
+	}
+
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	boot, err := dm.Open(dm.Options{Node: "boot", MetaDB: c.db, Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	if err := boot.Bootstrap("secret"); err != nil {
+		return nil, err
+	}
+	if err := boot.CreateUser("sci", "pw", dm.GroupScientist,
+		dm.RightBrowse, dm.RightDownload, dm.RightAnalyze, dm.RightUpload); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 16; i++ {
+		h := &schema.HLE{
+			ID: fmt.Sprintf("hle-chaos-%04d", i), Version: 1, Owner: "sci", Public: true,
+			KindHint: []string{"flare", "burst"}[i%2], TStart: float64(i), TStop: float64(i + 1),
+			Day: int64(i % 8), CalibVersion: 1,
+		}
+		if _, err := c.db.Insert(schema.TableHLE, h.ToRow()); err != nil {
+			return nil, err
+		}
+	}
+
+	c.gw = cluster.NewGateway(cluster.GatewayOptions{
+		HealthInterval:   healthInterval,
+		RetryBackoff:     retryBackoff,
+		BreakerThreshold: 2,
+		BreakerCooldown:  breakerCool,
+		Logger:           logger,
+	})
+	for i := 0; i < 2; i++ {
+		opts := dbnet.ClientOptions{
+			Addr:        c.dbSrv.Addr(),
+			DialTimeout: dbCallTimeout,
+			CallTimeout: dbCallTimeout,
+		}
+		if i == 0 && s.Hop == HopDB {
+			opts.Dial = c.rig.Dial
+		}
+		cl, err := dbnet.Dial(opts)
+		if err != nil {
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+		rep, err := cluster.StartReplica(cluster.ReplicaOptions{
+			Name: fmt.Sprintf("replica-%d", i), DB: cl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, rep)
+
+		remote := dm.NewRemote(rep.URL(), nil)
+		remote.Client = &http.Client{Timeout: httpTimeout}
+		if i == 0 && s.Hop == HopHTTP {
+			remote.Client.Transport = &http.Transport{DialContext: c.rig.DialContext}
+		}
+		c.gw.AddReplica(rep.Name(), remote)
+	}
+	ok = true
+	return c, nil
+}
+
+// filterFor cycles the workload over distinct affinity keys so traffic
+// reaches both replicas (rendezvous hashing splits the keys).
+func filterFor(i int) dm.HLEFilter {
+	return dm.HLEFilter{
+		Kind:   []string{"flare", "burst"}[i%2],
+		HasDay: true,
+		Day:    int64(i % 8),
+	}
+}
+
+// outcome classifies one request: "ok", "degraded", "typed", or "" for an
+// error outside the failure model (an invariant violation).
+func outcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case cluster.IsDegraded(err):
+		return "degraded"
+	case dm.IsUnreachable(err), dm.IsDBUnavailable(err), dm.IsDenied(err):
+		return "typed"
+	case errors.Is(err, cluster.ErrNoReplicas), errors.Is(err, cluster.ErrOverloaded):
+		return "typed"
+	case dbnet.IsDeadline(err), dbnet.IsUnavailable(err):
+		return "typed"
+	default:
+		return ""
+	}
+}
+
+// timed runs one workload request under invariant 1 and classifies it
+// under invariant 3, folding the outcome into res.
+func (c *cell) timed(res *Result, what string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	res.Requests++
+	if wall > res.MaxWall {
+		res.MaxWall = wall
+	}
+	if wall > reqDeadline {
+		return fmt.Errorf("%s: request took %v, past the %v deadline (err=%v)", what, wall, reqDeadline, err)
+	}
+	switch outcome(err) {
+	case "ok":
+		res.OK++
+	case "degraded":
+		res.Degraded++
+	case "typed":
+		res.TypedErr++
+	default:
+		return fmt.Errorf("%s: error outside the failure model: %v", what, err)
+	}
+	return nil
+}
+
+// write creates one HLE carrying a fresh unique marker. A denial means
+// the session died with its replica (the documented demotion path): the
+// client re-authenticates and retries the same marker — safe, because a
+// denial is an answer, proof the write did not execute.
+func (c *cell) write() error {
+	c.markerSeq++
+	m := marker{t: 50000 + float64(c.markerSeq)}
+	err := c.createHLE(m.t)
+	if dm.IsDenied(err) {
+		si, aerr := c.gw.Authenticate("sci", "pw", c.ip, dm.SessionHLE)
+		if aerr != nil {
+			c.markers = append(c.markers, m)
+			return aerr
+		}
+		c.token = si.Token
+		err = c.createHLE(m.t)
+	}
+	m.acked = err == nil
+	c.markers = append(c.markers, m)
+	return err
+}
+
+func (c *cell) createHLE(t float64) error {
+	_, err := c.gw.CreateHLE(c.token, c.ip, &schema.HLE{
+		KindHint: "flare", Day: 1, TStart: t, TStop: t + 0.5,
+		Version: 1, CalibVersion: 1,
+	})
+	return err
+}
+
+// warm brings the cell to a healthy serving baseline: every filter
+// answers, a session exists, a write lands. Failures here are harness
+// bugs, not chaos findings.
+func (c *cell) warm() error {
+	for i := 0; i < 4; i++ {
+		if _, err := c.gw.QueryHLEs("", c.ip, filterFor(i)); err != nil {
+			return fmt.Errorf("warm query %d: %w", i, err)
+		}
+	}
+	si, err := c.gw.Authenticate("sci", "pw", c.ip, dm.SessionHLE)
+	if err != nil {
+		return fmt.Errorf("warm auth: %w", err)
+	}
+	c.token = si.Token
+	if err := c.write(); err != nil {
+		return fmt.Errorf("warm write: %w", err)
+	}
+	return nil
+}
+
+// converge waits for the healed cluster to serve a fully clean round:
+// every filter live (not degraded), a write accepted. Invariant 3's
+// recovery half.
+func (c *cell) converge() error {
+	deadline := time.Now().Add(convergeDeadline)
+	var last error
+	for time.Now().Before(deadline) {
+		last = func() error {
+			for i := 0; i < 4; i++ {
+				if _, err := c.gw.QueryHLEs("", c.ip, filterFor(i)); err != nil {
+					return fmt.Errorf("query %d: %w", i, err)
+				}
+			}
+			if err := c.write(); err != nil {
+				return fmt.Errorf("write: %w", err)
+			}
+			return nil
+		}()
+		if last == nil {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster did not converge within %v after heal: %v", convergeDeadline, last)
+}
+
+// verifyMarkers checks invariant 2 against the shared database directly:
+// at most one row per marker, exactly one for acknowledged writes.
+func (c *cell) verifyMarkers() error {
+	for _, m := range c.markers {
+		res, err := c.db.Query(minidb.Query{
+			Table: schema.TableHLE,
+			Where: []minidb.Pred{{Col: "tstart", Op: minidb.OpEq, Val: minidb.F(m.t)}},
+		})
+		if err != nil {
+			return fmt.Errorf("marker query: %w", err)
+		}
+		n := len(res.Rows)
+		if n > 1 {
+			return fmt.Errorf("marker %v: %d rows — a mutation was executed twice", m.t, n)
+		}
+		if m.acked && n != 1 {
+			return fmt.Errorf("marker %v: acknowledged write has %d rows, want 1", m.t, n)
+		}
+	}
+	return nil
+}
+
+// Run executes one schedule and checks every invariant. The returned
+// error is a violated invariant (or a harness failure); the Result is
+// the availability record for schedules that pass.
+func Run(s Schedule, cfg Config) (*Result, error) {
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	c, err := newCell(s, cfg.Logger)
+	if err != nil {
+		return nil, fmt.Errorf("cell: %w", err)
+	}
+	defer c.close()
+	if err := c.warm(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Schedule: s}
+	c.rig.SetFault(c.rig.OpCount()+s.At, s.Mode)
+
+	start := time.Now()
+	for r := 0; r < rounds || time.Since(start) < cfg.MinFaultTime; r++ {
+		i := r
+		if err := c.timed(res, "anon query", func() error {
+			_, err := c.gw.QueryHLEs("", c.ip, filterFor(i))
+			return err
+		}); err != nil {
+			return res, err
+		}
+		if err := c.timed(res, "anon count", func() error {
+			_, err := c.gw.CountHLEs("", c.ip, filterFor(i+1))
+			return err
+		}); err != nil {
+			return res, err
+		}
+		var werr error
+		if err := c.timed(res, "write", func() error {
+			werr = c.write()
+			return werr
+		}); err != nil {
+			return res, err
+		}
+		if werr == nil {
+			res.WritesAcked++
+		} else {
+			res.WritesFailed++
+		}
+	}
+	// If the scripted rounds did not push the hop to its armed op (quiet
+	// hops count slowly), pump reads until the fault fires.
+	for p := 0; !c.rig.Faulted() && p < maxPumpOps; p++ {
+		if err := c.timed(res, "pump query", func() error {
+			_, err := c.gw.QueryHLEs("", c.ip, filterFor(p))
+			return err
+		}); err != nil {
+			return res, err
+		}
+	}
+	res.Fired = c.rig.Faulted()
+	c.rig.ClearFault()
+
+	healed := time.Now()
+	if err := c.converge(); err != nil {
+		return res, err
+	}
+	res.Converged = time.Since(healed)
+
+	if err := c.verifyMarkers(); err != nil {
+		return res, err
+	}
+	if !res.Fired {
+		return res, fmt.Errorf("armed fault at op +%d never fired (%d hop ops total) — the schedule tested nothing", s.At, c.rig.OpCount())
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// chaosConfig reads the CHAOSTIME knob: a duration floor for each
+// schedule's fault phase (`CHAOSTIME=2s make chaos` holds every fault for
+// at least two seconds of workload). Unset means the fast scripted rounds.
+func chaosConfig(t *testing.T) Config {
+	cfg := Config{}
+	if v := os.Getenv("CHAOSTIME"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("CHAOSTIME=%q: %v", v, err)
+		}
+		cfg.MinFaultTime = d
+	}
+	return cfg
+}
+
+// TestScheduleMatrix pins the enumeration floor: the harness must cover
+// at least 50 distinct schedules.
+func TestScheduleMatrix(t *testing.T) {
+	scheds := Schedules()
+	if len(scheds) < 50 {
+		t.Fatalf("only %d fault schedules enumerated, want >= 50", len(scheds))
+	}
+	seen := make(map[string]bool)
+	for _, s := range scheds {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate schedule %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	t.Logf("%d distinct fault schedules", len(scheds))
+}
+
+// TestChaosEnumeration is the tentpole: every schedule runs the scripted
+// workload against a live cell with its hop rigged to fail, and every
+// invariant — bounded latency, no duplicate effects, typed failures only,
+// convergence after heal — must hold.
+func TestChaosEnumeration(t *testing.T) {
+	cfg := chaosConfig(t)
+	scheds := Schedules()
+	if testing.Short() {
+		// One schedule per (hop, mode) pair keeps the short -race lane
+		// fast while still exercising every fault flavor.
+		var sub []Schedule
+		for _, s := range scheds {
+			if s.At == 5 {
+				sub = append(sub, s)
+			}
+		}
+		scheds = sub
+	}
+	for _, s := range scheds {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Requests == 0 {
+				t.Fatal("fault phase issued no requests")
+			}
+			t.Logf("%d requests: %d ok, %d degraded, %d typed errors; slowest %v; converged in %v; availability %.2f",
+				res.Requests, res.OK, res.Degraded, res.TypedErr,
+				res.MaxWall.Round(time.Millisecond), res.Converged.Round(time.Millisecond),
+				res.Available())
+		})
+	}
+}

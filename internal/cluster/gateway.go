@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log"
@@ -41,6 +42,22 @@ type GatewayOptions struct {
 	// replica's epoch-keyed query cache hot; spilling keeps a hot key
 	// from melting one node.
 	AffinitySpill int
+	// BreakerThreshold is how many consecutive transport failures open a
+	// replica's circuit (default 3). An open circuit takes the replica
+	// out of rotation until a half-open probe succeeds.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit holds calls off before
+	// admitting a single half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// RetryRefillPerSec and RetryBurst shape the global retry budget:
+	// every failover retry spends one token from a bucket of RetryBurst
+	// refilling at RetryRefillPerSec (defaults 16/s, burst 32). A dry
+	// bucket stops retries cluster-wide — the brake on retry storms.
+	RetryRefillPerSec float64
+	RetryBurst        int
+	// StaleCacheSize caps the degraded-mode cache of anonymous browse
+	// results (default 1024 entries).
+	StaleCacheSize int
 	// Logger receives health transitions and failovers. Nil discards.
 	Logger *log.Logger
 }
@@ -52,6 +69,7 @@ type Pinger interface{ Ping() error }
 type member struct {
 	name string
 	api  dm.API
+	bk   *breaker
 
 	healthy  atomic.Bool
 	inflight atomic.Int64
@@ -66,6 +84,12 @@ type MemberStatus struct {
 	Inflight int64
 	Served   int64
 	Failed   int64
+	// Circuit is the replica's breaker state ("closed", "open",
+	// "half-open"); CircuitFails counts consecutive transport failures;
+	// CircuitOpens counts lifetime open transitions.
+	Circuit      string
+	CircuitFails int
+	CircuitOpens int64
 }
 
 // Gateway fronts N replicas with one dm.API: the presentation tier
@@ -82,8 +106,16 @@ type Gateway struct {
 
 	admit chan struct{} // admission semaphore (nil = unlimited)
 
-	shed      atomic.Int64
-	failovers atomic.Int64
+	retry *retryBudget
+	stale *staleCache
+
+	shed           atomic.Int64
+	failovers      atomic.Int64
+	budgetDenied   atomic.Int64 // retries refused by the dry retry budget
+	degradedServes atomic.Int64 // reads answered from the stale cache
+	demotions      atomic.Int64 // sessions demoted because their pin died
+	writesFailed   atomic.Int64 // mutations failed fast on DB unavailability
+	writeEpoch     atomic.Uint64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -105,10 +137,27 @@ func NewGateway(opts GatewayOptions) *Gateway {
 	if opts.AffinitySpill <= 0 {
 		opts.AffinitySpill = 8
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	if opts.RetryRefillPerSec <= 0 {
+		opts.RetryRefillPerSec = 16
+	}
+	if opts.RetryBurst <= 0 {
+		opts.RetryBurst = 32
+	}
+	if opts.StaleCacheSize <= 0 {
+		opts.StaleCacheSize = 1024
+	}
 	g := &Gateway{
-		opts: opts,
-		pins: make(map[string]*member),
-		stop: make(chan struct{}),
+		opts:  opts,
+		pins:  make(map[string]*member),
+		stop:  make(chan struct{}),
+		retry: newRetryBudget(opts.RetryRefillPerSec, opts.RetryBurst),
+		stale: newStaleCache(opts.StaleCacheSize),
 	}
 	if opts.MaxInflight > 0 {
 		g.admit = make(chan struct{}, opts.MaxInflight)
@@ -120,7 +169,8 @@ func NewGateway(opts GatewayOptions) *Gateway {
 
 // AddReplica registers a replica endpoint under a unique name.
 func (g *Gateway) AddReplica(name string, api dm.API) {
-	m := &member{name: name, api: api}
+	m := &member{name: name, api: api,
+		bk: newBreaker(g.opts.BreakerThreshold, g.opts.BreakerCooldown)}
 	m.healthy.Store(true)
 	g.mu.Lock()
 	g.members = append(g.members, m)
@@ -152,12 +202,16 @@ func (g *Gateway) Members() []MemberStatus {
 	defer g.mu.RUnlock()
 	out := make([]MemberStatus, 0, len(g.members))
 	for _, m := range g.members {
+		circuit, fails, opens := m.bk.snapshot()
 		out = append(out, MemberStatus{
-			Name:     m.name,
-			Healthy:  m.healthy.Load(),
-			Inflight: m.inflight.Load(),
-			Served:   m.served.Load(),
-			Failed:   m.failed.Load(),
+			Name:         m.name,
+			Healthy:      m.healthy.Load(),
+			Inflight:     m.inflight.Load(),
+			Served:       m.served.Load(),
+			Failed:       m.failed.Load(),
+			Circuit:      circuit,
+			CircuitFails: fails,
+			CircuitOpens: opens,
 		})
 	}
 	return out
@@ -167,6 +221,39 @@ func (g *Gateway) Members() []MemberStatus {
 // calls retried on another replica after a transport failure.
 func (g *Gateway) Shed() int64      { return g.shed.Load() }
 func (g *Gateway) Failovers() int64 { return g.failovers.Load() }
+
+// Status is the gateway's full resilience snapshot, for /stats pages and
+// shutdown logs.
+type Status struct {
+	Members         []MemberStatus
+	Shed            int64   // requests dropped by admission control
+	Failovers       int64   // calls retried on another replica
+	RetriesDenied   int64   // retries refused by the dry retry budget
+	RetryTokens     float64 // retry budget tokens currently available
+	RetryBurst      int     // retry budget capacity
+	DegradedServes  int64   // reads answered from the stale cache
+	SessionDemotions int64  // sessions demoted because their pinned replica died
+	WritesFailedFast int64  // mutations failed fast on DB unavailability
+	WriteEpoch      uint64  // writes accepted through this gateway
+	StaleEntries    int     // anonymous results held for degraded serving
+}
+
+// Status reports every resilience counter in one consistent-enough view.
+func (g *Gateway) Status() Status {
+	return Status{
+		Members:          g.Members(),
+		Shed:             g.shed.Load(),
+		Failovers:        g.failovers.Load(),
+		RetriesDenied:    g.budgetDenied.Load(),
+		RetryTokens:      g.retry.remaining(),
+		RetryBurst:       g.opts.RetryBurst,
+		DegradedServes:   g.degradedServes.Load(),
+		SessionDemotions: g.demotions.Load(),
+		WritesFailedFast: g.writesFailed.Load(),
+		WriteEpoch:       g.writeEpoch.Load(),
+		StaleEntries:     g.stale.len(),
+	}
+}
 
 // Close stops the health loop. In-flight calls complete.
 func (g *Gateway) Close() {
@@ -208,6 +295,10 @@ func (g *Gateway) healthLoop() {
 			up := p.Ping() == nil
 			if was := m.healthy.Swap(up); was != up {
 				if up {
+					// Fresh evidence the replica answers: close its
+					// circuit too, or the breaker would gate re-entry
+					// behind another cooldown.
+					m.bk.reset()
 					g.logf("cluster: replica %s back in rotation", m.name)
 				} else {
 					g.logf("cluster: replica %s failed health check, removed from rotation", m.name)
@@ -228,13 +319,14 @@ func (g *Gateway) unpinMember(m *member) {
 	g.pinMu.Unlock()
 }
 
-// healthyMembers snapshots the in-rotation replicas.
-func (g *Gateway) healthyMembers() []*member {
+// availableMembers snapshots the replicas a call may route to: in
+// rotation per the health loop AND not held off by an open circuit.
+func (g *Gateway) availableMembers() []*member {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]*member, 0, len(g.members))
 	for _, m := range g.members {
-		if m.healthy.Load() {
+		if m.healthy.Load() && m.bk.available() {
 			out = append(out, m)
 		}
 	}
@@ -280,15 +372,25 @@ func (g *Gateway) pick(candidates []*member, affinity string) *member {
 	return fav
 }
 
-// do routes one API call: admission, replica choice (session pin or
-// affinity), execution, and failover. Transport errors mark the replica
-// unhealthy and — when safe — retry on the next-ranked one; application
-// errors (including denials) pass straight through.
+// do routes one API call: admission (priority-aware), replica choice
+// (session pin or affinity, gated by each replica's circuit breaker),
+// execution, and budgeted failover with jittered backoff. Transport
+// errors mark the replica suspect and — when safe and affordable — retry
+// on the next-ranked one; application errors (including denials and
+// DB-unavailability) pass straight through: no sibling replica can
+// answer what the shared database cannot.
 func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) error) error {
 	if g.admit != nil {
 		select {
 		case g.admit <- struct{}{}:
 		default:
+			// Full house. Anonymous reads are the lowest-priority traffic —
+			// shed them immediately (the stale cache may still answer them);
+			// authenticated work and mutations may queue for their slot.
+			if token == "" && !mutation {
+				g.shed.Add(1)
+				return ErrOverloaded
+			}
 			timer := time.NewTimer(g.opts.QueueTimeout)
 			select {
 			case g.admit <- struct{}{}:
@@ -301,30 +403,47 @@ func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) 
 		defer func() { <-g.admit }()
 	}
 
+	err := g.route(affinity, token, mutation, fn)
+	if mutation {
+		if err == nil {
+			g.writeEpoch.Add(1)
+		} else if dm.IsDBUnavailable(err) {
+			g.writesFailed.Add(1)
+		}
+	}
+	return err
+}
+
+// route picks replicas and drives the call; do() owns admission and
+// write-epoch accounting around it.
+func (g *Gateway) route(affinity, token string, mutation bool, fn func(api dm.API) error) error {
 	// A live session is state on one replica: calls carrying its token
-	// must land there. If that replica is gone, the session is gone with
-	// it — fail over to a fresh choice and let the caller re-auth (the
-	// reply is a denial, not a transport error).
+	// must land there. If that replica is gone — unhealthy, or its
+	// circuit open after repeated failures — the session is gone with it:
+	// demote now, fail over to a fresh choice, and let the caller re-auth
+	// (the reply is a denial, not a transport error).
 	if token != "" {
 		g.pinMu.Lock()
 		pinned := g.pins[token]
 		g.pinMu.Unlock()
-		if pinned != nil && pinned.healthy.Load() {
-			err := g.callMember(pinned, fn)
-			if err == nil || !dm.IsUnreachable(err) {
-				return err
-			}
-			g.noteFailure(pinned)
-			g.pinMu.Lock()
-			delete(g.pins, token)
-			g.pinMu.Unlock()
-			if mutation && !dm.IsDialError(err) {
-				return err // may have executed; do not re-run elsewhere
+		if pinned != nil {
+			if pinned.healthy.Load() && pinned.bk.tryAcquire() {
+				err := g.callMember(pinned, fn)
+				if err == nil || !dm.IsUnreachable(err) {
+					return err
+				}
+				g.demote(token, pinned) // before noteFailure: it unpins wholesale
+				g.noteFailure(pinned)
+				if mutation && !dm.IsDialError(err) {
+					return err // may have executed; do not re-run elsewhere
+				}
+			} else {
+				g.demote(token, pinned)
 			}
 		}
 	}
 
-	candidates := g.healthyMembers()
+	candidates := g.availableMembers()
 	if len(candidates) == 0 {
 		return ErrNoReplicas
 	}
@@ -338,18 +457,44 @@ func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) 
 		}
 	}
 	backoff := g.opts.RetryBackoff
+	attempt := 0
 	var lastErr error
-	for attempt, m := range order {
+	for _, m := range order {
+		if attempt > 0 {
+			// Failover retries spend from the shared budget: when the
+			// bucket is dry the cluster is already drowning in retries,
+			// and adding ours would deepen the outage.
+			if !g.retry.take() {
+				g.budgetDenied.Add(1)
+				break
+			}
+		}
+		if !m.bk.tryAcquire() {
+			continue
+		}
 		if attempt > 0 {
 			g.failovers.Add(1)
-			time.Sleep(backoff)
+			time.Sleep(jitter(backoff))
 			backoff *= 2
 		}
+		attempt++
 		err := g.callMember(m, fn)
-		if err == nil || !dm.IsUnreachable(err) {
+		if err == nil {
+			return nil
+		}
+		transport := dm.IsUnreachable(err)
+		if transport {
+			g.noteFailure(m)
+		}
+		// Besides transport failures, an anonymous read that found the
+		// database unavailable may try a sibling: the failure can be that
+		// one replica's path to the database, not the database itself, and
+		// rereading is free of side effects. Mutations never take this
+		// branch — "unavailable" on a commit can mean the reply was lost
+		// after the write landed.
+		if !transport && !(token == "" && !mutation && dm.IsDBUnavailable(err)) {
 			return err
 		}
-		g.noteFailure(m)
 		lastErr = err
 		if mutation && !dm.IsDialError(err) {
 			// The request reached the replica before the wire broke: it
@@ -358,7 +503,22 @@ func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) 
 			return err
 		}
 	}
+	if lastErr == nil {
+		return ErrNoReplicas // every candidate's circuit refused the call
+	}
 	return lastErr
+}
+
+// demote drops a session pin whose replica can no longer serve it.
+func (g *Gateway) demote(token string, m *member) {
+	g.pinMu.Lock()
+	_, present := g.pins[token]
+	delete(g.pins, token)
+	g.pinMu.Unlock()
+	if present {
+		g.demotions.Add(1)
+		g.logf("cluster: session demoted off replica %s", m.name)
+	}
 }
 
 func (g *Gateway) callMember(m *member, fn func(api dm.API) error) error {
@@ -367,18 +527,30 @@ func (g *Gateway) callMember(m *member, fn func(api dm.API) error) error {
 	err := fn(m.api)
 	if err == nil || !dm.IsUnreachable(err) {
 		m.served.Add(1)
+		m.bk.success()
 	}
 	return err
 }
 
-// noteFailure takes a replica out of rotation after a transport error;
-// the health loop brings it back when it answers probes again.
+// noteFailure records a transport error against a replica: its breaker
+// counts toward opening (a failed half-open probe re-opens immediately),
+// and the replica leaves rotation until the health loop hears it answer
+// probes again. Sessions pinned to it demote either way.
 func (g *Gateway) noteFailure(m *member) {
 	m.failed.Add(1)
+	m.bk.failure()
 	if m.healthy.Swap(false) {
 		g.logf("cluster: replica %s unreachable, removed from rotation", m.name)
-		g.unpinMember(m)
 	}
+	g.unpinMember(m)
+}
+
+// canDegrade reports whether a read failure means "the live serving path
+// is gone" — no replicas, transport failure everywhere, or the shared
+// database partitioned away — which is when a stale cached answer beats
+// no answer. Overload shedding and application rejections never qualify.
+func (g *Gateway) canDegrade(err error) bool {
+	return errors.Is(err, ErrNoReplicas) || dm.IsUnreachable(err) || dm.IsDBUnavailable(err)
 }
 
 // --- dm.API ---
@@ -425,70 +597,87 @@ func (g *Gateway) Logout(token string) error {
 	return err
 }
 
-// QueryHLEs implements dm.API.
+// QueryHLEs implements dm.API. Anonymous results feed the stale cache;
+// when the live path dies, the last public answer for this filter comes
+// back tagged with a DegradedError.
 func (g *Gateway) QueryHLEs(token, ip string, f dm.HLEFilter) ([]*schema.HLE, error) {
-	var out []*schema.HLE
-	err := g.do(filterAffinity(f), token, false, func(api dm.API) error {
-		var e error
-		out, e = api.QueryHLEs(token, ip, f)
-		return e
+	affinity := filterAffinity(f)
+	return serveRead(g, "query-hles", affinity, token, func() ([]*schema.HLE, error) {
+		var out []*schema.HLE
+		err := g.do(affinity, token, false, func(api dm.API) error {
+			var e error
+			out, e = api.QueryHLEs(token, ip, f)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
-// CountHLEs implements dm.API.
+// CountHLEs implements dm.API (degradable like QueryHLEs; the method
+// prefix keeps its cache entries apart — both share the filter key).
 func (g *Gateway) CountHLEs(token, ip string, f dm.HLEFilter) (int, error) {
-	var out int
-	err := g.do(filterAffinity(f), token, false, func(api dm.API) error {
-		var e error
-		out, e = api.CountHLEs(token, ip, f)
-		return e
+	affinity := filterAffinity(f)
+	return serveRead(g, "count-hles", affinity, token, func() (int, error) {
+		var out int
+		err := g.do(affinity, token, false, func(api dm.API) error {
+			var e error
+			out, e = api.CountHLEs(token, ip, f)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
-// GetHLE implements dm.API.
+// GetHLE implements dm.API (degradable).
 func (g *Gateway) GetHLE(token, ip, id string) (*schema.HLE, error) {
-	var out *schema.HLE
-	err := g.do("hle:"+id, token, false, func(api dm.API) error {
-		var e error
-		out, e = api.GetHLE(token, ip, id)
-		return e
+	return serveRead(g, "get-hle", "hle:"+id, token, func() (*schema.HLE, error) {
+		var out *schema.HLE
+		err := g.do("hle:"+id, token, false, func(api dm.API) error {
+			var e error
+			out, e = api.GetHLE(token, ip, id)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
-// AnalysesForHLE implements dm.API.
+// AnalysesForHLE implements dm.API (degradable).
 func (g *Gateway) AnalysesForHLE(token, ip, hleID string) ([]*schema.ANA, error) {
-	var out []*schema.ANA
-	err := g.do("hle:"+hleID, token, false, func(api dm.API) error {
-		var e error
-		out, e = api.AnalysesForHLE(token, ip, hleID)
-		return e
+	return serveRead(g, "analyses-for-hle", "hle:"+hleID, token, func() ([]*schema.ANA, error) {
+		var out []*schema.ANA
+		err := g.do("hle:"+hleID, token, false, func(api dm.API) error {
+			var e error
+			out, e = api.AnalysesForHLE(token, ip, hleID)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
-// GetANA implements dm.API.
+// GetANA implements dm.API (degradable).
 func (g *Gateway) GetANA(token, ip, id string) (*schema.ANA, error) {
-	var out *schema.ANA
-	err := g.do("ana:"+id, token, false, func(api dm.API) error {
-		var e error
-		out, e = api.GetANA(token, ip, id)
-		return e
+	return serveRead(g, "get-ana", "ana:"+id, token, func() (*schema.ANA, error) {
+		var out *schema.ANA
+		err := g.do("ana:"+id, token, false, func(api dm.API) error {
+			var e error
+			out, e = api.GetANA(token, ip, id)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
-// ListCatalogs implements dm.API.
+// ListCatalogs implements dm.API (degradable).
 func (g *Gateway) ListCatalogs(token, ip string) ([]*dm.Catalog, error) {
-	var out []*dm.Catalog
-	err := g.do("catalogs", token, false, func(api dm.API) error {
-		var e error
-		out, e = api.ListCatalogs(token, ip)
-		return e
+	return serveRead(g, "list-catalogs", "catalogs", token, func() ([]*dm.Catalog, error) {
+		var out []*dm.Catalog
+		err := g.do("catalogs", token, false, func(api dm.API) error {
+			var e error
+			out, e = api.ListCatalogs(token, ip)
+			return e
+		})
+		return out, err
 	})
-	return out, err
 }
 
 // CreateHLE implements dm.API.

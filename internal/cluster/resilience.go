@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Resilience machinery the chaos harness demanded: a per-replica circuit
+// breaker (stop hammering a replica that keeps failing; probe it gently),
+// a global retry budget (failover is a multiplier on offered load — cap
+// it before a partial outage becomes a retry storm), and an epoch-tagged
+// stale cache (when the shared database is gone, answering yesterday's
+// browse query beats answering nothing — the paper's archive is
+// append-mostly, so stale reads are wrong only in what they omit).
+
+// --- circuit breaker ---
+
+// breakerState is the classic three-state circuit.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// breaker opens after threshold consecutive transport failures, holds
+// requests off for cooldown, then admits exactly one probe at a time
+// (half-open) until a success closes it again.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	opens    int64 // lifetime open transitions, for /stats
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// available is the non-mutating routing check: would a call be admitted?
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return b.state == breakerClosed // half-open: the probe slot is taken
+	default:
+		return time.Since(b.openedAt) >= b.cooldown
+	}
+}
+
+// tryAcquire admits a call. Closed circuits admit freely; an open circuit
+// past its cooldown converts to half-open and admits the caller as its
+// single probe; otherwise the call is refused. Every true return must be
+// answered by success() or failure().
+func (b *breaker) tryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return false // a probe is already in flight
+	default: // open
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	}
+}
+
+// success reports a completed call that proves the replica answers.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure reports a transport failure. A failed half-open probe re-opens
+// immediately; consecutive closed-state failures open at the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.opens++
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.opens++
+		}
+	default: // already open (a straggler from before it opened)
+	}
+}
+
+// reset closes the circuit outright — the active health prober has fresh
+// evidence the replica answers.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// snapshot returns (state name, consecutive fails, lifetime opens).
+func (b *breaker) snapshot() (string, int, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state
+	if st == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		st = breakerHalfOpen // cosmetically: next call will probe
+	}
+	return st.String(), b.fails, b.opens
+}
+
+// --- retry budget ---
+
+// retryBudget is a token bucket shared by every request: each failover
+// retry spends one token. When an outage makes every call retry, the
+// bucket drains and retries stop — the cluster fails fast instead of
+// tripling its own load at the worst possible moment.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	refill float64 // tokens per second
+	last   time.Time
+}
+
+func newRetryBudget(refillPerSec float64, burst int) *retryBudget {
+	return &retryBudget{
+		tokens: float64(burst), burst: float64(burst),
+		refill: refillPerSec, last: time.Now(),
+	}
+}
+
+func (rb *retryBudget) advance(now time.Time) {
+	rb.tokens += now.Sub(rb.last).Seconds() * rb.refill
+	if rb.tokens > rb.burst {
+		rb.tokens = rb.burst
+	}
+	rb.last = now
+}
+
+// take spends one retry token, reporting false when the budget is dry.
+func (rb *retryBudget) take() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.advance(time.Now())
+	if rb.tokens < 1 {
+		return false
+	}
+	rb.tokens--
+	return true
+}
+
+// remaining reports the current token count (for /stats).
+func (rb *retryBudget) remaining() float64 {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	rb.advance(time.Now())
+	return rb.tokens
+}
+
+// jitter spreads a backoff pause over [d/2, 3d/2): synchronized retries
+// from N callers would otherwise re-converge on the struggling replica in
+// lockstep.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// --- degraded-mode stale cache ---
+
+// DegradedError marks a response served from the gateway's stale cache
+// because the live path could not answer. The result it accompanies is
+// real data from an earlier epoch — the caller chooses whether to show
+// it (browse pages do, flagged) or treat it as the failure it wraps.
+type DegradedError struct {
+	// Age is how long ago the served value was cached.
+	Age time.Duration
+	// Epoch is the gateway write epoch when the value was cached;
+	// StaleWrites is how many writes the gateway has accepted since, an
+	// upper bound on how much the value can be missing.
+	Epoch       uint64
+	StaleWrites uint64
+	// Cause is the live-path failure that forced degradation.
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("cluster: degraded response (cached %v ago, %d writes behind): %v",
+		e.Age.Round(time.Millisecond), e.StaleWrites, e.Cause)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Degraded is the structural marker upper layers test for.
+func (e *DegradedError) Degraded() bool { return true }
+
+// IsDegraded reports whether err marks a stale-but-served response.
+func IsDegraded(err error) bool {
+	var d interface{ Degraded() bool }
+	return errors.As(err, &d) && d.Degraded()
+}
+
+// staleEntry is one cached read result.
+type staleEntry struct {
+	val   any
+	epoch uint64 // gateway write epoch at caching time
+	at    time.Time
+}
+
+// staleCache holds the most recent successful result of anonymous browse
+// reads, keyed by method+affinity. Only public (tokenless) results are
+// ever stored, so degradation can never leak a private row to the wrong
+// session. Bounded by arbitrary eviction: the cache is a lifeboat, not a
+// performance path.
+type staleCache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[string]staleEntry
+}
+
+func newStaleCache(max int) *staleCache {
+	return &staleCache{max: max, entries: make(map[string]staleEntry)}
+}
+
+func (c *staleCache) put(key string, val any, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.max {
+		for k := range c.entries { // evict one arbitrary entry
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = staleEntry{val: val, epoch: epoch, at: time.Now()}
+}
+
+func (c *staleCache) get(key string) (staleEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *staleCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// serveRead wraps one anonymous-cacheable gateway read. Successful
+// anonymous results refresh the stale cache; a failure that means "the
+// serving path is gone" (no replicas, transport failure everywhere, the
+// shared database partitioned away) is converted — for anonymous callers
+// with a cached value — into that value plus a DegradedError tag.
+// Overload shedding is never converted: the data path works, the caller
+// should back off, and serving cache would hide saturation.
+func serveRead[T any](g *Gateway, method, affinity, token string, call func() (T, error)) (T, error) {
+	v, err := call()
+	if token != "" {
+		return v, err // private result: never cached, never degraded
+	}
+	key := method + "|" + affinity
+	if err == nil {
+		g.stale.put(key, v, g.writeEpoch.Load())
+		return v, nil
+	}
+	if !g.canDegrade(err) {
+		return v, err
+	}
+	e, ok := g.stale.get(key)
+	if !ok {
+		return v, err
+	}
+	g.degradedServes.Add(1)
+	cur := g.writeEpoch.Load()
+	return e.val.(T), &DegradedError{
+		Age:         time.Since(e.at),
+		Epoch:       e.epoch,
+		StaleWrites: cur - e.epoch,
+		Cause:       err,
+	}
+}

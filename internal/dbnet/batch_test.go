@@ -101,7 +101,7 @@ func TestBatchInsideTransactionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := parseResponse(resp); err != nil {
+	if _, err := parseResponse(resp, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	var b minidb.Batch
@@ -114,14 +114,14 @@ func TestBatchInsideTransactionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := parseResponse(resp); err == nil || !strings.Contains(err.Error(), "batch inside transaction") {
+	if _, err := parseResponse(resp, 5*time.Second); err == nil || !strings.Contains(err.Error(), "batch inside transaction") {
 		t.Fatalf("want batch-inside-transaction rejection, got %v", err)
 	}
 	// Roll back so the deferred close doesn't leave a lingering txn.
 	if resp, err = wc.roundTrip([]byte{opRollback}, 5*time.Second, DefaultMaxFrame); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := parseResponse(resp); err != nil {
+	if _, err := parseResponse(resp, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 }

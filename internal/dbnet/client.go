@@ -23,10 +23,16 @@ type ClientOptions struct {
 	DialTimeout time.Duration
 	// CallTimeout is the per-call deadline covering write+read of one
 	// round trip. Default 15s — generous, because calls queue behind the
-	// server's capacity station when the shared database saturates.
+	// server's capacity station when the shared database saturates. The
+	// budget also rides every request as an opDeadline envelope, so the
+	// server refuses work it cannot answer in time instead of servicing
+	// requests whose callers have already given up.
 	CallTimeout time.Duration
 	// MaxFrame bounds response frames. Default DefaultMaxFrame.
 	MaxFrame int
+	// Dial overrides connection establishment — the fault-injection seam.
+	// Nil means net.DialTimeout.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // Client is a remote minidb engine: the same Engine interface the DM
@@ -76,9 +82,13 @@ func Dial(opts ClientOptions) (*Client, error) {
 }
 
 func (c *Client) dial() (*wireConn, error) {
-	conn, err := net.DialTimeout("tcp", c.opts.Addr, c.opts.DialTimeout)
+	dialer := c.opts.Dial
+	if dialer == nil {
+		dialer = net.DialTimeout
+	}
+	conn, err := dialer("tcp", c.opts.Addr, c.opts.DialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, &UnavailableError{Addr: c.opts.Addr, Err: err}
 	}
 	return &wireConn{
 		c:  conn,
@@ -159,7 +169,9 @@ func IsRemote(err error) bool {
 }
 
 // parseResponse splits a response frame into payload or server error.
-func parseResponse(resp []byte) (*bytes.Reader, error) {
+// budget is the deadline budget the request carried, echoed into
+// DeadlineError for diagnostics.
+func parseResponse(resp []byte, budget time.Duration) (*bytes.Reader, error) {
 	if len(resp) == 0 {
 		return nil, fmt.Errorf("dbnet: empty response")
 	}
@@ -173,9 +185,22 @@ func parseResponse(resp []byte) (*bytes.Reader, error) {
 			return nil, fmt.Errorf("dbnet: mangled error response: %w", err)
 		}
 		return nil, &remoteError{msg: msg}
+	case statusDeadline:
+		return nil, &DeadlineError{Budget: budget}
 	default:
 		return nil, fmt.Errorf("dbnet: unknown response status %d", resp[0])
 	}
+}
+
+// beginDeadlineEnv starts a request buffer with the opDeadline envelope
+// carrying the call's budget in milliseconds; the inner request follows.
+func beginDeadlineEnv(b *bytes.Buffer, budget time.Duration) {
+	b.WriteByte(opDeadline)
+	ms := uint64(budget / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	minidb.WirePutUvarint(b, ms)
 }
 
 // call runs one pooled request: encode (into a pooled buffer), round-trip,
@@ -183,6 +208,7 @@ func parseResponse(resp []byte) (*bytes.Reader, error) {
 func (c *Client) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader) error) error {
 	req := getFrameBuf()
 	defer putFrameBuf(req)
+	beginDeadlineEnv(req, c.opts.CallTimeout)
 	req.WriteByte(op)
 	if enc != nil {
 		enc(req)
@@ -194,11 +220,11 @@ func (c *Client) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader) 
 	resp, err := wc.roundTrip(req.Bytes(), c.opts.CallTimeout, c.opts.MaxFrame)
 	if err != nil {
 		wc.c.Close()
-		return fmt.Errorf("dbnet: call to %s: %w", c.opts.Addr, err)
+		return &UnavailableError{Addr: c.opts.Addr, Err: err}
 	}
-	r, err := parseResponse(resp)
+	r, err := parseResponse(resp, c.opts.CallTimeout)
 	if err != nil {
-		if IsRemote(err) {
+		if IsRemote(err) || IsDeadline(err) {
 			c.put(wc) // the connection itself is fine
 		} else {
 			wc.c.Close()
@@ -425,16 +451,17 @@ func (c *Client) BeginTx() minidb.Tx {
 		return tx
 	}
 	var req bytes.Buffer
+	beginDeadlineEnv(&req, c.opts.CallTimeout)
 	req.WriteByte(opBegin)
 	// Begin blocks on the remote writer lock, so give it the full call
 	// timeout rather than failing fast under write contention.
 	resp, err := wc.roundTrip(req.Bytes(), c.opts.CallTimeout, c.opts.MaxFrame)
 	if err != nil {
 		wc.c.Close()
-		tx.err = fmt.Errorf("dbnet: begin: %w", err)
+		tx.err = &UnavailableError{Addr: c.opts.Addr, Err: err}
 		return tx
 	}
-	if _, err := parseResponse(resp); err != nil {
+	if _, err := parseResponse(resp, c.opts.CallTimeout); err != nil {
 		wc.c.Close()
 		tx.err = err
 		return tx
@@ -461,6 +488,7 @@ func (t *remoteTx) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader
 		return fmt.Errorf("dbnet: transaction already finished")
 	}
 	var req bytes.Buffer
+	beginDeadlineEnv(&req, t.client.opts.CallTimeout)
 	req.WriteByte(op)
 	if enc != nil {
 		enc(&req)
@@ -469,13 +497,22 @@ func (t *remoteTx) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader
 	if err != nil {
 		// Transport failure mid-transaction: the connection is the
 		// transaction, so it is dead. The server reaps it on its side.
-		t.err = fmt.Errorf("dbnet: transaction: %w", err)
+		t.err = &UnavailableError{Addr: t.client.opts.Addr, Err: err}
 		t.wc.c.Close()
 		t.done = true
 		return t.err
 	}
-	r, err := parseResponse(resp)
+	r, err := parseResponse(resp, t.client.opts.CallTimeout)
 	if err != nil {
+		if IsDeadline(err) {
+			// A deadline refusal mid-transaction poisons it: the server may
+			// have rolled the transaction back (commit refusal does), so the
+			// safe shared state is "this transaction is over".
+			t.err = err
+			t.wc.c.Close()
+			t.done = true
+			return err
+		}
 		return err // application error: the transaction remains usable
 	}
 	if dec != nil {

@@ -1,0 +1,57 @@
+package dbnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// UnavailableError is a transport-level failure talking to the database
+// tier: a dial that never connected, a partition, a reset, a deadline
+// that expired with no response. The request may or may not have reached
+// the server — callers must treat non-idempotent operations as
+// indeterminate. It carries the DBUnavailable marker method so upper
+// layers (dm, cluster) can classify it structurally without importing
+// this package.
+type UnavailableError struct {
+	Addr string
+	Err  error
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("dbnet: database %s unavailable: %v", e.Addr, e.Err)
+}
+
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// DBUnavailable marks this error as "the shared database tier is not
+// answering" — distinct from a replica being down (retry elsewhere may
+// help) and from an application error (retry never helps).
+func (e *UnavailableError) DBUnavailable() bool { return true }
+
+// IsUnavailable reports whether err carries the DBUnavailable marker.
+func IsUnavailable(err error) bool {
+	var u interface{ DBUnavailable() bool }
+	return errors.As(err, &u) && u.DBUnavailable()
+}
+
+// DeadlineError reports that the server refused service because the
+// request's propagated deadline budget would have expired in the
+// capacity queue. The database is alive — just too far behind to answer
+// this caller in time. No capacity was consumed; no state changed.
+type DeadlineError struct {
+	Budget time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("dbnet: server refused service: %v deadline would expire in queue", e.Budget)
+}
+
+// Timeout satisfies net.Error-style checks.
+func (e *DeadlineError) Timeout() bool { return true }
+
+// IsDeadline reports whether err is a server-side deadline refusal.
+func IsDeadline(err error) bool {
+	var d *DeadlineError
+	return errors.As(err, &d)
+}

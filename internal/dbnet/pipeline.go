@@ -128,21 +128,26 @@ func (p *Pipeline) Flush() ([]PipeResult, error) {
 	}
 	// One deadline covers the whole window: the requests ride together, so
 	// a per-request deadline would just be the same wall-clock budget.
+	// Every frame carries that budget as its opDeadline envelope.
 	p.wc.c.SetDeadline(time.Now().Add(p.c.opts.CallTimeout))
+	envBuf := getFrameBuf()
+	beginDeadlineEnv(envBuf, p.c.opts.CallTimeout)
+	env := envBuf.Bytes()
+	defer putFrameBuf(envBuf)
 	for _, rq := range reqs {
-		if err := writeFrame(p.wc.bw, rq.frame); err != nil {
-			return p.fail(results, 0, fmt.Errorf("dbnet: pipeline write: %w", err))
+		if err := writeFrameEnv(p.wc.bw, env, rq.frame); err != nil {
+			return p.fail(results, 0, &UnavailableError{Addr: p.c.opts.Addr, Err: fmt.Errorf("pipeline write: %w", err)})
 		}
 	}
 	if err := p.wc.bw.Flush(); err != nil {
-		return p.fail(results, 0, fmt.Errorf("dbnet: pipeline write: %w", err))
+		return p.fail(results, 0, &UnavailableError{Addr: p.c.opts.Addr, Err: fmt.Errorf("pipeline write: %w", err)})
 	}
 	for i := range reqs {
 		resp, err := readFrame(p.wc.br, p.c.opts.MaxFrame)
 		if err != nil {
-			return p.fail(results, i, fmt.Errorf("dbnet: pipeline read: %w", err))
+			return p.fail(results, i, &UnavailableError{Addr: p.c.opts.Addr, Err: fmt.Errorf("pipeline read: %w", err)})
 		}
-		r, err := parseResponse(resp)
+		r, err := parseResponse(resp, p.c.opts.CallTimeout)
 		if err != nil {
 			// Server-side rejection: this request alone failed; the
 			// connection and the remaining replies are fine.

@@ -46,12 +46,23 @@ const (
 	// charges for a bulk statement, and amortizing it is the point.
 	opInsertBatch // many rows into one table
 	opExecBatch   // a full minidb.Batch (mixed tables and op kinds)
+	// opDeadline is an envelope, not an operation: [uvarint budgetMillis]
+	// followed by a complete inner request. It propagates the client's
+	// remaining deadline so the server can refuse work the client will
+	// never collect — when the capacity station's queue alone would blow
+	// the budget, the server answers statusDeadline immediately instead
+	// of servicing a request whose caller has already timed out.
+	opDeadline
 )
 
 // Response status bytes.
 const (
 	statusOK  byte = 0
 	statusErr byte = 1
+	// statusDeadline: the server refused service because the request's
+	// propagated deadline would have expired before its reply departed.
+	// No capacity was consumed and the connection remains healthy.
+	statusDeadline byte = 2
 )
 
 // DefaultMaxFrame bounds a single frame; metadata rows are small, so
@@ -82,6 +93,22 @@ func writeFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeFrameEnv writes one length-prefixed frame whose payload is the
+// concatenation env+payload — the deadline envelope prepended without
+// copying the request body.
+func writeFrameEnv(w io.Writer, env, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(env)+len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(env); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)

@@ -1,0 +1,298 @@
+package dbnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+)
+
+func newResilienceServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	db, err := minidb.Open("", schema.AllSchemas()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	opts.DB = db
+	srv, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestDeadlinePropagation: with the station saturated, requests whose
+// budget cannot cover the queue are refused server-side with a typed
+// DeadlineError — fast — instead of waiting out the queue and timing out
+// on the wire.
+func TestDeadlinePropagation(t *testing.T) {
+	// 10 ops/s: each op holds the station 100ms. A 150ms budget fits one
+	// op in an empty queue but not behind a backlog.
+	srv := newResilienceServer(t, Options{MaxOpsPerSec: 10})
+	cl, err := Dial(ClientOptions{Addr: srv.Addr(), CallTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	q := minidb.Query{Table: "hle"}
+	var wg sync.WaitGroup
+	var refused, ok, other int
+	var mu sync.Mutex
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cl.Query(q)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case IsDeadline(err):
+				refused++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if ok == 0 {
+		t.Fatal("no request was served at all")
+	}
+	if refused == 0 {
+		t.Fatalf("no request was deadline-refused (ok=%d other=%d)", ok, other)
+	}
+	if other != 0 {
+		t.Fatalf("%d requests failed with non-deadline errors", other)
+	}
+	if srv.DeadlineRefusals() != int64(refused) {
+		t.Fatalf("server counted %d refusals, client saw %d", srv.DeadlineRefusals(), refused)
+	}
+	// 8 serial ops would take 800ms; refusals mean the whole burst
+	// resolves near the budget, not the backlog.
+	if elapsed > 600*time.Millisecond {
+		t.Fatalf("burst took %v; deadline refusals should resolve it faster", elapsed)
+	}
+}
+
+// TestDeadlineRefusalKeepsConnection: a refused request does not cost the
+// connection — the very next call on the same client succeeds.
+func TestDeadlineRefusalKeepsConnection(t *testing.T) {
+	srv := newResilienceServer(t, Options{MaxOpsPerSec: 1000})
+	cl, err := Dial(ClientOptions{Addr: srv.Addr(), CallTimeout: time.Second, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Force a refusal by hand: a 1ms budget against a station backlog.
+	req := getFrameBuf()
+	beginDeadlineEnv(req, time.Millisecond)
+	req.WriteByte(opQuery)
+	minidb.WirePutQuery(req, minidb.Query{Table: "hle"})
+	wc, err := cl.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.station.mu.Lock()
+	srv.station.next = time.Now().Add(time.Second) // synthetic backlog
+	srv.station.mu.Unlock()
+	resp, err := wc.roundTrip(req.Bytes(), time.Second, DefaultMaxFrame)
+	putFrameBuf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseResponse(resp, time.Millisecond); !IsDeadline(err) {
+		t.Fatalf("want DeadlineError, got %v", err)
+	}
+	cl.put(wc)
+	srv.station.mu.Lock()
+	srv.station.next = time.Time{}
+	srv.station.mu.Unlock()
+
+	if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+		t.Fatalf("call after refusal failed: %v", err)
+	}
+}
+
+// TestUnavailableTyped: transport failures surface as UnavailableError
+// carrying the DBUnavailable marker, at dial time and mid-call.
+func TestUnavailableTyped(t *testing.T) {
+	// Nothing listens here.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	_, err = Dial(ClientOptions{Addr: addr, DialTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if !IsUnavailable(err) {
+		t.Fatalf("dial error %v lacks DBUnavailable marker", err)
+	}
+
+	// Mid-call: partition the wire under a live client.
+	fnet := fault.NewNet()
+	srv := newResilienceServer(t, Options{})
+	cl, err := Dial(ClientOptions{
+		Addr: srv.Addr(), CallTimeout: 200 * time.Millisecond,
+		Dial: fnet.Dial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+		t.Fatal(err)
+	}
+	fnet.SetFault(fnet.OpCount()+1, fault.NetPartition)
+	defer fnet.ClearFault()
+	start := time.Now()
+	_, err = cl.Query(minidb.Query{Table: "hle"})
+	if err == nil {
+		t.Fatal("query through partition succeeded")
+	}
+	if !IsUnavailable(err) {
+		t.Fatalf("partition error %v lacks DBUnavailable marker", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("partitioned call took %v, want ~CallTimeout", el)
+	}
+}
+
+// TestFaultSeamAllModes drives one query through every injectable fault
+// shape on the dbnet wire: the call must fail typed (or succeed, for pure
+// latency) within the call timeout, and the client must recover to a
+// working state after ClearFault.
+func TestFaultSeamAllModes(t *testing.T) {
+	modes := []fault.NetMode{
+		fault.NetLatency, fault.NetPartition, fault.NetReset,
+		fault.NetSlowDrip, fault.NetBlackHole, fault.NetDropHalf,
+	}
+	srv := newResilienceServer(t, Options{})
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			fnet := fault.NewNet()
+			cl, err := Dial(ClientOptions{
+				Addr: srv.Addr(), CallTimeout: 300 * time.Millisecond,
+				DialTimeout: 300 * time.Millisecond, Dial: fnet.Dial,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			fnet.SetFault(fnet.OpCount()+2, mode)
+			start := time.Now()
+			var lastErr error
+			for i := 0; i < 4; i++ {
+				if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+					lastErr = err
+					if !IsUnavailable(err) {
+						t.Fatalf("fault surfaced untyped error: %v", err)
+					}
+				}
+			}
+			if el := time.Since(start); el > 3*time.Second {
+				t.Fatalf("4 calls under fault took %v", el)
+			}
+			_ = lastErr
+			fnet.ClearFault()
+			if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+				t.Fatalf("query after heal: %v", err)
+			}
+		})
+	}
+}
+
+// TestDeadlineEnvelopeMalformed: a hostile envelope (truncated budget, no
+// inner op, nested envelope) gets an error response, not a hang or crash.
+func TestDeadlineEnvelopeMalformed(t *testing.T) {
+	srv := newResilienceServer(t, Options{})
+	for i, raw := range [][]byte{
+		{opDeadline},                      // no budget
+		{opDeadline, 0x80},                // truncated uvarint
+		{opDeadline, 0x05},                // budget but no inner op
+		{opDeadline, 0x05, opDeadline, 5}, // nested envelope
+	} {
+		conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if err := writeFrame(conn, raw); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readFrame(conn, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(resp) == 0 || resp[0] != statusErr {
+			t.Fatalf("case %d: response %v, want statusErr", i, resp)
+		}
+		conn.Close()
+	}
+	// The server is still fine.
+	cl, err := Dial(ClientOptions{Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStationRefusalConsumesNoCapacity: refused visits must not advance
+// the departure clock, or doomed requests would starve live ones.
+func TestStationRefusalConsumesNoCapacity(t *testing.T) {
+	st := newSerialStation(100) // 10ms service
+	deadline := time.Now().Add(time.Millisecond)
+	for i := 0; i < 50; i++ {
+		st.visit(deadline) // most of these refuse
+	}
+	start := time.Now()
+	if !st.visit(time.Now().Add(time.Second)) {
+		t.Fatal("well-budgeted visit refused")
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("visit waited %v behind refused ops", el)
+	}
+}
+
+func BenchmarkDeadlineEnvelope(b *testing.B) {
+	db, err := minidb.Open("", schema.AllSchemas()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := Listen("127.0.0.1:0", Options{DB: db})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(ClientOptions{Addr: srv.Addr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,7 @@ type Server struct {
 	freeOps  atomic.Int64 // exempt operations (epochs, schemas, pings)
 	txns     atomic.Int64 // interactive transactions begun
 	timeouts atomic.Int64 // transactions reaped by the idle timeout
+	refused  atomic.Int64 // requests refused because their deadline would expire in queue
 }
 
 // Listen starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -93,6 +94,10 @@ func (s *Server) FreeOps() int64 { return s.freeOps.Load() }
 // reaped while idle.
 func (s *Server) Txns() int64        { return s.txns.Load() }
 func (s *Server) TxnTimeouts() int64 { return s.timeouts.Load() }
+
+// DeadlineRefusals returns requests turned away because their propagated
+// deadline would have expired before the capacity station could serve them.
+func (s *Server) DeadlineRefusals() int64 { return s.refused.Load() }
 
 // Close stops accepting, closes every live connection, and waits for the
 // handlers to drain. The engine itself is not closed.
@@ -180,7 +185,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.logf("dbnet: %s: empty frame", conn.RemoteAddr())
 			return
 		}
-		resp, newTx := s.dispatch(req[0], bytes.NewReader(req[1:]), tx)
+		resp, newTx := s.dispatch(req[0], bytes.NewReader(req[1:]), tx, time.Time{})
 		tx = newTx
 		err = writeFrame(bw, resp.Bytes())
 		putFrameBuf(resp)
@@ -215,14 +220,45 @@ func errFrame(err error) *bytes.Buffer {
 	return b
 }
 
+// deadlineFrame is the refusal response: the request's deadline budget
+// would have expired before the station could serve it, so no work was
+// done and no capacity consumed.
+func deadlineFrame() *bytes.Buffer {
+	b := getFrameBuf()
+	b.WriteByte(statusDeadline)
+	return b
+}
+
 // dispatch decodes and executes one request. It returns the response
 // frame (a pooled buffer the caller must return via putFrameBuf) and the
-// connection's transaction state after the request.
-func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.Buffer, txOut minidb.Tx) {
+// connection's transaction state after the request. deadline is the
+// client's propagated give-up instant (zero: none): capacity-charged
+// operations whose queue departure would pass it are refused up front.
+func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.Time) (resp *bytes.Buffer, txOut minidb.Tx) {
 	txOut = tx
 	fail := func(err error) (*bytes.Buffer, minidb.Tx) { return errFrame(err), txOut }
 
 	switch op {
+	case opDeadline:
+		// Envelope: [uvarint budgetMillis][inner request]. The budget is
+		// relative, so clock skew between client and server cancels out —
+		// only the one-way trip time erodes it.
+		ms, err := minidb.WireUvarint(r)
+		if err != nil {
+			return fail(fmt.Errorf("dbnet: mangled deadline envelope: %w", err))
+		}
+		inner, err := r.ReadByte()
+		if err != nil {
+			return fail(fmt.Errorf("dbnet: empty deadline envelope"))
+		}
+		if inner == opDeadline {
+			return fail(fmt.Errorf("dbnet: nested deadline envelope"))
+		}
+		if ms > uint64(time.Hour/time.Millisecond) {
+			ms = uint64(time.Hour / time.Millisecond)
+		}
+		return s.dispatch(inner, r, tx, time.Now().Add(time.Duration(ms)*time.Millisecond))
+
 	case opPing:
 		s.freeOps.Add(1)
 		return okFrame(nil), txOut
@@ -297,7 +333,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		var res *minidb.Result
 		if tx != nil {
 			res, err = tx.Query(q)
@@ -318,7 +356,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		var row minidb.Row
 		if tx != nil {
 			row, err = tx.Get(table, rowid)
@@ -339,7 +379,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		var id int64
 		if tx != nil {
 			id, err = tx.Insert(table, row)
@@ -364,7 +406,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		if tx != nil {
 			err = tx.Update(table, rowid, row)
 		} else {
@@ -384,7 +428,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		if tx != nil {
 			err = tx.Delete(table, rowid)
 		} else {
@@ -418,7 +464,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 			}
 			batch.Insert(table, row)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		ids, err := s.db.Apply(&batch)
 		if err != nil {
 			return fail(err)
@@ -433,7 +481,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		ids, err := s.db.Apply(batch)
 		if err != nil {
 			return fail(err)
@@ -449,7 +499,9 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if err != nil {
 			return fail(err)
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
 		n, err := s.db.ViewCount(name, key)
 		if err != nil {
 			return fail(err)
@@ -470,7 +522,14 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx) (resp *bytes.B
 		if tx == nil {
 			return fail(fmt.Errorf("dbnet: commit outside transaction"))
 		}
-		s.charge()
+		if !s.charge(deadline) {
+			// The committing client has already given up; holding the
+			// writer lock for a reply nobody reads would starve everyone
+			// else. Roll back — the client's transaction handle poisons
+			// itself on the deadline status, so both sides agree it died.
+			tx.Rollback()
+			return deadlineFrame(), nil
+		}
 		txOut = nil
 		if err := tx.Commit(); err != nil {
 			return errFrame(err), nil
@@ -519,9 +578,16 @@ func wireRowIDs(r *bytes.Reader) ([]int64, error) {
 }
 
 // charge accounts one operation against the shared capacity station.
-func (s *Server) charge() {
+// It reports false — refusing the operation, consuming no capacity —
+// when the client's deadline would expire before the station could
+// serve it: work for a caller that already gave up is pure waste.
+func (s *Server) charge(deadline time.Time) bool {
+	if !s.station.visit(deadline) {
+		s.refused.Add(1)
+		return false
+	}
 	s.ops.Add(1)
-	s.station.visit()
+	return true
 }
 
 // serialStation models the database tier as a single serial service
@@ -544,19 +610,30 @@ func newSerialStation(ratePerSec float64) *serialStation {
 }
 
 // visit occupies the station for one service time, sleeping (outside the
-// lock) until this operation's departure instant.
-func (st *serialStation) visit() {
-	if st.service == 0 {
-		return
-	}
+// lock) until this operation's departure instant. A non-zero deadline
+// that would pass before departure makes visit refuse — returning false
+// without advancing the queue, so a doomed request costs the station
+// nothing.
+func (st *serialStation) visit(deadline time.Time) bool {
 	now := time.Now()
+	if !deadline.IsZero() && now.After(deadline) {
+		return false
+	}
+	if st.service == 0 {
+		return true
+	}
 	st.mu.Lock()
 	start := st.next
 	if start.Before(now) {
 		start = now
 	}
 	depart := start.Add(st.service)
+	if !deadline.IsZero() && depart.After(deadline) {
+		st.mu.Unlock()
+		return false
+	}
 	st.next = depart
 	st.mu.Unlock()
 	time.Sleep(time.Until(depart))
+	return true
 }

@@ -30,7 +30,12 @@ type rpcEnvelope struct {
 type rpcReply struct {
 	Error  string          `json:"error,omitempty"`
 	Denied bool            `json:"denied,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	// Unavailable flags errors caused by the shared database tier not
+	// answering, so the caller can distinguish "this replica's database
+	// path is dead" (true) from "this replica rejected the request"
+	// (false) without parsing error strings.
+	Unavailable bool            `json:"unavailable,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
 }
 
 // Server exposes a DM node's API over HTTP under prefix (default "/dm/").
@@ -83,6 +88,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		reply.Error = err.Error()
 		reply.Denied = IsDenied(err)
+		reply.Unavailable = IsDBUnavailable(err)
 	} else {
 		raw, merr := json.Marshal(result)
 		if merr != nil {
@@ -274,6 +280,9 @@ func (r *Remote) call(method, token, ip string, args, result interface{}) error 
 	if reply.Error != "" {
 		if reply.Denied {
 			return errDenied("remote", reply.Error)
+		}
+		if reply.Unavailable {
+			return &DBUnavailableError{Err: fmt.Errorf("%s", reply.Error)}
 		}
 		return fmt.Errorf("%s", reply.Error)
 	}

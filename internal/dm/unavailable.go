@@ -1,0 +1,44 @@
+package dm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DBUnavailableError reports that a DM operation failed because the
+// shared database tier is not answering — as opposed to the replica
+// being down (a TransportError; retry elsewhere may help) or the request
+// being rejected (retry never helps). Every replica dials the same
+// database, so once one replica reports this, retrying the call on its
+// siblings just burns their connection pools: the gateway fails such
+// writes fast and serves reads from its degraded cache instead.
+type DBUnavailableError struct {
+	Node string // replica that observed the outage (may be empty)
+	Err  error  // underlying cause (nil when reconstructed from the wire)
+}
+
+func (e *DBUnavailableError) Error() string {
+	msg := "dm: shared database unavailable"
+	if e.Node != "" {
+		msg += " (observed by " + e.Node + ")"
+	}
+	if e.Err != nil {
+		msg = fmt.Sprintf("%s: %v", msg, e.Err)
+	}
+	return msg
+}
+
+func (e *DBUnavailableError) Unwrap() error { return e.Err }
+
+// DBUnavailable is the structural marker shared with dbnet.UnavailableError;
+// dm checks for it without importing dbnet.
+func (e *DBUnavailableError) DBUnavailable() bool { return true }
+
+// IsDBUnavailable reports whether err (anywhere in its chain) carries the
+// DBUnavailable marker — either dbnet's transport error bubbling up
+// through the engine, or this package's reconstruction of it from an RPC
+// reply.
+func IsDBUnavailable(err error) bool {
+	var u interface{ DBUnavailable() bool }
+	return errors.As(err, &u) && u.DBUnavailable()
+}

@@ -19,6 +19,7 @@ table { border-collapse: collapse; }
 td, th { border: 1px solid #aab; padding: 2px 8px; font-size: 90%; }
 .nav { background: #eef; padding: 4px; margin-bottom: 8px; }
 .meta { color: #557; font-size: 85%; }
+.degraded { background: #fe9; border: 1px solid #ca6; padding: 4px 8px; margin: 4px 0; font-size: 90%; }
 img.icon { width: 16px; height: 16px; vertical-align: middle; }
 </style>
 </head><body>
@@ -28,7 +29,8 @@ img.icon { width: 16px; height: 16px; vertical-align: middle; }
 {{if .User}} | logged in as <b>{{.User}}</b> (<a href="/logout">logout</a>)
 {{else}} | <a href="/login">login</a>{{end}}
 </div>
-<h1>{{.Title}}</h1>{{end}}
+<h1>{{.Title}}</h1>
+{{if .Degraded}}<div class="degraded">&#9888; degraded: {{.Degraded}}</div>{{end}}{{end}}
 
 {{define "footer"}}<div class="meta">HEDC reproduction — node {{.Node}} — generated {{.Generated}}</div>
 </body></html>{{end}}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/cluster"
 	"repro/internal/dm"
 	"repro/internal/minidb"
 	"repro/internal/pl"
@@ -575,5 +576,74 @@ func TestStatsPage(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("stats page missing %q", want)
 		}
+	}
+}
+
+// TestStatsClusterSection: a node fronting a replica cluster surfaces the
+// gateway's resilience state — per-replica health, circuit state, retry
+// budget, degraded-mode counters — on the same /stats page.
+func TestStatsClusterSection(t *testing.T) {
+	r := newWebRig(t)
+	gw := cluster.NewGateway(cluster.GatewayOptions{HealthInterval: time.Minute})
+	defer gw.Close()
+	gw.AddReplica("replica-0", dm.Local{DM: r.dm})
+	s := New(Config{API: dm.Local{DM: r.dm}, LocalDM: r.dm, Cluster: gw, Node: "gw-test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"Cluster gateway", "replica replica-0", "circuit closed",
+		"retry budget tokens", "degraded reads served", "writes failed fast",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("stats page missing %q", want)
+		}
+	}
+}
+
+// degradedStubAPI answers ListCatalogs from "cache" with the gateway's
+// degraded tag, the shape cluster.serveRead produces when the live path is
+// down. Everything else panics (embedded nil interface) — the test only
+// browses the index.
+type degradedStubAPI struct{ dm.API }
+
+func (degradedStubAPI) ListCatalogs(token, ip string) ([]*dm.Catalog, error) {
+	return []*dm.Catalog{{ID: "cat-standard", Name: "Standard", Kind: "standard", Members: 7}},
+		&cluster.DegradedError{Age: 90 * time.Second, StaleWrites: 2,
+			Cause: fmt.Errorf("no replica can reach the database")}
+}
+
+// TestBrowseDegradedBanner: a degraded gateway answer renders as a normal
+// page with a staleness banner, not as an error page.
+func TestBrowseDegradedBanner(t *testing.T) {
+	s := New(Config{API: degradedStubAPI{}, Node: "gw-test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 (degraded data must render, not error)", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"degraded", "cached 1m30s ago", "2 writes behind", "cat-standard", "Standard",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("degraded index page missing %q", want)
+		}
+	}
+	if s.Stats().Errors.Load() != 0 {
+		t.Fatalf("degraded serve counted as error")
 	}
 }

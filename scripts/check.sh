@@ -1,8 +1,9 @@
 #!/bin/sh
-# Full verification: vet, build, race-enabled tests (including the
-# crash-recovery torture harness), one iteration each of the parallel query
-# and ingest benchmarks (smoke-checks the concurrent read and fast write
-# paths), and short runs of the WAL decode fuzz targets.
+# Full verification: vet, build, the full test suite, a short-mode race
+# lane, the crash-recovery and network-chaos harnesses under -race, one
+# iteration each of the parallel query and ingest benchmarks (smoke-checks
+# the concurrent read and fast write paths), and short runs of the WAL and
+# dbnet wire-decode fuzz targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,11 +13,17 @@ go vet ./...
 echo "==> go build"
 go build ./...
 
-echo "==> go test -race"
-go test -race ./...
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race -short (race lane)"
+go test -race -short ./...
 
 echo "==> crash-recovery torture harness (-race)"
 go test -race -count=1 ./internal/torture/
+
+echo "==> network chaos harness (-race)"
+go test -race -count=1 ./internal/chaos/
 
 echo "==> parallel query benchmark (1 iteration)"
 go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
@@ -28,9 +35,16 @@ go test -run '^$' -bench BenchmarkIngest -benchtime=1x .
 # short smoke run over the checked-in corpus plus fresh mutations. CI can
 # shorten (or lengthen) the runs via FUZZTIME without editing this script.
 FUZZTIME="${FUZZTIME:-10s}"
-for target in FuzzDecodeWalOp FuzzDecodeValue FuzzReadWal; do
-	echo "==> fuzz smoke: $target ($FUZZTIME)"
-	go test -run '^$' -fuzz "^$target\$" -fuzztime "$FUZZTIME" ./internal/minidb/
+for spec in \
+	"./internal/minidb/ FuzzDecodeWalOp" \
+	"./internal/minidb/ FuzzDecodeValue" \
+	"./internal/minidb/ FuzzReadWal" \
+	"./internal/dbnet/ FuzzReadFrame" \
+	"./internal/dbnet/ FuzzDispatch"; do
+	pkg=${spec% *}
+	target=${spec#* }
+	echo "==> fuzz smoke: $pkg $target ($FUZZTIME)"
+	go test -run '^$' -fuzz "^$target\$" -fuzztime "$FUZZTIME" "$pkg"
 done
 
 echo "==> OK"
