@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest bench-chaos torture chaos fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos bench-analytics torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,12 @@ bench-ingest:
 bench-chaos:
 	$(GO) run ./cmd/hedc-bench -exp chaos -json .
 
+# bench-analytics measures vectorized columnar scans against the
+# row-at-a-time baseline on 1.2M synthetic events and records
+# BENCH_analytics.json.
+bench-analytics:
+	$(GO) run ./cmd/hedc-bench -exp analytics -json .
+
 # torture enumerates every crash site of the scripted workload under the
 # race detector (see internal/torture).
 torture:
@@ -35,13 +41,15 @@ torture:
 chaos:
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-# fuzz runs each WAL and dbnet wire decode fuzz target for 30s.
+# fuzz runs each WAL, dbnet wire and columnar segment decode fuzz target
+# for 30s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWalOp$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWal$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s ./internal/dbnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s ./internal/dbnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 30s ./internal/colseg/
 
 # check runs the full gate: vet, build, race tests (torture harness
 # included), a one-iteration smoke run of the parallel query benchmark, and

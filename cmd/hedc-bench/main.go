@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine|chaos")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json / BENCH_chaos.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine|chaos|analytics")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json / BENCH_chaos.json / BENCH_analytics.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -41,6 +41,7 @@ func main() {
 	var livePts []bench.LivePoint
 	var ingestRes []bench.IngestResult
 	var chaosRes *bench.ChaosResult
+	var anaRes *bench.AnalyticsResult
 
 	if run("fig4") {
 		any = true
@@ -128,12 +129,24 @@ func main() {
 		fmt.Printf("every schedule held the invariants: bounded latency, no duplicate\n")
 		fmt.Printf("effects, typed failures only, convergence after heal\n\n")
 	}
+	if run("analytics") {
+		any = true
+		var err error
+		anaRes, err = bench.RunAnalytics(bench.DefaultAnalyticsParams(), log.New(os.Stderr, "", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analytics:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatAnalytics(anaRes))
+		fmt.Printf("columnar segments + zone maps turn full-archive statistics (the\n")
+		fmt.Printf("histogram workload's recalibration scans) into sub-scan work\n\n")
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes, chaosRes); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes, chaosRes, anaRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -144,7 +157,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult, chaosRes *bench.ChaosResult) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -194,6 +207,16 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 			"experiment": "chaos",
 			"note":       "availability under enumerated network faults; db_loss_degraded records stale-cache browse + fail-fast writes with the database partitioned away",
 			"results":    chaosRes,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if anaRes != nil {
+		err := write("BENCH_analytics.json", map[string]any{
+			"experiment": "analytics",
+			"note":       "vectorized columnar scans vs row-at-a-time over synthetic events; results bit-identical between paths",
+			"results":    anaRes,
 		})
 		if err != nil {
 			return err

@@ -38,6 +38,7 @@ import (
 
 	hedc "repro"
 	"repro/internal/cluster"
+	"repro/internal/colseg"
 	"repro/internal/dbnet"
 	"repro/internal/dm"
 	"repro/internal/minidb"
@@ -178,8 +179,36 @@ func runDB(ctx context.Context, data, addr string, maxOps float64, bootPw string
 		}
 	}
 
+	// Columnar segments live next to the database they shadow; replicas
+	// ship analytics queries here over the wire instead of pulling rows.
+	segs, err := colseg.Open(colseg.Options{
+		DB:     db,
+		Dir:    filepath.Join(data, "colseg"),
+		Tables: []string{schema.TableEvents},
+	})
+	if err != nil {
+		return err
+	}
+	if err := segs.RefreshAll(); err != nil {
+		log.Printf("colseg: initial refresh: %v", err)
+	}
+	go func() {
+		ticker := time.NewTicker(30 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := segs.RefreshAll(); err != nil {
+					log.Printf("colseg: refresh: %v", err)
+				}
+			}
+		}
+	}()
+
 	srv, err := dbnet.Listen(addr, dbnet.Options{
-		DB: db, MaxOpsPerSec: maxOps,
+		DB: db, MaxOpsPerSec: maxOps, Analytics: segs,
 		Logger: log.New(os.Stderr, "dbnet ", log.LstdFlags),
 	})
 	if err != nil {

@@ -1,0 +1,568 @@
+package colseg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/minidb"
+)
+
+// batchSize is the vectorized unit of work: filters and aggregates process
+// this many values per inner loop through a selection vector, so the chain
+// does no per-row interface dispatch and stays in cache.
+const batchSize = 4096
+
+// AggKind selects the aggregate an analytics query computes.
+type AggKind uint8
+
+const (
+	// AggCount counts matching rows.
+	AggCount AggKind = iota
+	// AggStats computes sum, min, max and non-NULL count over Col in one
+	// pass (mean = Sum/NonNull).
+	AggStats
+	// AggHist builds a fixed-width histogram of Col over [Lo, Hi) with
+	// Bins buckets; NULLs and out-of-range values are dropped.
+	AggHist
+)
+
+// String names the aggregate kind.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggStats:
+		return "stats"
+	case AggHist:
+		return "hist"
+	}
+	return "?"
+}
+
+// Query is one analytics request: conjunctive filters (minidb predicate
+// semantics, NULL included), then an aggregate over one column, optionally
+// grouped. This is the catalog-wide scan shape — flare-rate histograms,
+// per-detector energy spectra, "all events overlapping [t1,t2)" — that the
+// OLTP row path serves too slowly (§7.2's full scans).
+type Query struct {
+	Table   string
+	Where   []minidb.Pred
+	Agg     AggKind
+	Col     string // aggregate input column (AggStats, AggHist)
+	GroupBy string // optional group column ("" = one global aggregate)
+	Bins    int    // AggHist bucket count
+	Lo, Hi  float64
+}
+
+// Group is one group-by bucket: Key renders the group value the way
+// minidb.Value.String does (NULL groups under "NULL").
+type Group struct {
+	Key     string
+	Rows    int64
+	Sum     float64
+	NonNull int64
+}
+
+// ExecStats describes how a query ran, for the /stats page and the bench.
+type ExecStats struct {
+	Segments       int   // segments considered
+	SegmentsPruned int   // skipped entirely by zone maps
+	SegRows        int64 // rows served from columnar vectors
+	TailRows       int64 // rows served row-at-a-time (un-segmented tail)
+	Vectorized     bool  // false when the whole query fell back to rows
+}
+
+// Result is an analytics answer. Sum/Min/Max are meaningful when
+// NonNull > 0; Groups are sorted by Key.
+type Result struct {
+	Rows    int64 // rows passing the filters
+	NonNull int64 // non-NULL aggregate inputs among them
+	Sum     float64
+	Min     float64
+	Max     float64
+	Bins    []int64
+	Groups  []Group
+	Stats   ExecStats
+}
+
+// validate checks q's shape before execution.
+func (q *Query) validate() error {
+	switch q.Agg {
+	case AggCount:
+	case AggStats:
+		if q.Col == "" {
+			return fmt.Errorf("colseg: stats aggregate needs a column")
+		}
+	case AggHist:
+		if q.Col == "" || q.Bins <= 0 || !(q.Lo < q.Hi) {
+			return fmt.Errorf("colseg: histogram needs a column, bins > 0 and lo < hi")
+		}
+		if q.GroupBy != "" {
+			return fmt.Errorf("colseg: histogram does not support group-by")
+		}
+	default:
+		return fmt.Errorf("colseg: unknown aggregate %d", q.Agg)
+	}
+	return nil
+}
+
+// binOf maps v into one of n equal-width buckets over [lo, hi), -1 when out
+// of range. Both execution engines share this helper so histograms are
+// bit-identical.
+func binOf(v, lo, hi float64, n int) int {
+	if !(v >= lo) || !(v < hi) {
+		return -1
+	}
+	b := int((v - lo) / (hi - lo) * float64(n))
+	if b >= n {
+		b = n - 1 // rounding at the top edge
+	}
+	return b
+}
+
+// accum is the single accumulator both engines feed, strictly in rowid
+// order. Keeping one accumulator across segments and the row tail — rather
+// than per-segment partials merged later — is what makes the vectorized
+// result bit-identical to the row engine: float addition is not
+// associative, so the addition order must be the same, not just the set of
+// addends.
+type accum struct {
+	q        *Query
+	rows     int64
+	nonNull  int64
+	sum      float64
+	min, max float64
+	bins     []int64
+	groups   map[string]*Group
+	intG     map[int64]*Group // fast path for int-typed group columns
+}
+
+func newAccum(q *Query) *accum {
+	a := &accum{q: q}
+	if q.Agg == AggHist {
+		a.bins = make([]int64, q.Bins)
+	}
+	if q.GroupBy != "" {
+		a.groups = make(map[string]*Group)
+		a.intG = make(map[int64]*Group)
+	}
+	return a
+}
+
+// addStat folds one non-NULL aggregate input. The body is the shared
+// accumulation kernel: `sum += v` then min/max via `<`/`>` only.
+func (a *accum) addStat(v float64) {
+	if a.nonNull == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.nonNull++
+	a.sum += v
+}
+
+func (a *accum) addHist(v float64) {
+	if b := binOf(v, a.q.Lo, a.q.Hi, a.q.Bins); b >= 0 {
+		a.bins[b]++
+	}
+}
+
+// groupFor returns the bucket for a group-column value. Int values bucket
+// by payload (rendered at finish); everything else by its diagnostic
+// rendering, which keeps strings (quoted) disjoint from NULL.
+func (a *accum) groupFor(v minidb.Value) *Group {
+	if v.T == minidb.IntType {
+		return a.intGroup(v.I)
+	}
+	return a.strGroup(v.String())
+}
+
+func (a *accum) intGroup(k int64) *Group {
+	g := a.intG[k]
+	if g == nil {
+		g = &Group{Key: minidb.I(k).String()}
+		a.intG[k] = g
+	}
+	return g
+}
+
+func (a *accum) strGroup(key string) *Group {
+	g := a.groups[key]
+	if g == nil {
+		g = &Group{Key: key}
+		a.groups[key] = g
+	}
+	return g
+}
+
+// finish freezes the accumulator into a Result.
+func (a *accum) finish() *Result {
+	res := &Result{
+		Rows: a.rows, NonNull: a.nonNull,
+		Sum: a.sum, Min: a.min, Max: a.max, Bins: a.bins,
+	}
+	if a.q.GroupBy != "" {
+		res.Groups = make([]Group, 0, len(a.groups)+len(a.intG))
+		for _, g := range a.groups {
+			res.Groups = append(res.Groups, *g)
+		}
+		for _, g := range a.intG {
+			res.Groups = append(res.Groups, *g)
+		}
+		sort.Slice(res.Groups, func(i, j int) bool { return res.Groups[i].Key < res.Groups[j].Key })
+	}
+	return res
+}
+
+// runSegment feeds one segment through the vectorized chain: zone-map
+// prune, then batches of batchSize positions filtered through a selection
+// vector and aggregated. Returns pruned=true when zone maps excluded the
+// whole segment. sel is the caller's reusable selection buffer.
+func runSegment(seg *Segment, q *Query, a *accum, sel []int32) (pruned bool, _ []int32, err error) {
+	fcols := make([]*colVec, len(q.Where))
+	for i, p := range q.Where {
+		c, err := seg.column(p.Col)
+		if err != nil {
+			return false, sel, err
+		}
+		if !c.mayMatch(p) {
+			return true, sel, nil
+		}
+		fcols[i] = c
+	}
+	var aggCol, grpCol *colVec
+	if q.Agg != AggCount {
+		if aggCol, err = seg.column(q.Col); err != nil {
+			return false, sel, err
+		}
+	}
+	if q.GroupBy != "" {
+		if grpCol, err = seg.column(q.GroupBy); err != nil {
+			return false, sel, err
+		}
+	}
+	var remap []*Group // dict code -> group bucket, built once per segment
+	if grpCol != nil && grpCol.codes != nil {
+		remap = make([]*Group, len(grpCol.dict))
+	}
+
+	for base := 0; base < seg.NRows; base += batchSize {
+		end := base + batchSize
+		if end > seg.NRows {
+			end = seg.NRows
+		}
+		sel = sel[:0]
+		if len(q.Where) == 0 {
+			for i := base; i < end; i++ {
+				sel = append(sel, int32(i))
+			}
+		} else {
+			sel = fcols[0].filterRange(q.Where[0], base, end, sel)
+			for i := 1; i < len(q.Where); i++ {
+				sel = fcols[i].filterSel(q.Where[i], sel)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		a.rows += int64(len(sel))
+		if grpCol != nil {
+			aggGrouped(a, q, aggCol, grpCol, remap, sel)
+			continue
+		}
+		switch q.Agg {
+		case AggStats:
+			aggStatsBatch(a, aggCol, sel)
+		case AggHist:
+			aggHistBatch(a, aggCol, sel)
+		}
+	}
+	return false, sel, nil
+}
+
+// aggInput returns the aggregate input for stored position i, mirroring
+// Value.Float(): ints widen, floats pass through, everything else is 0.
+func (c *colVec) aggInput(i int32) float64 {
+	switch {
+	case c.floats != nil:
+		return c.floats[i]
+	case c.ints != nil && c.typ == minidb.IntType:
+		return float64(c.ints[i])
+	}
+	return 0
+}
+
+func aggStatsBatch(a *accum, c *colVec, sel []int32) {
+	switch {
+	case c.nulls != nil:
+		for _, i := range sel {
+			if !c.isNull(int(i)) {
+				a.addStat(c.aggInput(i))
+			}
+		}
+	case c.floats != nil:
+		for _, i := range sel {
+			a.addStat(c.floats[i])
+		}
+	case c.ints != nil && c.typ == minidb.IntType:
+		for _, i := range sel {
+			a.addStat(float64(c.ints[i]))
+		}
+	default:
+		for range sel {
+			a.addStat(0)
+		}
+	}
+}
+
+func aggHistBatch(a *accum, c *colVec, sel []int32) {
+	switch {
+	case c.nulls != nil:
+		for _, i := range sel {
+			if !c.isNull(int(i)) {
+				a.addHist(c.aggInput(i))
+			}
+		}
+	case c.floats != nil:
+		for _, i := range sel {
+			a.addHist(c.floats[i])
+		}
+	default:
+		for _, i := range sel {
+			a.addHist(c.aggInput(i))
+		}
+	}
+}
+
+// aggGrouped folds one selected batch into per-group buckets. The dict
+// remap gives string group columns an O(1) code → bucket hop; other types
+// go through the shared groupFor keying.
+func aggGrouped(a *accum, q *Query, aggCol, grpCol *colVec, remap []*Group, sel []int32) {
+	for _, i := range sel {
+		var g *Group
+		switch {
+		case grpCol.isNull(int(i)):
+			g = a.strGroup("NULL")
+		case remap != nil:
+			code := grpCol.codes[i]
+			g = remap[code]
+			if g == nil {
+				g = a.groupFor(groupValue(grpCol, i))
+				remap[code] = g
+			}
+		case grpCol.ints != nil && grpCol.typ == minidb.IntType:
+			g = a.intGroup(grpCol.ints[i])
+		default:
+			g = a.groupFor(groupValue(grpCol, i))
+		}
+		g.Rows++
+		if q.Agg == AggStats && !aggCol.isNull(int(i)) {
+			g.NonNull++
+			g.Sum += aggCol.aggInput(i)
+		}
+	}
+}
+
+// groupValue reconstructs the minidb value at stored position i (non-NULL).
+func groupValue(c *colVec, i int32) minidb.Value {
+	switch {
+	case c.floats != nil:
+		return minidb.F(c.floats[i])
+	case c.codes != nil:
+		s := c.dict[c.codes[i]]
+		if c.typ == minidb.BytesType {
+			return minidb.Bs([]byte(s))
+		}
+		return minidb.S(s)
+	}
+	return minidb.Value{T: c.typ, I: c.ints[i]}
+}
+
+// cellValue reconstructs the full minidb value at stored position i,
+// NULL included — the exact-but-slow path for filter type combinations
+// the specialized kernels don't cover.
+func (c *colVec) cellValue(i int) minidb.Value {
+	if c.isNull(i) {
+		return minidb.Null()
+	}
+	return groupValue(c, int32(i))
+}
+
+// predBounds frames a comparison predicate as two float bounds plus three
+// keep-region booleans (below lo / above hi / within), which lets one loop
+// serve every operator. The framing uses only `<` and `>`, mirroring
+// minidb.Compare (incomparable values — NaN — compare equal).
+func predBounds(p minidb.Pred) (lo, hi float64, kLt, kGt, kMid bool) {
+	lo = p.Val.Float()
+	hi = lo
+	switch p.Op {
+	case minidb.OpEq:
+		kMid = true
+	case minidb.OpNe:
+		kLt, kGt = true, true
+	case minidb.OpLt:
+		kLt = true
+	case minidb.OpLe:
+		kLt, kMid = true, true
+	case minidb.OpGt:
+		kGt = true
+	case minidb.OpGe:
+		kGt, kMid = true, true
+	case minidb.OpBetween:
+		hi = p.Hi.Float()
+		kMid = true
+	}
+	return
+}
+
+// fastPath reports whether the specialized numeric kernel is exact for
+// (column, predicate): numeric column, numeric operand(s), comparison op.
+func (c *colVec) fastPath(p minidb.Pred) bool {
+	if !c.numeric() || p.Op == minidb.OpPrefix {
+		return false
+	}
+	if !numericVal(p.Val) {
+		return false
+	}
+	if p.Op == minidb.OpBetween && !numericVal(p.Hi) {
+		return false
+	}
+	return true
+}
+
+// filterRange appends to sel the positions in [base, end) matching p.
+func (c *colVec) filterRange(p minidb.Pred, base, end int, sel []int32) []int32 {
+	nullMatch := p.Match(minidb.Null())
+	switch {
+	case c.fastPath(p):
+		lo, hi, kLt, kGt, kMid := predBounds(p)
+		if c.floats != nil {
+			for i := base; i < end; i++ {
+				if c.nulls != nil && c.isNull(i) {
+					if nullMatch {
+						sel = append(sel, int32(i))
+					}
+					continue
+				}
+				v := c.floats[i]
+				lt, gt := v < lo, v > hi
+				if (lt && kLt) || (gt && kGt) || (!lt && !gt && kMid) {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else {
+			for i := base; i < end; i++ {
+				if c.nulls != nil && c.isNull(i) {
+					if nullMatch {
+						sel = append(sel, int32(i))
+					}
+					continue
+				}
+				v := float64(c.ints[i])
+				lt, gt := v < lo, v > hi
+				if (lt && kLt) || (gt && kGt) || (!lt && !gt && kMid) {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	case c.codes != nil:
+		match := c.dictMask(p)
+		for i := base; i < end; i++ {
+			if c.nulls != nil && c.isNull(i) {
+				if nullMatch {
+					sel = append(sel, int32(i))
+				}
+				continue
+			}
+			if match[c.codes[i]] {
+				sel = append(sel, int32(i))
+			}
+		}
+	default:
+		for i := base; i < end; i++ {
+			if p.Match(c.cellValue(i)) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	return sel
+}
+
+// filterSel compacts sel in place to the positions matching p.
+func (c *colVec) filterSel(p minidb.Pred, sel []int32) []int32 {
+	nullMatch := p.Match(minidb.Null())
+	out := sel[:0]
+	switch {
+	case c.fastPath(p):
+		lo, hi, kLt, kGt, kMid := predBounds(p)
+		if c.floats != nil {
+			for _, i := range sel {
+				if c.nulls != nil && c.isNull(int(i)) {
+					if nullMatch {
+						out = append(out, i)
+					}
+					continue
+				}
+				v := c.floats[i]
+				lt, gt := v < lo, v > hi
+				if (lt && kLt) || (gt && kGt) || (!lt && !gt && kMid) {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if c.nulls != nil && c.isNull(int(i)) {
+					if nullMatch {
+						out = append(out, i)
+					}
+					continue
+				}
+				v := float64(c.ints[i])
+				lt, gt := v < lo, v > hi
+				if (lt && kLt) || (gt && kGt) || (!lt && !gt && kMid) {
+					out = append(out, i)
+				}
+			}
+		}
+	case c.codes != nil:
+		match := c.dictMask(p)
+		for _, i := range sel {
+			if c.nulls != nil && c.isNull(int(i)) {
+				if nullMatch {
+					out = append(out, i)
+				}
+				continue
+			}
+			if match[c.codes[i]] {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if p.Match(c.cellValue(int(i))) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// dictMask evaluates p once per distinct dictionary entry — the whole
+// point of dictionary encoding: a predicate over millions of rows costs
+// one Match per distinct string, then one table lookup per row.
+func (c *colVec) dictMask(p minidb.Pred) []bool {
+	match := make([]bool, len(c.dict))
+	for code, s := range c.dict {
+		v := minidb.S(s)
+		if c.typ == minidb.BytesType {
+			v = minidb.Bs([]byte(s))
+		}
+		match[code] = p.Match(v)
+	}
+	return match
+}

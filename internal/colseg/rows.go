@@ -1,0 +1,124 @@
+package colseg
+
+import (
+	"fmt"
+
+	"repro/internal/minidb"
+)
+
+// rowFold is the row-at-a-time kernel both non-vectorized paths share: the
+// un-segmented tail of a partially-covered table and the full fallback when
+// no segments exist. It applies the same minidb.Pred.Match semantics the
+// OLTP engine uses and feeds the same accumulator the vectorized path
+// feeds, in the same rowid order — which is what makes the two engines
+// bit-identical rather than merely approximately equal.
+type rowFold struct {
+	q    *Query
+	a    *accum
+	fidx []int // filter column positions
+	aidx int   // aggregate input position (-1 when unused)
+	gidx int   // group column position (-1 when ungrouped)
+}
+
+func newRowFold(q *Query, a *accum, schema *minidb.Schema) (*rowFold, error) {
+	f := &rowFold{q: q, a: a, aidx: -1, gidx: -1}
+	col := func(name string) (int, error) {
+		if i := schema.ColIndex(name); i >= 0 {
+			return i, nil
+		}
+		return -1, fmt.Errorf("colseg: table %s has no column %s", schema.Name, name)
+	}
+	var err error
+	f.fidx = make([]int, len(q.Where))
+	for i, p := range q.Where {
+		if f.fidx[i], err = col(p.Col); err != nil {
+			return nil, err
+		}
+	}
+	if q.Agg != AggCount {
+		if f.aidx, err = col(q.Col); err != nil {
+			return nil, err
+		}
+	}
+	if q.GroupBy != "" {
+		if f.gidx, err = col(q.GroupBy); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// row folds one live row into the accumulator.
+func (f *rowFold) row(r minidb.Row) {
+	for i, p := range f.q.Where {
+		if !p.Match(r[f.fidx[i]]) {
+			return
+		}
+	}
+	f.a.rows++
+	if f.gidx >= 0 {
+		g := f.a.groupFor(r[f.gidx])
+		g.Rows++
+		if f.q.Agg == AggStats {
+			if v := r[f.aidx]; !v.IsNull() {
+				g.NonNull++
+				g.Sum += v.Float()
+			}
+		}
+		return
+	}
+	switch f.q.Agg {
+	case AggStats:
+		if v := r[f.aidx]; !v.IsNull() {
+			f.a.addStat(v.Float())
+		}
+	case AggHist:
+		if v := r[f.aidx]; !v.IsNull() {
+			f.a.addHist(v.Float())
+		}
+	}
+}
+
+// RunRows executes q entirely row-at-a-time against any engine, local or
+// remote: one full-table scan (rowid order — minidb full scans without
+// ORDER BY visit the heap in rowid order) folded through the shared
+// accumulator. This is the OLTP baseline the bench compares against and
+// the DM's fallback when no columnar store is wired in.
+func RunRows(eng minidb.Engine, q Query) (*Result, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	schema := eng.Schema(q.Table)
+	if schema == nil {
+		return nil, fmt.Errorf("colseg: no such table %s", q.Table)
+	}
+	a := newAccum(&q)
+	f, err := newRowFold(&q, a, schema)
+	if err != nil {
+		return nil, err
+	}
+	// Filters run through f.row, not the engine's planner: an index-driven
+	// plan would visit rows in index order and break the bit-identical
+	// accumulation-order contract.
+	res, err := eng.Query(minidb.Query{Table: q.Table})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Rows {
+		f.row(r)
+	}
+	out := a.finish()
+	out.Stats.TailRows = int64(len(res.Rows))
+	return out, nil
+}
+
+// runRowsSnap folds heap positions [from, to) of a snapshot, row-at-a-time.
+func runRowsSnap(snap *minidb.TableSnap, from, to int64, f *rowFold) int64 {
+	var n int64
+	snap.Scan(from, to, func(_ int64, r minidb.Row) bool {
+		n++
+		f.row(r)
+		return true
+	})
+	return n
+}

@@ -1,0 +1,345 @@
+// Package colseg is the read-optimized half of the storage engine: immutable
+// columnar segments materialized from committed minidb snapshots, plus a
+// vectorized operator chain (scan → filter → aggregate over ~4k-value
+// batches with selection vectors) for catalog-wide analytics. It is the
+// second representation ROADMAP item 2 calls for — the same move the SDSS
+// Science Archive made when it migrated its catalog to a scan-friendly
+// layout — while the OLTP heap/B-tree side keeps serving point queries.
+//
+// Correctness contract: a segment covers heap positions [StartRow, EndRow)
+// of one table and is labeled with the snapshot's rewrite counter. minidb
+// rowids are heap positions, inserts only append and deletes/updates bump
+// the counter, so the segment is exactly the table's prefix for as long as
+// the counter is unchanged and the heap has only grown. Queries validate
+// that against the snapshot they run on, serve the un-covered tail
+// row-at-a-time from the same snapshot, and produce bit-identical results
+// to the row engine (shared accumulation order and helpers).
+package colseg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minidb"
+)
+
+// Segment is one immutable columnar chunk of a table: heap positions
+// [StartRow, EndRow) of the snapshot it was built from, tombstones
+// compacted away, each column stored as a typed vector with a zone map.
+type Segment struct {
+	Table    string
+	StartRow int64  // first heap position covered (inclusive)
+	EndRow   int64  // last heap position covered (exclusive)
+	Rewrites uint64 // table rewrite counter at build time (validity label)
+	Epoch    uint64 // table commit epoch at build time (diagnostics only)
+	NRows    int    // live rows stored (EndRow-StartRow minus tombstones)
+
+	cols   []colVec
+	colIdx map[string]int
+}
+
+// colVec is one column of a segment. Exactly one of the payload slices is
+// non-nil, chosen by the schema type: ints holds Int/Bool/Time payloads,
+// floats holds Float payloads, codes+dict hold String/Bytes values
+// dictionary-encoded (first-appearance order).
+type colVec struct {
+	name string
+	typ  minidb.Type
+	enc  byte // on-disk encoding (encRaw/encDelta/encDoD/encDict)
+
+	ints   []int64
+	floats []float64
+	codes  []uint32
+	dict   []string
+
+	nulls []uint64 // bitmap, one bit per stored row; nil when no NULLs
+	zone  ZoneMap
+}
+
+// ZoneMap is the per-column min/max summary used to prune segments before
+// touching their vectors. Numeric columns (int/float) summarize as float64
+// — the same domain minidb.Compare uses for numeric comparisons, so pruning
+// decisions mirror Pred.Match exactly. String/bytes columns summarize the
+// encoded string payloads.
+type ZoneMap struct {
+	Valid   bool // any non-NULL value present
+	HasNull bool
+	MinF    float64 // numeric columns, when Valid
+	MaxF    float64
+	MinS    string // string/bytes columns, when Valid
+	MaxS    string
+}
+
+const (
+	encRaw   byte = 0 // float64 little-endian
+	encDelta byte = 1 // varint first value, then varint deltas
+	encDoD   byte = 2 // varint first value + first delta, then delta-of-deltas
+	encDict  byte = 3 // dictionary strings + uvarint codes
+)
+
+func (s *Segment) column(name string) (*colVec, error) {
+	i, ok := s.colIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("colseg: segment of %s has no column %s", s.Table, name)
+	}
+	return &s.cols[i], nil
+}
+
+func (c *colVec) isNull(i int) bool {
+	return c.nulls != nil && c.nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (c *colVec) setNull(i int) {
+	c.nulls[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// numeric reports whether the column's zone map lives in the float64 domain.
+func (c *colVec) numeric() bool {
+	return c.typ == minidb.IntType || c.typ == minidb.FloatType
+}
+
+// BuildSegment materializes heap positions [from, to) of the snapshot as a
+// columnar segment. It reads only the published immutable view — no table
+// or database lock is taken or needed, so commits proceed concurrently and
+// simply make the segment's validity label stale for later snapshots.
+func BuildSegment(snap *minidb.TableSnap, from, to int64) (*Segment, error) {
+	schema := snap.Schema()
+	seg := &Segment{
+		Table:    schema.Name,
+		StartRow: from,
+		EndRow:   to,
+		Rewrites: snap.Rewrites(),
+		Epoch:    snap.Epoch(),
+		cols:     make([]colVec, len(schema.Columns)),
+		colIdx:   make(map[string]int, len(schema.Columns)),
+	}
+	n := int(to - from) // upper bound; tombstones shrink it
+	dicts := make([]map[string]uint32, len(schema.Columns))
+	for i, col := range schema.Columns {
+		c := &seg.cols[i]
+		c.name, c.typ = col.Name, col.Type
+		seg.colIdx[col.Name] = i
+		switch col.Type {
+		case minidb.FloatType:
+			c.floats = make([]float64, 0, n)
+		case minidb.StringType, minidb.BytesType:
+			c.codes = make([]uint32, 0, n)
+			dicts[i] = make(map[string]uint32)
+		default: // Int, Bool, Time
+			c.ints = make([]int64, 0, n)
+		}
+	}
+	snap.Scan(from, to, func(_ int64, r minidb.Row) bool {
+		for i := range seg.cols {
+			c := &seg.cols[i]
+			v := r[i]
+			null := v.IsNull()
+			switch {
+			case c.floats != nil:
+				if null {
+					c.floats = append(c.floats, 0)
+				} else {
+					c.floats = append(c.floats, v.F)
+				}
+			case c.codes != nil:
+				if null {
+					c.codes = append(c.codes, 0)
+				} else {
+					s := v.S
+					if v.T == minidb.BytesType {
+						s = string(v.B)
+					}
+					code, ok := dicts[i][s]
+					if !ok {
+						code = uint32(len(c.dict))
+						dicts[i][s] = code
+						c.dict = append(c.dict, s)
+					}
+					c.codes = append(c.codes, code)
+				}
+			default:
+				if null {
+					c.ints = append(c.ints, 0)
+				} else {
+					c.ints = append(c.ints, v.I)
+				}
+			}
+			if null {
+				if c.nulls == nil {
+					c.nulls = make([]uint64, (n+63)/64)
+				}
+				c.setNull(seg.NRows)
+			}
+		}
+		seg.NRows++
+		return true
+	})
+	for i := range seg.cols {
+		c := &seg.cols[i]
+		c.buildZone(seg.NRows)
+		c.chooseEncoding()
+	}
+	return seg, nil
+}
+
+// buildZone computes the column's min/max over non-NULL values.
+func (c *colVec) buildZone(n int) {
+	z := &c.zone
+	for i := 0; i < n; i++ {
+		if c.isNull(i) {
+			z.HasNull = true
+			continue
+		}
+		switch {
+		case c.floats != nil:
+			v := c.floats[i]
+			if !z.Valid || v < z.MinF {
+				z.MinF = v
+			}
+			if !z.Valid || v > z.MaxF {
+				z.MaxF = v
+			}
+		case c.codes != nil:
+			s := c.dict[c.codes[i]]
+			if !z.Valid || s < z.MinS {
+				z.MinS = s
+			}
+			if !z.Valid || s > z.MaxS {
+				z.MaxS = s
+			}
+		default:
+			v := c.ints[i]
+			if c.typ == minidb.IntType {
+				f := float64(v)
+				if !z.Valid || f < z.MinF {
+					z.MinF = f
+				}
+				if !z.Valid || f > z.MaxF {
+					z.MaxF = f
+				}
+			}
+		}
+		z.Valid = true
+	}
+}
+
+// chooseEncoding picks the on-disk payload encoding: delta-of-delta for
+// monotone non-decreasing int sequences (event ids, timestamps), plain
+// zigzag deltas otherwise; floats are raw; strings are dictionary-coded.
+func (c *colVec) chooseEncoding() {
+	switch {
+	case c.floats != nil:
+		c.enc = encRaw
+	case c.codes != nil:
+		c.enc = encDict
+	default:
+		c.enc = encDelta
+		monotone := true
+		for i := 1; i < len(c.ints); i++ {
+			if c.ints[i] < c.ints[i-1] {
+				monotone = false
+				break
+			}
+		}
+		if monotone && len(c.ints) > 2 {
+			c.enc = encDoD
+		}
+	}
+}
+
+// mayMatch reports whether any stored row of the column could satisfy p.
+// It must be conservative: false only when provably no row matches,
+// including NULL rows under minidb's NULL-sorts-first comparison rule.
+// All numeric bound checks are phrased with < and > only, mirroring
+// minidb.Compare's treatment of NaN (incomparable values compare equal).
+func (c *colVec) mayMatch(p minidb.Pred) bool {
+	nullMatch := p.Match(minidb.Null())
+	z := c.zone
+	if z.HasNull && nullMatch {
+		return true
+	}
+	if !z.Valid {
+		return false // all NULL and NULLs don't match
+	}
+	if c.numeric() {
+		if p.Op == minidb.OpPrefix {
+			return false // prefix never matches non-string values
+		}
+		if p.Op == minidb.OpBetween {
+			// Each bound is checked independently: numeric bounds against
+			// the zone, cross-type bounds by type tag (uniform for every
+			// non-NULL row, payload irrelevant).
+			loOK, hiOK := true, true
+			if numericVal(p.Val) {
+				loOK = !(z.MaxF < p.Val.Float())
+			} else {
+				loOK = minidb.Compare(probeValue(c.typ), p.Val) >= 0
+			}
+			if numericVal(p.Hi) {
+				hiOK = !(z.MinF > p.Hi.Float())
+			} else {
+				hiOK = minidb.Compare(probeValue(c.typ), p.Hi) <= 0
+			}
+			return loOK && hiOK
+		}
+		if !numericVal(p.Val) {
+			// Cross-type comparison decides by type tag alone, uniformly
+			// for every non-NULL row; one Match probe settles the segment.
+			return p.Match(probeValue(c.typ))
+		}
+		v := p.Val.Float()
+		switch p.Op {
+		case minidb.OpEq:
+			return !(v < z.MinF) && !(v > z.MaxF)
+		case minidb.OpNe:
+			return (z.MinF < v) || (z.MaxF > v)
+		case minidb.OpLt:
+			return z.MinF < v
+		case minidb.OpLe:
+			return !(z.MinF > v)
+		case minidb.OpGt:
+			return z.MaxF > v
+		case minidb.OpGe:
+			return !(z.MaxF < v)
+		}
+		return true
+	}
+	if c.codes != nil && p.Val.T == minidb.StringType && c.typ == minidb.StringType {
+		v := p.Val.S
+		switch p.Op {
+		case minidb.OpEq:
+			return v >= z.MinS && v <= z.MaxS
+		case minidb.OpLt:
+			return z.MinS < v
+		case minidb.OpLe:
+			return z.MinS <= v
+		case minidb.OpGt:
+			return z.MaxS > v
+		case minidb.OpGe:
+			return z.MaxS >= v
+		case minidb.OpBetween:
+			if p.Hi.T != minidb.StringType {
+				return true
+			}
+			return !(z.MaxS < v) && !(z.MinS > p.Hi.S)
+		case minidb.OpPrefix:
+			if z.MaxS < v {
+				return false
+			}
+			return z.MinS <= v || strings.HasPrefix(z.MinS, v)
+		}
+	}
+	return true
+}
+
+// numericVal reports whether v participates in minidb's numeric cross-type
+// comparison domain.
+func numericVal(v minidb.Value) bool {
+	return v.T == minidb.IntType || v.T == minidb.FloatType
+}
+
+// probeValue returns a representative non-NULL value of the column type for
+// type-tag-only comparisons (the payload is irrelevant in that regime).
+func probeValue(t minidb.Type) minidb.Value {
+	return minidb.Value{T: t}
+}

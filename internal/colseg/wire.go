@@ -1,0 +1,225 @@
+package colseg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/minidb"
+)
+
+// Wire codec for analytics queries and results, reusing minidb's compact
+// binary primitives. The encoded query bytes are canonical (field order is
+// fixed, no maps), so the DM also uses them as its cache fingerprint.
+
+// EncodeQuery appends q to b.
+func EncodeQuery(b *bytes.Buffer, q Query) {
+	minidb.WirePutString(b, q.Table)
+	minidb.WirePutUvarint(b, uint64(len(q.Where)))
+	for _, p := range q.Where {
+		minidb.WirePutString(b, p.Col)
+		b.WriteByte(byte(p.Op))
+		minidb.WirePutValue(b, p.Val)
+		minidb.WirePutValue(b, p.Hi)
+	}
+	b.WriteByte(byte(q.Agg))
+	minidb.WirePutString(b, q.Col)
+	minidb.WirePutString(b, q.GroupBy)
+	minidb.WirePutVarint(b, int64(q.Bins))
+	putFloat(b, q.Lo)
+	putFloat(b, q.Hi)
+}
+
+// DecodeQuery reads a query written by EncodeQuery.
+func DecodeQuery(r *bytes.Reader) (Query, error) {
+	var q Query
+	var err error
+	if q.Table, err = minidb.WireString(r); err != nil {
+		return q, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return q, err
+	}
+	if n > uint64(r.Len()) {
+		return q, fmt.Errorf("colseg: filter count %d exceeds payload", n)
+	}
+	if n > 0 {
+		q.Where = make([]minidb.Pred, n)
+		for i := range q.Where {
+			if q.Where[i].Col, err = minidb.WireString(r); err != nil {
+				return q, err
+			}
+			op, err := r.ReadByte()
+			if err != nil {
+				return q, err
+			}
+			q.Where[i].Op = minidb.Op(op)
+			if q.Where[i].Val, err = minidb.WireValue(r); err != nil {
+				return q, err
+			}
+			if q.Where[i].Hi, err = minidb.WireValue(r); err != nil {
+				return q, err
+			}
+		}
+	}
+	agg, err := r.ReadByte()
+	if err != nil {
+		return q, err
+	}
+	q.Agg = AggKind(agg)
+	if q.Col, err = minidb.WireString(r); err != nil {
+		return q, err
+	}
+	if q.GroupBy, err = minidb.WireString(r); err != nil {
+		return q, err
+	}
+	bins, err := binary.ReadVarint(r)
+	if err != nil {
+		return q, err
+	}
+	q.Bins = int(bins)
+	if q.Lo, err = getFloat(r); err != nil {
+		return q, err
+	}
+	if q.Hi, err = getFloat(r); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// EncodeResult appends res to b.
+func EncodeResult(b *bytes.Buffer, res *Result) {
+	minidb.WirePutVarint(b, res.Rows)
+	minidb.WirePutVarint(b, res.NonNull)
+	putFloat(b, res.Sum)
+	putFloat(b, res.Min)
+	putFloat(b, res.Max)
+	if res.Bins == nil {
+		b.WriteByte(0)
+	} else {
+		b.WriteByte(1)
+		minidb.WirePutUvarint(b, uint64(len(res.Bins)))
+		for _, v := range res.Bins {
+			minidb.WirePutVarint(b, v)
+		}
+	}
+	minidb.WirePutUvarint(b, uint64(len(res.Groups)))
+	for _, g := range res.Groups {
+		minidb.WirePutString(b, g.Key)
+		minidb.WirePutVarint(b, g.Rows)
+		putFloat(b, g.Sum)
+		minidb.WirePutVarint(b, g.NonNull)
+	}
+	st := res.Stats
+	minidb.WirePutVarint(b, int64(st.Segments))
+	minidb.WirePutVarint(b, int64(st.SegmentsPruned))
+	minidb.WirePutVarint(b, st.SegRows)
+	minidb.WirePutVarint(b, st.TailRows)
+	if st.Vectorized {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+// DecodeResult reads a result written by EncodeResult.
+func DecodeResult(r *bytes.Reader) (*Result, error) {
+	res := &Result{}
+	var err error
+	if res.Rows, err = binary.ReadVarint(r); err != nil {
+		return nil, err
+	}
+	if res.NonNull, err = binary.ReadVarint(r); err != nil {
+		return nil, err
+	}
+	if res.Sum, err = getFloat(r); err != nil {
+		return nil, err
+	}
+	if res.Min, err = getFloat(r); err != nil {
+		return nil, err
+	}
+	if res.Max, err = getFloat(r); err != nil {
+		return nil, err
+	}
+	hasBins, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if hasBins != 0 {
+		nb, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		if nb > uint64(r.Len()) {
+			return nil, fmt.Errorf("colseg: bin count %d exceeds payload", nb)
+		}
+		res.Bins = make([]int64, nb)
+		for i := range res.Bins {
+			if res.Bins[i], err = binary.ReadVarint(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ng, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if ng > uint64(r.Len()) {
+		return nil, fmt.Errorf("colseg: group count %d exceeds payload", ng)
+	}
+	if ng > 0 {
+		res.Groups = make([]Group, ng)
+		for i := range res.Groups {
+			g := &res.Groups[i]
+			if g.Key, err = minidb.WireString(r); err != nil {
+				return nil, err
+			}
+			if g.Rows, err = binary.ReadVarint(r); err != nil {
+				return nil, err
+			}
+			if g.Sum, err = getFloat(r); err != nil {
+				return nil, err
+			}
+			if g.NonNull, err = binary.ReadVarint(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var segments, pruned int64
+	for _, p := range []*int64{&segments, &pruned, &res.Stats.SegRows, &res.Stats.TailRows} {
+		if *p, err = binary.ReadVarint(r); err != nil {
+			return nil, err
+		}
+	}
+	res.Stats.Segments, res.Stats.SegmentsPruned = int(segments), int(pruned)
+	vec, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Vectorized = vec != 0
+	return res, nil
+}
+
+// Fingerprint returns the canonical encoding of q, usable as a cache key.
+func Fingerprint(q Query) string {
+	var b bytes.Buffer
+	EncodeQuery(&b, q)
+	return b.String()
+}
+
+func putFloat(b *bytes.Buffer, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	b.Write(buf[:])
+}
+
+func getFloat(r *bytes.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/colseg"
 	"repro/internal/dm"
 	"repro/internal/minidb"
 	"repro/internal/pl"
@@ -61,7 +62,8 @@ type Node struct {
 	cfg Config
 
 	MetaDB   *minidb.DB
-	DomainDB *minidb.DB // == MetaDB unless partitioned
+	DomainDB *minidb.DB    // == MetaDB unless partitioned
+	Segments *colseg.Store // columnar read path over the domain tables
 	DM       *dm.DM
 	Dir      *pl.Directory
 	Manager  *pl.Manager
@@ -119,11 +121,27 @@ func Start(cfg Config) (*Node, error) {
 		return nil, err
 	}
 
+	// The columnar segment store shadows the domain database's event
+	// catalog; the DM routes aggregate analytics through it. Persisted
+	// next to the database so restarts reload instead of rebuilding.
+	n.Segments, err = colseg.Open(colseg.Options{
+		DB:     n.DomainDB,
+		Dir:    filepath.Join(cfg.DataDir, "colseg"),
+		Tables: []string{schema.TableEvents},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Segments.RefreshAll(); err != nil {
+		cfg.Logger.Printf("colseg initial refresh: %v", err)
+	}
+
 	dmOpts := dm.Options{
 		Node:           cfg.Node + "/dm",
 		MetaDB:         n.MetaDB,
 		DefaultArchive: "disk-0",
 		URLRoot:        cfg.URLRoot,
+		Analytics:      n.Segments,
 		Logger:         cfg.Logger,
 	}
 	if cfg.PartitionDomain {
@@ -211,6 +229,9 @@ func (n *Node) StartMaintenance(interval time.Duration) (stop func()) {
 				}
 				if err := n.Checkpoint(); err != nil {
 					n.cfg.Logger.Printf("maintenance checkpoint: %v", err)
+				}
+				if err := n.Segments.RefreshAll(); err != nil {
+					n.cfg.Logger.Printf("maintenance segment refresh: %v", err)
 				}
 			}
 		}

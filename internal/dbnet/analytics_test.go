@@ -1,0 +1,113 @@
+package dbnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/colseg"
+	"repro/internal/minidb"
+)
+
+// TestAnalyticsOverWire: the analytics op ships a query and gets back an
+// aggregate bit-identical to a local run — vectorized when the server has a
+// segment store, row-at-a-time when it does not.
+func TestAnalyticsOverWire(t *testing.T) {
+	db, err := minidb.Open(t.TempDir(), eventsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	b := &minidb.Batch{}
+	for i := int64(0); i < 2000; i++ {
+		kind := "flare"
+		if i%3 == 0 {
+			kind = "quiet"
+		}
+		b.Insert("events", minidb.Row{
+			minidb.I(i), minidb.S(kind), minidb.F(float64(i) / 2), minidb.Null(),
+		})
+	}
+	if _, err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	store, err := colseg.Open(colseg.Options{DB: db, SegmentRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Listen("127.0.0.1:0", Options{DB: db, Analytics: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(ClientOptions{Addr: srv.Addr(), CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	q := colseg.Query{
+		Table: "events", Agg: colseg.AggStats, Col: "flux", GroupBy: "kind",
+		Where: []minidb.Pred{{Col: "id", Op: minidb.OpLt, Val: minidb.I(1500)}},
+	}
+	got, err := cl.RunAnalytics(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := colseg.RunRows(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != want.Rows || got.NonNull != want.NonNull ||
+		math.Float64bits(got.Sum) != math.Float64bits(want.Sum) ||
+		math.Float64bits(got.Min) != math.Float64bits(want.Min) ||
+		math.Float64bits(got.Max) != math.Float64bits(want.Max) {
+		t.Fatalf("wire result %+v != local %+v", got, want)
+	}
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("groups %d != %d", len(got.Groups), len(want.Groups))
+	}
+	for i := range got.Groups {
+		g, w := got.Groups[i], want.Groups[i]
+		if g.Key != w.Key || g.Rows != w.Rows || math.Float64bits(g.Sum) != math.Float64bits(w.Sum) {
+			t.Fatalf("group %d: wire %+v != local %+v", i, g, w)
+		}
+	}
+	if !got.Stats.Vectorized {
+		t.Fatalf("server with a store did not vectorize: %+v", got.Stats)
+	}
+
+	// A server without a store still answers — row fallback, same numbers.
+	srv2, err := Listen("127.0.0.1:0", Options{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	cl2, err := Dial(ClientOptions{Addr: srv2.Addr(), CallTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl2.Close() })
+	got2, err := cl2.RunAnalytics(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Stats.Vectorized {
+		t.Fatal("store-less server claimed a vectorized run")
+	}
+	if got2.Rows != want.Rows || math.Float64bits(got2.Sum) != math.Float64bits(want.Sum) {
+		t.Fatalf("fallback result %+v != local %+v", got2, want)
+	}
+
+	// Malformed analytics bodies must be rejected, not crash the server.
+	if _, err := cl.RunAnalytics(colseg.Query{Table: "events", Agg: colseg.AggStats}); err == nil {
+		t.Fatal("invalid query (stats without column) accepted")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("connection unhealthy after rejected analytics: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/colseg"
 	"repro/internal/minidb"
 )
 
@@ -435,6 +436,20 @@ func (c *Client) ViewCount(name string, key minidb.Value) (int, error) {
 		func(r *bytes.Reader) (e error) { n, e = minidb.WireVarint(r); return })
 	return int(n), err
 }
+
+// RunAnalytics ships an aggregate query to the server and decodes the
+// (small) result — the segments never cross the wire. Client implements
+// colseg.Runner, so a replica DM can hand it straight to its analytics
+// path.
+func (c *Client) RunAnalytics(q colseg.Query) (*colseg.Result, error) {
+	var res *colseg.Result
+	err := c.call(opAnalytics,
+		func(b *bytes.Buffer) { colseg.EncodeQuery(b, q) },
+		func(r *bytes.Reader) (e error) { res, e = colseg.DecodeResult(r); return })
+	return res, err
+}
+
+var _ colseg.Runner = (*Client)(nil)
 
 // BeginTx opens an interactive transaction. The transaction owns one
 // connection end to end — the server routes that connection's operations

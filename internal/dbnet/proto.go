@@ -53,6 +53,11 @@ const (
 	// the budget, the server answers statusDeadline immediately instead
 	// of servicing a request whose caller has already timed out.
 	opDeadline
+	// opAnalytics ships a colseg aggregate query (scan→filter→aggregate)
+	// to the node that holds the columnar segments. Body: an encoded
+	// colseg.Query; response: an encoded colseg.Result. One wire round
+	// trip replaces shipping millions of rows to the client.
+	opAnalytics
 )
 
 // Response status bytes.

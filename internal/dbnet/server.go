@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/colseg"
 	"repro/internal/minidb"
 )
 
@@ -29,6 +30,9 @@ type Options struct {
 	TxnIdleTimeout time.Duration
 	// MaxFrame bounds request frames. Default DefaultMaxFrame.
 	MaxFrame int
+	// Analytics serves opAnalytics from columnar segments. Nil falls back
+	// to a row-at-a-time scan over DB — still one round trip, just slower.
+	Analytics colseg.Runner
 	// Logger receives per-connection errors. Nil discards them.
 	Logger *log.Logger
 }
@@ -489,6 +493,28 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 			return fail(err)
 		}
 		return okFrame(func(b *bytes.Buffer) { wirePutRowIDs(b, ids) }), txOut
+
+	case opAnalytics:
+		q, err := colseg.DecodeQuery(r)
+		if err != nil {
+			return fail(err)
+		}
+		// One aggregate scan is one operation against the capacity
+		// station — that asymmetry (a full-table aggregate for the price
+		// of one op) is exactly what the columnar path buys.
+		if !s.charge(deadline) {
+			return deadlineFrame(), txOut
+		}
+		var res *colseg.Result
+		if s.opts.Analytics != nil {
+			res, err = s.opts.Analytics.RunAnalytics(q)
+		} else {
+			res, err = colseg.RunRows(s.db, q)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okFrame(func(b *bytes.Buffer) { colseg.EncodeResult(b, res) }), txOut
 
 	case opViewCount:
 		name, err := minidb.WireString(r)

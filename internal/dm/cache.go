@@ -23,7 +23,7 @@ import (
 
 type cacheEntry struct {
 	epoch uint64
-	res   *minidb.Result
+	val   any // *minidb.Result for row queries, *colseg.Result for analytics
 }
 
 type queryCache struct {
@@ -39,23 +39,23 @@ func newQueryCache(capacity int) *queryCache {
 	return &queryCache{m: make(map[string]cacheEntry), cap: capacity}
 }
 
-func (c *queryCache) get(key string, epoch uint64) (*minidb.Result, bool) {
+func (c *queryCache) get(key string, epoch uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[key]
 	if !ok || e.epoch != epoch {
 		return nil, false
 	}
-	return e.res, true
+	return e.val, true
 }
 
-func (c *queryCache) put(key string, epoch uint64, res *minidb.Result) {
+func (c *queryCache) put(key string, epoch uint64, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.m) >= c.cap {
 		c.m = make(map[string]cacheEntry)
 	}
-	c.m[key] = cacheEntry{epoch: epoch, res: res}
+	c.m[key] = cacheEntry{epoch: epoch, val: val}
 }
 
 // cachedQuery runs q through the cache. Results returned from the cache are
@@ -68,9 +68,9 @@ func (d *DM) cachedQuery(q minidb.Query) (*minidb.Result, error) {
 	// the stored entry a future miss rather than a stale hit.
 	epoch := db.TableEpoch(q.Table)
 	key := fingerprint(q)
-	if res, ok := d.cache.get(key, epoch); ok {
+	if v, ok := d.cache.get(key, epoch); ok {
 		d.stats.QueryCacheHits.Add(1)
-		return res, nil
+		return v.(*minidb.Result), nil
 	}
 	d.stats.QueryCacheMisses.Add(1)
 	res, err := d.query(q)

@@ -170,7 +170,7 @@ func TestCacheCapReset(t *testing.T) {
 	if _, ok := c.get("a", 1); ok {
 		t.Fatal("entry a should have been dropped by the cap reset")
 	}
-	if got, ok := c.get("c", 1); !ok || got.Count != 7 {
+	if got, ok := c.get("c", 1); !ok || got.(*minidb.Result).Count != 7 {
 		t.Fatal("entry c should be present after the reset")
 	}
 	if _, ok := c.get("c", 2); ok {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/colseg"
 	"repro/internal/minidb"
 	"repro/internal/schema"
 )
@@ -49,6 +50,11 @@ type Options struct {
 	URLRoot string
 	// Pool sizes (defaults 8/4/2, the split of §5.3).
 	QueryPool, UpdatePool, AuthPool int
+	// Analytics serves catalog-wide aggregate queries from columnar
+	// segments (internal/colseg). When nil, the DM resolves a runner
+	// itself: the domain engine if it implements colseg.Runner, else a
+	// row-at-a-time fallback over the routed database.
+	Analytics colseg.Runner
 	// Logger receives operational messages (nil = standard logger).
 	Logger *log.Logger
 }
@@ -70,11 +76,17 @@ type Stats struct {
 	// database engine.
 	QueryCacheHits   atomic.Int64
 	QueryCacheMisses atomic.Int64
-	AccessDenied     atomic.Int64
-	RedirectsOut     atomic.Int64 // calls shipped to a remote DM
-	RedirectsIn      atomic.Int64 // calls served on behalf of a remote caller
-	EventsDetected   atomic.Int64
-	UnitsLoaded      atomic.Int64
+	// Analytics path (analytics.go): vectorized runs served by a columnar
+	// runner vs row-at-a-time fallbacks, plus cache hits by epoch.
+	AnalyticsQueries   atomic.Int64
+	AnalyticsVector    atomic.Int64
+	AnalyticsRowFall   atomic.Int64
+	AnalyticsCacheHits atomic.Int64
+	AccessDenied       atomic.Int64
+	RedirectsOut       atomic.Int64 // calls shipped to a remote DM
+	RedirectsIn        atomic.Int64 // calls served on behalf of a remote caller
+	EventsDetected     atomic.Int64
+	UnitsLoaded        atomic.Int64
 }
 
 // DM is one Data Management node.
@@ -89,8 +101,9 @@ type DM struct {
 
 	pools map[minidb.Engine]*dbPools
 
-	sessions *sessionCache
-	cache    *queryCache
+	sessions  *sessionCache
+	cache     *queryCache
+	analytics colseg.Runner // nil = resolve per call (engine or row fallback)
 
 	seqMu  sync.Mutex
 	seqHi  map[string]int64 // next unpersisted id per prefix
@@ -133,18 +146,19 @@ func Open(opts Options) (*DM, error) {
 		opts.Logger = log.Default()
 	}
 	d := &DM{
-		node:     opts.Node,
-		meta:     opts.MetaDB,
-		domain:   opts.DomainDB,
-		archives: opts.Archives,
-		defArch:  opts.DefaultArchive,
-		urlRoot:  opts.URLRoot,
-		logger:   opts.Logger,
-		pools:    make(map[minidb.Engine]*dbPools),
-		sessions: newSessionCache(),
-		cache:    newQueryCache(4096),
-		seqHi:    make(map[string]int64),
-		seqMax:   make(map[string]int64),
+		node:      opts.Node,
+		meta:      opts.MetaDB,
+		domain:    opts.DomainDB,
+		archives:  opts.Archives,
+		defArch:   opts.DefaultArchive,
+		urlRoot:   opts.URLRoot,
+		logger:    opts.Logger,
+		pools:     make(map[minidb.Engine]*dbPools),
+		sessions:  newSessionCache(),
+		cache:     newQueryCache(4096),
+		analytics: opts.Analytics,
+		seqHi:     make(map[string]int64),
+		seqMax:    make(map[string]int64),
 	}
 	if d.domain == nil {
 		d.domain = d.meta
@@ -194,7 +208,7 @@ func (d *DM) routeDB(table string) minidb.Engine {
 	switch table {
 	case schema.TableHLE, schema.TableANA, schema.TableCatalog,
 		schema.TableCatalogMembers, schema.TableRawUnits,
-		schema.TableViews, schema.TableVersions:
+		schema.TableViews, schema.TableVersions, schema.TableEvents:
 		return d.domain
 	default:
 		return d.meta

@@ -29,6 +29,13 @@ type tableView struct {
 	rows    []Row
 	live    int
 	indexes map[string]*tableIndex // column name -> index
+	// rewrites counts updates and deletes ever applied to this table's
+	// lineage of views. Inserts only append (rowids are heap positions), so
+	// a derived read-optimized structure covering heap prefix [0, n) stays
+	// valid exactly while rewrites is unchanged and the heap has only
+	// grown. The counter lives on the immutable view — not on Table — so a
+	// reader observes (contents, rewrites) atomically with one view.Load().
+	rewrites uint64
 	// ownRows marks the rows backing array as exclusively owned by this
 	// (unpublished) view. Appends into shared spare capacity are safe —
 	// readers never look past their view's length — but in-place writes
@@ -91,9 +98,10 @@ func (t *Table) beginWrite() *tableView {
 // fails validation cannot have scribbled over its predecessor in place.
 func (t *Table) beginWriteFrom(v *tableView) *tableView {
 	w := &tableView{
-		rows:    v.rows,
-		live:    v.live,
-		indexes: make(map[string]*tableIndex, len(v.indexes)),
+		rows:     v.rows,
+		live:     v.live,
+		rewrites: v.rewrites,
+		indexes:  make(map[string]*tableIndex, len(v.indexes)),
 	}
 	for name, idx := range v.indexes {
 		w.indexes[name] = &tableIndex{col: idx.col, unique: idx.unique, tree: idx.tree.clone()}
@@ -226,6 +234,7 @@ func (t *Table) update(w *tableView, rowid int64, r Row) error {
 	}
 	w.ensureOwnRows()
 	w.rows[rowid] = r.Clone()
+	w.rewrites++
 	return nil
 }
 
@@ -241,6 +250,7 @@ func (t *Table) delete(w *tableView, rowid int64) error {
 	w.ensureOwnRows()
 	w.rows[rowid] = nil
 	w.live--
+	w.rewrites++
 	return nil
 }
 

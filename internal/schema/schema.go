@@ -44,6 +44,7 @@ const (
 	TableRawUnits       = "raw_units"
 	TableViews          = "views"
 	TableVersions       = "versions"
+	TableEvents         = "events"
 )
 
 // Name-mapping types (§4.3): "There are three types of names: filenames,
@@ -257,6 +258,24 @@ func DomainSchemas() []*minidb.Schema {
 			},
 			PrimaryKey: "view_id",
 			Indexes:    []string{"unit_id", "tstart"},
+		},
+		{
+			// The per-photon/per-event catalog behind catalog-wide
+			// analytics (flare-rate histograms, per-detector spectra).
+			// event_id is assigned monotonically and t advances with it,
+			// which is what makes delta-of-delta encoding and zone-map
+			// pruning effective in the columnar representation.
+			Name: TableEvents,
+			Columns: []minidb.Column{
+				{Name: "event_id", Type: minidb.IntType},
+				{Name: "unit_id", Type: minidb.StringType},
+				{Name: "t", Type: minidb.FloatType},
+				{Name: "energy", Type: minidb.FloatType, Nullable: true},
+				{Name: "detector", Type: minidb.IntType},
+				{Name: "flags", Type: minidb.IntType},
+			},
+			PrimaryKey: "event_id",
+			Indexes:    []string{"t"},
 		},
 		{
 			Name: TableVersions,

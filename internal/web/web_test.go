@@ -572,6 +572,7 @@ func TestStatsPage(t *testing.T) {
 	for _, want := range []string{
 		"Web tier", "Data management", "meta engine",
 		"snapshots published", "query cache hit rate",
+		"Analytics (columnar)", "served vectorized",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("stats page missing %q", want)

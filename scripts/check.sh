@@ -40,7 +40,8 @@ for spec in \
 	"./internal/minidb/ FuzzDecodeValue" \
 	"./internal/minidb/ FuzzReadWal" \
 	"./internal/dbnet/ FuzzReadFrame" \
-	"./internal/dbnet/ FuzzDispatch"; do
+	"./internal/dbnet/ FuzzDispatch" \
+	"./internal/colseg/ FuzzDecodeSegment"; do
 	pkg=${spec% *}
 	target=${spec#* }
 	echo "==> fuzz smoke: $pkg $target ($FUZZTIME)"
