@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest bench-chaos bench-analytics torture chaos fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ bench-chaos:
 bench-analytics:
 	$(GO) run ./cmd/hedc-bench -exp analytics -json .
 
+# bench-fig5sharded measures the N-shard x M-replica cell against the
+# single-shard Figure 5 ceiling and records BENCH_fig5sharded.json. The
+# sweep hard-fails unless every scatter-gather result is bit-identical
+# to a single-node oracle.
+bench-fig5sharded:
+	$(GO) run ./cmd/hedc-bench -exp fig5sharded -json .
+
 # torture enumerates every crash site of the scripted workload under the
 # race detector (see internal/torture).
 torture:
@@ -41,8 +48,8 @@ torture:
 chaos:
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-# fuzz runs each WAL, dbnet wire and columnar segment decode fuzz target
-# for 30s.
+# fuzz runs each WAL, dbnet wire, columnar segment and shard map/merge
+# fuzz target for 30s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWalOp$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 30s ./internal/minidb/
@@ -50,6 +57,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s ./internal/dbnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s ./internal/dbnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 30s ./internal/colseg/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShardMap$$' -fuzztime 30s ./internal/shard/
+	$(GO) test -run '^$$' -fuzz '^FuzzMergeReplies$$' -fuzztime 30s ./internal/shard/
 
 # check runs the full gate: vet, build, race tests (torture harness
 # included), a one-iteration smoke run of the parallel query benchmark, and

@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|table1|table2|table3|tables|approx|engine|chaos|analytics")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_tables.json / BENCH_chaos.json / BENCH_analytics.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|fig5sharded|table1|table2|table3|tables|approx|engine|chaos|analytics")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_fig5sharded.json / BENCH_tables.json / BENCH_chaos.json / BENCH_analytics.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -39,6 +39,7 @@ func main() {
 
 	var fig4Pts, fig5Pts []bench.BrowsePoint
 	var livePts []bench.LivePoint
+	var shardedRes *bench.ShardedResult
 	var ingestRes []bench.IngestResult
 	var chaosRes *bench.ChaosResult
 	var anaRes *bench.AnalyticsResult
@@ -65,6 +66,18 @@ func main() {
 		}
 		fmt.Println(bench.FormatLive("Figure 5 (live) — measured gateway+replicas vs simulated curve", livePts, fig5Pts))
 		fmt.Printf("live: real clients through a real gateway over real replicas sharing one networked DB\n\n")
+	}
+	if run("fig5sharded") {
+		any = true
+		var err error
+		shardedRes, err = bench.Figure5Sharded(bench.DefaultShardedParams(), log.New(os.Stderr, "", 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig5sharded:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatSharded("Figure 5 (sharded) — measured cell with the metadata tier partitioned across shards", shardedRes))
+		fmt.Printf("with >=2 shards the single-DB ceiling lifts: aggregate req/s keeps\n")
+		fmt.Printf("climbing past 5 replicas where the 1-shard curve goes flat\n\n")
 	}
 	if run("table1") {
 		any = true
@@ -146,7 +159,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, ingestRes, chaosRes, anaRes); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, shardedRes, ingestRes, chaosRes, anaRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -157,7 +170,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, shardedRes *bench.ShardedResult, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -190,6 +203,16 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 			payload["live"] = live
 		}
 		if err := write("BENCH_fig5.json", payload); err != nil {
+			return err
+		}
+	}
+	if shardedRes != nil {
+		err := write("BENCH_fig5sharded.json", map[string]any{
+			"figure": "fig5sharded", "axis": "nodes",
+			"note": "measured N-shard x M-replica cell; every scatter-gather result proven bit-identical to a single-node oracle before and after each sweep",
+			"live": shardedRes,
+		})
+		if err != nil {
 			return err
 		}
 	}

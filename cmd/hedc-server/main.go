@@ -1,14 +1,17 @@
-// Command hedc-server runs one HEDC process. Four modes:
+// Command hedc-server runs one HEDC process. Five modes:
 //
-//	-mode repo     (default) a full standalone node: web interface at /,
-//	               DM RPC at /dm/ for remote DMs, StreamCorders and peers
-//	-mode db       serve the shared metadata database over the dbnet wire
-//	               protocol, with the calibrated ops/sec ceiling
-//	-mode replica  a middle-tier replica: a full DM dialing a -db-addr
-//	               database, serving /dm/ and /healthz
-//	-mode gateway  the cluster front door: load-balances /dm/ across
-//	               -replicas with health checks, circuit breakers and
-//	               failover; serves the web UI and /stats over the cluster
+//	-mode repo         (default) a full standalone node: web interface at /,
+//	                   DM RPC at /dm/ for remote DMs, StreamCorders and peers
+//	-mode db           serve the shared metadata database over the dbnet wire
+//	                   protocol, with the calibrated ops/sec ceiling
+//	-mode replica      a middle-tier replica: a full DM dialing a -db-addr
+//	                   database, serving /dm/ and /healthz
+//	-mode shard-router serve a sharded metadata tier as one dbnet endpoint:
+//	                   dials every -shard-addrs database, routes point ops
+//	                   to the owning shard and scatter-gathers the rest
+//	-mode gateway      the cluster front door: load-balances /dm/ across
+//	                   -replicas with health checks, circuit breakers and
+//	                   failover; serves the web UI and /stats over the cluster
 //
 // A shared-database cluster on one machine:
 //
@@ -17,6 +20,14 @@
 //	hedc-server -mode replica -addr 127.0.0.1:8082 -db-addr 127.0.0.1:7000 -node r2
 //	hedc-server -mode gateway -addr 127.0.0.1:8080 \
 //	    -replicas http://127.0.0.1:8081/dm/,http://127.0.0.1:8082/dm/
+//
+// A sharded metadata tier replaces the single -mode db process with N
+// shard databases plus a router; replicas dial the router unchanged:
+//
+//	hedc-server -mode db -addr 127.0.0.1:7001 -data /var/hedc-shard0
+//	hedc-server -mode db -addr 127.0.0.1:7002 -data /var/hedc-shard1
+//	hedc-server -mode shard-router -addr 127.0.0.1:7000 -data /var/hedc-router \
+//	    -shard-addrs 127.0.0.1:7001,127.0.0.1:7002
 //
 // Every mode shuts down gracefully on SIGINT/SIGTERM: the listener
 // closes, in-flight requests drain, and state is flushed.
@@ -43,25 +54,27 @@ import (
 	"repro/internal/dm"
 	"repro/internal/minidb"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/web"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "repo", "process role: repo|db|replica|gateway")
-		data     = flag.String("data", "./hedc-data", "data directory (database + archives)")
-		addr     = flag.String("addr", ":8081", "listen address (HTTP, or TCP in db mode)")
-		node     = flag.String("node", "hedc-0", "node name")
-		loadDays = flag.Int("load-days", 0, "generate and ingest this many synthetic mission days at startup (repo mode)")
-		seed     = flag.Int64("seed", 2002, "telemetry seed")
-		dayLen   = flag.Float64("day-length", 7200, "seconds of observation per synthetic day")
-		partDom  = flag.Bool("partition", false, "put the domain schema on a separate database instance (repo mode)")
-		importPw = flag.String("import-password", "import", "password of the system import account")
-		dbAddr   = flag.String("db-addr", "", "dbnet address of the shared metadata database (replica mode)")
-		dbMaxOps = flag.Float64("db-max-ops", 0, "database ops/sec ceiling, 0 = unlimited (db mode)")
-		replicas  = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
-		bootPw    = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
-		pprofAddr = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
+		mode       = flag.String("mode", "repo", "process role: repo|db|replica|shard-router|gateway")
+		data       = flag.String("data", "./hedc-data", "data directory (database + archives)")
+		addr       = flag.String("addr", ":8081", "listen address (HTTP, or TCP in db mode)")
+		node       = flag.String("node", "hedc-0", "node name")
+		loadDays   = flag.Int("load-days", 0, "generate and ingest this many synthetic mission days at startup (repo mode)")
+		seed       = flag.Int64("seed", 2002, "telemetry seed")
+		dayLen     = flag.Float64("day-length", 7200, "seconds of observation per synthetic day")
+		partDom    = flag.Bool("partition", false, "put the domain schema on a separate database instance (repo mode)")
+		importPw   = flag.String("import-password", "import", "password of the system import account")
+		dbAddr     = flag.String("db-addr", "", "dbnet address of the shared metadata database (replica mode)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated dbnet addresses of the shard databases, index = shard id (shard-router mode)")
+		dbMaxOps   = flag.Float64("db-max-ops", 0, "database ops/sec ceiling, 0 = unlimited (db mode)")
+		replicas   = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
+		bootPw     = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
 	)
 	flag.Parse()
 
@@ -97,10 +110,12 @@ func main() {
 		err = runDB(ctx, *data, *addr, *dbMaxOps, *bootPw)
 	case "replica":
 		err = runReplica(ctx, *addr, *dbAddr, *node)
+	case "shard-router":
+		err = runShardRouter(ctx, *data, *addr, *shardAddrs)
 	case "gateway":
 		err = runGateway(ctx, *addr, *replicas)
 	default:
-		err = fmt.Errorf("unknown -mode %q (repo|db|replica|gateway)", *mode)
+		err = fmt.Errorf("unknown -mode %q (repo|db|replica|shard-router|gateway)", *mode)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -245,6 +260,74 @@ func runReplica(ctx context.Context, addr, dbAddr, name string) error {
 	log.Printf("%s: shutting down", name)
 	rep.Stop()
 	return nil
+}
+
+// runShardRouter serves a sharded metadata tier behind the same dbnet
+// protocol a single -mode db process speaks. It dials each shard
+// database, loads (or lays out and persists) the hash-slot shard map
+// under -data, and serves the router: replicas dial it exactly as they
+// would a single shared database, and never learn the catalog is
+// partitioned.
+func runShardRouter(ctx context.Context, data, addr, shardList string) error {
+	var addrs []string
+	for _, a := range strings.Split(shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("shard-router mode requires -shard-addrs addr,addr,...")
+	}
+	dir := filepath.Join(data, "shardmap")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	engines := make(map[int]minidb.Engine, len(addrs))
+	defer func() {
+		for _, e := range engines {
+			if cl, isClient := e.(*dbnet.Client); isClient {
+				cl.Close()
+			}
+		}
+	}()
+	for sid, a := range addrs {
+		cl, err := dbnet.Dial(dbnet.ClientOptions{Addr: a})
+		if err != nil {
+			return fmt.Errorf("dial shard %d at %s: %w", sid, a, err)
+		}
+		engines[sid] = cl
+	}
+	router, err := shard.NewRouter(shard.Options{
+		Shards: engines,
+		Dir:    dir,
+		Logger: log.New(os.Stderr, "shard ", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	// The router owns the clients now; Close them exactly once through it.
+	engines = nil
+
+	// The router is both the engine and the analytics runner: point ops
+	// route to the owning shard, scatter ops fan out and merge.
+	srv, err := dbnet.Listen(addr, dbnet.Options{
+		DB: router, Analytics: router,
+		Logger: log.New(os.Stderr, "dbnet ", log.LstdFlags),
+	})
+	if err != nil {
+		router.Close()
+		return err
+	}
+	st := router.Status()
+	fmt.Printf("HEDC shard router serving dbnet on %s over %d shards (map v%d in %s)\n",
+		srv.Addr(), len(addrs), st.MapVersion, dir)
+	<-ctx.Done()
+	st = router.Status()
+	log.Printf("shard-router: shutdown: map=v%d single-shard=%d scatter=%d fanout-calls=%d shard-failures=%d splits=%d",
+		st.MapVersion, st.SingleShard, st.Scatter, st.FanoutCalls, st.ShardFailures, st.Splits)
+	err = srv.Close()
+	router.Close()
+	return err
 }
 
 // runGateway fronts a set of replicas with the cluster gateway:

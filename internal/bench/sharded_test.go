@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFigure5ShardedSmoke runs a scaled-down sharded sweep: every point
+// serves without client-visible errors, and every oracle battery —
+// scatter queries, counts and analytics through the router against the
+// single-node baseline — passes bit-identically (the sweep hard-fails
+// inside Figure5Sharded otherwise).
+func TestFigure5ShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live cluster measurement")
+	}
+	if raceEnabled {
+		t.Skip("race-detector slowdown swamps the scaled capacity model")
+	}
+	p := DefaultShardedParams()
+	p.Clients = 24
+	p.Shards = []int{1, 2}
+	p.Nodes = []int{1, 2}
+	p.HLEs = 120
+	p.Filters = 12
+	p.TimeScale = 0.02
+	p.Warmup = 300 * time.Millisecond
+	p.Measure = 1 * time.Second
+
+	res, err := Figure5Sharded(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	// 2 shard counts × (pre + post sweep) × 10 checks per battery.
+	if res.OracleChecks != 40 {
+		t.Fatalf("oracle checks = %d, want 40", res.OracleChecks)
+	}
+	for _, pt := range res.Points {
+		if pt.ClientErrors != 0 {
+			t.Fatalf("shards=%d nodes=%d: %d client errors", pt.Shards, pt.Nodes, pt.ClientErrors)
+		}
+		if pt.RequestsPerSec <= 0 {
+			t.Fatalf("shards=%d nodes=%d: no throughput", pt.Shards, pt.Nodes)
+		}
+	}
+}

@@ -112,6 +112,10 @@ type Result struct {
 	WritesAcked  int
 	WritesFailed int
 
+	// HealthyOK counts sharded-cell healthy-shard point reads served
+	// live (invariant 4; always zero for unsharded schedules).
+	HealthyOK int
+
 	MaxWall   time.Duration // slowest fault-phase request
 	Converged time.Duration // time from heal to a fully clean round
 }

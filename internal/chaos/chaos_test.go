@@ -38,6 +38,63 @@ func TestScheduleMatrix(t *testing.T) {
 	t.Logf("%d distinct fault schedules", len(scheds))
 }
 
+// TestShardScheduleMatrix pins the sharded enumeration floor: every net
+// fault mode at every op index against the shard-1 hop.
+func TestShardScheduleMatrix(t *testing.T) {
+	scheds := ShardSchedules()
+	if len(scheds) < 30 {
+		t.Fatalf("only %d sharded fault schedules enumerated, want >= 30", len(scheds))
+	}
+	seen := make(map[string]bool)
+	for _, s := range scheds {
+		if s.Hop != HopShard {
+			t.Fatalf("schedule %s is not on the shard hop", s.Name())
+		}
+		if seen[s.Name()] {
+			t.Fatalf("duplicate schedule %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	t.Logf("%d distinct sharded fault schedules", len(scheds))
+}
+
+// TestShardChaosEnumeration runs every sharded schedule: one shard
+// partitioned away from the whole middle tier, with the extra invariant
+// that healthy-shard point reads stay live throughout.
+func TestShardChaosEnumeration(t *testing.T) {
+	cfg := chaosConfig(t)
+	scheds := ShardSchedules()
+	if testing.Short() {
+		var sub []Schedule
+		for _, s := range scheds {
+			if s.At == 5 {
+				sub = append(sub, s)
+			}
+		}
+		scheds = sub
+	}
+	for _, s := range scheds {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunSharded(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Requests == 0 {
+				t.Fatal("fault phase issued no requests")
+			}
+			if res.HealthyOK == 0 {
+				t.Fatal("no healthy-shard reads were exercised")
+			}
+			t.Logf("%d requests: %d ok (%d healthy-shard) %d degraded %d typed; slowest %v; converged in %v; availability %.2f",
+				res.Requests, res.OK, res.HealthyOK, res.Degraded, res.TypedErr,
+				res.MaxWall.Round(time.Millisecond), res.Converged.Round(time.Millisecond),
+				res.Available())
+		})
+	}
+}
+
 // TestChaosEnumeration is the tentpole: every schedule runs the scripted
 // workload against a live cell with its hop rigged to fail, and every
 // invariant — bounded latency, no duplicate effects, typed failures only,

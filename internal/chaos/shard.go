@@ -1,0 +1,517 @@
+// Sharded-cell chaos: the same network-fault discipline as chaos.go, but
+// the deployment under test is the PR 7 sharded metadata tier — two shard
+// databases behind dbnet, two replicas whose DMs route through
+// shard.Router, and a gateway in front. The rigged hop is every replica's
+// dbnet link to shard 1: breaking it partitions one shard away from the
+// whole middle tier, which is the failure the shard router's typed-error
+// and circuit-breaker machinery exists for.
+//
+// On top of the three chaos invariants (bounded latency, no duplicate
+// effects, typed failures + convergence) the sharded cell asserts a
+// fourth:
+//
+//  4. Partial availability: while shard 1 is unreachable, point reads
+//     whose partition key routes to shard 0 must still be served LIVE —
+//     not degraded, not failed. A router that lets one dead shard poison
+//     single-shard traffic has lost the point of sharding.
+//
+// Scatter reads (catalog queries, counts) during the fault may be served
+// live (soft faults), degraded from the gateway's stale cache, or fail
+// with a typed error inside the deadline — and for the hard fault shapes
+// (partition, black hole, reset) at least one scatter request must
+// actually be pushed off the live path, proving the schedule bit.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dbnet"
+	"repro/internal/dm"
+	"repro/internal/fault"
+	"repro/internal/minidb"
+	"repro/internal/schema"
+	"repro/internal/shard"
+)
+
+// HopShard is the dbnet link from every replica's router to shard 1.
+const HopShard Hop = "shard1"
+
+// ShardSchedules enumerates the sharded-cell fault matrix: every net
+// fault mode against the shard-1 hop at every armed op index.
+func ShardSchedules() []Schedule {
+	var out []Schedule
+	for _, mode := range netModes {
+		for _, at := range opIndices {
+			out = append(out, Schedule{Hop: HopShard, Mode: mode, At: at})
+		}
+	}
+	return out
+}
+
+// hardMode reports whether a fault shape severs the hop persistently (as
+// opposed to slowing it, or breaking it once and letting the client's
+// reconnect absorb the hit, as a single reset does): for these, scatter
+// traffic cannot stay fully live once the fault fires.
+func hardMode(m fault.NetMode) bool {
+	return m == fault.NetPartition || m == fault.NetBlackHole
+}
+
+// shardedCell is one live sharded deployment under test: two shard
+// databases, each behind its own dbnet server; two replicas, each a DM
+// over its own shard.Router over per-shard dbnet clients; one gateway.
+type shardedCell struct {
+	dbs      []*minidb.DB
+	srvs     []*dbnet.Server
+	rig      *fault.Net
+	clients  []*dbnet.Client
+	replicas []*cluster.Replica
+	gw       *cluster.Gateway
+
+	token     string
+	ip        string
+	markerSeq int
+	markers   []marker
+
+	// Seeded public HLE ids by owning shard: shard0 ids are the "healthy
+	// shard" probes (invariant 4), shard1 ids the partitioned ones.
+	shard0IDs []string
+	shard1IDs []string
+}
+
+func (c *shardedCell) close() {
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.srvs {
+		s.Close()
+	}
+	for _, db := range c.dbs {
+		db.Close()
+	}
+}
+
+const chaosShards = 2
+
+// newShardedCell builds the deployment. Shard-1's dial is wrapped in the
+// rig for BOTH replicas: the schedule models the shard itself partitioned
+// from the middle tier, not one replica's flaky cable (chaos.go covers
+// that shape against the unsharded cell).
+func newShardedCell(logger *log.Logger) (*shardedCell, error) {
+	c := &shardedCell{rig: fault.NewNet(), ip: "10.9.1.1"}
+	ok := false
+	defer func() {
+		if !ok {
+			c.close()
+		}
+	}()
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+
+	engines := make(map[int]minidb.Engine, chaosShards)
+	for i := 0; i < chaosShards; i++ {
+		db, err := minidb.Open("", schema.AllSchemas()...)
+		if err != nil {
+			return nil, err
+		}
+		c.dbs = append(c.dbs, db)
+		srv, err := dbnet.Listen("127.0.0.1:0", dbnet.Options{DB: db})
+		if err != nil {
+			return nil, err
+		}
+		c.srvs = append(c.srvs, srv)
+		engines[i] = db
+	}
+
+	// Bootstrap and seed through an in-process router over the raw
+	// engines (not Closed: it owns nothing, the cell closes the DBs).
+	boot, err := shard.NewRouter(shard.Options{Shards: engines})
+	if err != nil {
+		return nil, err
+	}
+	bootDM, err := dm.Open(dm.Options{Node: "boot", MetaDB: boot, Logger: logger})
+	if err != nil {
+		return nil, err
+	}
+	if err := bootDM.Bootstrap("secret"); err != nil {
+		return nil, err
+	}
+	if err := bootDM.CreateUser("sci", "pw", dm.GroupScientist,
+		dm.RightBrowse, dm.RightDownload, dm.RightAnalyze, dm.RightUpload); err != nil {
+		return nil, err
+	}
+	// Seed 8 public HLEs per shard, probing ids until each side is full,
+	// so scatter queries genuinely span both shards and invariant 4 has
+	// known-healthy keys to probe.
+	m := boot.Map()
+	for seq := 0; len(c.shard0IDs) < 8 || len(c.shard1IDs) < 8; seq++ {
+		id := fmt.Sprintf("hle-schaos-%04d", seq)
+		owner := m.ReadOwner(shard.SlotOf(minidb.S(id)))
+		ids := &c.shard0IDs
+		if owner != m.Home() {
+			ids = &c.shard1IDs
+		}
+		if len(*ids) >= 8 {
+			continue
+		}
+		h := &schema.HLE{
+			ID: id, Version: 1, Owner: "sci", Public: true,
+			KindHint: []string{"flare", "burst"}[seq%2],
+			TStart:   float64(seq), TStop: float64(seq + 1),
+			Day: int64(seq % 8), CalibVersion: 1,
+		}
+		if _, err := boot.Insert(schema.TableHLE, h.ToRow()); err != nil {
+			return nil, err
+		}
+		*ids = append(*ids, id)
+	}
+
+	c.gw = cluster.NewGateway(cluster.GatewayOptions{
+		HealthInterval:   healthInterval,
+		RetryBackoff:     retryBackoff,
+		BreakerThreshold: 2,
+		BreakerCooldown:  breakerCool,
+		Logger:           logger,
+	})
+	for i := 0; i < 2; i++ {
+		shardEngines := make(map[int]minidb.Engine, chaosShards)
+		for sid := 0; sid < chaosShards; sid++ {
+			opts := dbnet.ClientOptions{
+				Addr:        c.srvs[sid].Addr(),
+				DialTimeout: dbCallTimeout,
+				CallTimeout: dbCallTimeout,
+			}
+			if sid == 1 {
+				opts.Dial = c.rig.Dial
+			}
+			cl, err := dbnet.Dial(opts)
+			if err != nil {
+				return nil, err
+			}
+			c.clients = append(c.clients, cl)
+			shardEngines[sid] = cl
+		}
+		router, err := shard.NewRouter(shard.Options{
+			Shards:          shardEngines,
+			BreakerCooldown: breakerCool,
+			Logger:          logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := cluster.StartReplica(cluster.ReplicaOptions{
+			Name: fmt.Sprintf("sreplica-%d", i), DB: router, Logger: logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, rep)
+		c.gw.AddReplica(rep.Name(), dm.NewRemote(rep.URL(), nil))
+	}
+	ok = true
+	return c, nil
+}
+
+// timedCall is cell.timed's free-function twin for the sharded cell: it
+// enforces invariant 1, folds the classified outcome into res, and hands
+// the classification back so callers can layer stricter demands on it.
+func timedCall(res *Result, what string, fn func() error) (string, error) {
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	res.Requests++
+	if wall > res.MaxWall {
+		res.MaxWall = wall
+	}
+	if wall > reqDeadline {
+		return "", fmt.Errorf("%s: request took %v, past the %v deadline (err=%v)", what, wall, reqDeadline, err)
+	}
+	o := outcome(err)
+	switch o {
+	case "ok":
+		res.OK++
+	case "degraded":
+		res.Degraded++
+	case "typed":
+		res.TypedErr++
+	default:
+		return "", fmt.Errorf("%s: error outside the failure model: %v", what, err)
+	}
+	return o, nil
+}
+
+// healthyRead is invariant 4: a point read keyed to shard 0 must be
+// served live whatever is happening to shard 1.
+func (c *shardedCell) healthyRead(res *Result, i int) error {
+	id := c.shard0IDs[i%len(c.shard0IDs)]
+	o, err := timedCall(res, "healthy-shard read", func() error {
+		_, err := c.gw.GetHLE("", c.ip, id)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if o != "ok" {
+		return fmt.Errorf("healthy-shard read %s was %q, want live: one dead shard poisoned single-shard traffic", id, o)
+	}
+	res.HealthyOK++
+	return nil
+}
+
+// write creates one marker-carrying HLE through the gateway, with the
+// same re-auth-on-denial contract as the unsharded cell. Sharded twist:
+// the new row's shard follows its generated id's hash, so during a
+// shard-1 fault roughly half the writes fail typed — and their markers
+// must still never surface twice.
+func (c *shardedCell) write() error {
+	c.markerSeq++
+	m := marker{t: 60000 + float64(c.markerSeq)}
+	err := c.createHLE(m.t)
+	if dm.IsDenied(err) {
+		si, aerr := c.gw.Authenticate("sci", "pw", c.ip, dm.SessionHLE)
+		if aerr != nil {
+			c.markers = append(c.markers, m)
+			return aerr
+		}
+		c.token = si.Token
+		err = c.createHLE(m.t)
+	}
+	m.acked = err == nil
+	c.markers = append(c.markers, m)
+	return err
+}
+
+func (c *shardedCell) createHLE(t float64) error {
+	_, err := c.gw.CreateHLE(c.token, c.ip, &schema.HLE{
+		KindHint: "flare", Day: 1, TStart: t, TStop: t + 0.5,
+		Version: 1, CalibVersion: 1,
+	})
+	return err
+}
+
+// warm brings the sharded cell to a healthy baseline: scatter queries,
+// counts, point reads on both shards, a session and a write — and it
+// primes the gateway's stale cache so hard faults can degrade.
+func (c *shardedCell) warm() error {
+	for i := 0; i < 4; i++ {
+		if _, err := c.gw.QueryHLEs("", c.ip, filterFor(i)); err != nil {
+			return fmt.Errorf("warm scatter query %d: %w", i, err)
+		}
+		if _, err := c.gw.CountHLEs("", c.ip, filterFor(i)); err != nil {
+			return fmt.Errorf("warm scatter count %d: %w", i, err)
+		}
+	}
+	for _, id := range append(append([]string(nil), c.shard0IDs...), c.shard1IDs...) {
+		if _, err := c.gw.GetHLE("", c.ip, id); err != nil {
+			return fmt.Errorf("warm point read %s: %w", id, err)
+		}
+	}
+	si, err := c.gw.Authenticate("sci", "pw", c.ip, dm.SessionHLE)
+	if err != nil {
+		return fmt.Errorf("warm auth: %w", err)
+	}
+	c.token = si.Token
+	if err := c.write(); err != nil {
+		return fmt.Errorf("warm write: %w", err)
+	}
+	return nil
+}
+
+// converge waits for the healed sharded cell to serve a fully live
+// round — scatter query and count, point reads on BOTH shards, a write
+// accepted — proving the router's shard-1 breakers closed and the
+// partitioned shard rejoined.
+func (c *shardedCell) converge() error {
+	deadline := time.Now().Add(convergeDeadline)
+	var last error
+	for time.Now().Before(deadline) {
+		last = func() error {
+			if _, err := c.gw.QueryHLEs("", c.ip, filterFor(0)); err != nil {
+				return fmt.Errorf("scatter query: %w", err)
+			}
+			if _, err := c.gw.CountHLEs("", c.ip, filterFor(1)); err != nil {
+				return fmt.Errorf("scatter count: %w", err)
+			}
+			for _, id := range []string{c.shard0IDs[0], c.shard1IDs[0]} {
+				if _, err := c.gw.GetHLE("", c.ip, id); err != nil {
+					return fmt.Errorf("point read %s: %w", id, err)
+				}
+			}
+			if err := c.write(); err != nil {
+				return fmt.Errorf("write: %w", err)
+			}
+			return nil
+		}()
+		if last == nil {
+			return nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return fmt.Errorf("sharded cell did not converge within %v after heal: %v", convergeDeadline, last)
+}
+
+// verifyMarkers checks invariant 2 across BOTH shard databases: a marker
+// may live on either shard (its row's id decides), must appear at most
+// once in the union, and exactly once if acknowledged.
+func (c *shardedCell) verifyMarkers() error {
+	for _, m := range c.markers {
+		n := 0
+		for sid, db := range c.dbs {
+			res, err := db.Query(minidb.Query{
+				Table: schema.TableHLE,
+				Where: []minidb.Pred{{Col: "tstart", Op: minidb.OpEq, Val: minidb.F(m.t)}},
+			})
+			if err != nil {
+				return fmt.Errorf("marker query on shard %d: %w", sid, err)
+			}
+			n += len(res.Rows)
+		}
+		if n > 1 {
+			return fmt.Errorf("marker %v: %d rows across shards — a mutation was executed twice", m.t, n)
+		}
+		if m.acked && n != 1 {
+			return fmt.Errorf("marker %v: acknowledged write has %d rows, want 1", m.t, n)
+		}
+	}
+	return nil
+}
+
+// RunSharded executes one schedule against the sharded cell and checks
+// invariants 1-4. Schedules from ShardSchedules() only (the hop is fixed
+// to shard 1's dbnet link).
+func RunSharded(s Schedule, cfg Config) (*Result, error) {
+	if s.Hop != HopShard {
+		return nil, fmt.Errorf("RunSharded wants a %s schedule, got hop %s", HopShard, s.Hop)
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	c, err := newShardedCell(cfg.Logger)
+	if err != nil {
+		return nil, fmt.Errorf("sharded cell: %w", err)
+	}
+	defer c.close()
+	if err := c.warm(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Schedule: s}
+	c.rig.SetFault(c.rig.OpCount()+s.At, s.Mode)
+
+	scatterOffLive := 0 // scatter requests answered degraded or typed
+	start := time.Now()
+	for r := 0; r < rounds || time.Since(start) < cfg.MinFaultTime; r++ {
+		i := r
+		if err := c.healthyRead(res, i); err != nil {
+			return res, err
+		}
+		o, err := timedCall(res, "scatter query", func() error {
+			_, err := c.gw.QueryHLEs("", c.ip, filterFor(i))
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		if o != "ok" {
+			scatterOffLive++
+		}
+		o, err = timedCall(res, "scatter count", func() error {
+			_, err := c.gw.CountHLEs("", c.ip, filterFor(i+1))
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		if o != "ok" {
+			scatterOffLive++
+		}
+		// Point read on the partitioned shard: any classified outcome —
+		// live before the fault fires, degraded from the stale cache or
+		// typed after — as long as it stays inside the deadline.
+		if _, err := timedCall(res, "sick-shard read", func() error {
+			_, err := c.gw.GetHLE("", c.ip, c.shard1IDs[i%len(c.shard1IDs)])
+			return err
+		}); err != nil {
+			return res, err
+		}
+		var werr error
+		if _, err := timedCall(res, "write", func() error {
+			werr = c.write()
+			return werr
+		}); err != nil {
+			return res, err
+		}
+		if werr == nil {
+			res.WritesAcked++
+		} else {
+			res.WritesFailed++
+		}
+	}
+	// Pump scatter traffic over the rigged hop until the armed fault
+	// fires (healthy-shard reads never touch it, so only scatter rounds
+	// advance the op counter).
+	for p := 0; !c.rig.Faulted() && p < maxPumpOps; p++ {
+		o, err := timedCall(res, "pump scatter", func() error {
+			_, err := c.gw.QueryHLEs("", c.ip, filterFor(p))
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		if o != "ok" {
+			scatterOffLive++
+		}
+	}
+	res.Fired = c.rig.Faulted()
+
+	// Post-fire probes: with the fault definitely live, invariant 4 must
+	// hold right now, and hard fault shapes must push scatter traffic off
+	// the live path.
+	if res.Fired {
+		for p := 0; p < 2; p++ {
+			if err := c.healthyRead(res, p); err != nil {
+				return res, err
+			}
+			o, err := timedCall(res, "post-fire scatter", func() error {
+				_, err := c.gw.CountHLEs("", c.ip, filterFor(p))
+				return err
+			})
+			if err != nil {
+				return res, err
+			}
+			if o != "ok" {
+				scatterOffLive++
+			}
+		}
+	}
+	c.rig.ClearFault()
+
+	if hardMode(s.Mode) && scatterOffLive == 0 {
+		return res, fmt.Errorf("%s fired but every scatter request stayed live — the fault never bit", s.Mode)
+	}
+
+	healed := time.Now()
+	if err := c.converge(); err != nil {
+		return res, err
+	}
+	res.Converged = time.Since(healed)
+
+	if err := c.verifyMarkers(); err != nil {
+		return res, err
+	}
+	if !res.Fired {
+		return res, fmt.Errorf("armed fault at op +%d never fired (%d hop ops total) — the schedule tested nothing", s.At, c.rig.OpCount())
+	}
+	return res, nil
+}

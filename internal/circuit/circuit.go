@@ -1,0 +1,134 @@
+// Package circuit provides the three-state circuit breaker shared by the
+// cluster gateway (per-replica, PR 5) and the shard router (per-shard).
+// A breaker opens after a threshold of consecutive transport failures,
+// holds requests off for a cooldown, then admits exactly one probe at a
+// time (half-open) until a success closes it again.
+package circuit
+
+import (
+	"sync"
+	"time"
+)
+
+// state is the classic three-state circuit.
+type state int32
+
+const (
+	stateClosed state = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s state) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// Breaker opens after threshold consecutive transport failures, holds
+// requests off for cooldown, then admits exactly one probe at a time
+// (half-open) until a success closes it again.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    state
+	fails    int
+	openedAt time.Time
+	opens    int64 // lifetime open transitions, for /stats
+}
+
+// New returns a closed breaker that opens after threshold consecutive
+// failures and re-probes after cooldown.
+func New(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Available is the non-mutating routing check: would a call be admitted?
+func (b *Breaker) Available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed, stateHalfOpen:
+		return b.state == stateClosed // half-open: the probe slot is taken
+	default:
+		return time.Since(b.openedAt) >= b.cooldown
+	}
+}
+
+// TryAcquire admits a call. Closed circuits admit freely; an open circuit
+// past its cooldown converts to half-open and admits the caller as its
+// single probe; otherwise the call is refused. Every true return must be
+// answered by Success or Failure.
+func (b *Breaker) TryAcquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateHalfOpen:
+		return false // a probe is already in flight
+	default: // open
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		return true
+	}
+}
+
+// Success reports a completed call that proves the peer answers.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Failure reports a transport failure. A failed half-open probe re-opens
+// immediately; consecutive closed-state failures open at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.state = stateOpen
+		b.openedAt = time.Now()
+		b.opens++
+	case stateClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = time.Now()
+			b.opens++
+		}
+	default: // already open (a straggler from before it opened)
+	}
+}
+
+// Reset closes the circuit outright — an active health prober has fresh
+// evidence the peer answers.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	b.state = stateClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Snapshot returns (state name, consecutive fails, lifetime opens).
+func (b *Breaker) Snapshot() (string, int, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state
+	if st == stateOpen && time.Since(b.openedAt) >= b.cooldown {
+		st = stateHalfOpen // cosmetically: next call will probe
+	}
+	return st.String(), b.fails, b.opens
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/dm"
 	"repro/internal/schema"
 )
@@ -69,7 +70,7 @@ type Pinger interface{ Ping() error }
 type member struct {
 	name string
 	api  dm.API
-	bk   *breaker
+	bk   *circuit.Breaker
 
 	healthy  atomic.Bool
 	inflight atomic.Int64
@@ -170,7 +171,7 @@ func NewGateway(opts GatewayOptions) *Gateway {
 // AddReplica registers a replica endpoint under a unique name.
 func (g *Gateway) AddReplica(name string, api dm.API) {
 	m := &member{name: name, api: api,
-		bk: newBreaker(g.opts.BreakerThreshold, g.opts.BreakerCooldown)}
+		bk: circuit.New(g.opts.BreakerThreshold, g.opts.BreakerCooldown)}
 	m.healthy.Store(true)
 	g.mu.Lock()
 	g.members = append(g.members, m)
@@ -202,14 +203,14 @@ func (g *Gateway) Members() []MemberStatus {
 	defer g.mu.RUnlock()
 	out := make([]MemberStatus, 0, len(g.members))
 	for _, m := range g.members {
-		circuit, fails, opens := m.bk.snapshot()
+		bkState, fails, opens := m.bk.Snapshot()
 		out = append(out, MemberStatus{
 			Name:         m.name,
 			Healthy:      m.healthy.Load(),
 			Inflight:     m.inflight.Load(),
 			Served:       m.served.Load(),
 			Failed:       m.failed.Load(),
-			Circuit:      circuit,
+			Circuit:      bkState,
 			CircuitFails: fails,
 			CircuitOpens: opens,
 		})
@@ -225,17 +226,17 @@ func (g *Gateway) Failovers() int64 { return g.failovers.Load() }
 // Status is the gateway's full resilience snapshot, for /stats pages and
 // shutdown logs.
 type Status struct {
-	Members         []MemberStatus
-	Shed            int64   // requests dropped by admission control
-	Failovers       int64   // calls retried on another replica
-	RetriesDenied   int64   // retries refused by the dry retry budget
-	RetryTokens     float64 // retry budget tokens currently available
-	RetryBurst      int     // retry budget capacity
-	DegradedServes  int64   // reads answered from the stale cache
-	SessionDemotions int64  // sessions demoted because their pinned replica died
-	WritesFailedFast int64  // mutations failed fast on DB unavailability
-	WriteEpoch      uint64  // writes accepted through this gateway
-	StaleEntries    int     // anonymous results held for degraded serving
+	Members          []MemberStatus
+	Shed             int64   // requests dropped by admission control
+	Failovers        int64   // calls retried on another replica
+	RetriesDenied    int64   // retries refused by the dry retry budget
+	RetryTokens      float64 // retry budget tokens currently available
+	RetryBurst       int     // retry budget capacity
+	DegradedServes   int64   // reads answered from the stale cache
+	SessionDemotions int64   // sessions demoted because their pinned replica died
+	WritesFailedFast int64   // mutations failed fast on DB unavailability
+	WriteEpoch       uint64  // writes accepted through this gateway
+	StaleEntries     int     // anonymous results held for degraded serving
 }
 
 // Status reports every resilience counter in one consistent-enough view.
@@ -298,7 +299,7 @@ func (g *Gateway) healthLoop() {
 					// Fresh evidence the replica answers: close its
 					// circuit too, or the breaker would gate re-entry
 					// behind another cooldown.
-					m.bk.reset()
+					m.bk.Reset()
 					g.logf("cluster: replica %s back in rotation", m.name)
 				} else {
 					g.logf("cluster: replica %s failed health check, removed from rotation", m.name)
@@ -326,7 +327,7 @@ func (g *Gateway) availableMembers() []*member {
 	defer g.mu.RUnlock()
 	out := make([]*member, 0, len(g.members))
 	for _, m := range g.members {
-		if m.healthy.Load() && m.bk.available() {
+		if m.healthy.Load() && m.bk.Available() {
 			out = append(out, m)
 		}
 	}
@@ -427,7 +428,7 @@ func (g *Gateway) route(affinity, token string, mutation bool, fn func(api dm.AP
 		pinned := g.pins[token]
 		g.pinMu.Unlock()
 		if pinned != nil {
-			if pinned.healthy.Load() && pinned.bk.tryAcquire() {
+			if pinned.healthy.Load() && pinned.bk.TryAcquire() {
 				err := g.callMember(pinned, fn)
 				if err == nil || !dm.IsUnreachable(err) {
 					return err
@@ -469,7 +470,7 @@ func (g *Gateway) route(affinity, token string, mutation bool, fn func(api dm.AP
 				break
 			}
 		}
-		if !m.bk.tryAcquire() {
+		if !m.bk.TryAcquire() {
 			continue
 		}
 		if attempt > 0 {
@@ -527,7 +528,7 @@ func (g *Gateway) callMember(m *member, fn func(api dm.API) error) error {
 	err := fn(m.api)
 	if err == nil || !dm.IsUnreachable(err) {
 		m.served.Add(1)
-		m.bk.success()
+		m.bk.Success()
 	}
 	return err
 }
@@ -538,7 +539,7 @@ func (g *Gateway) callMember(m *member, fn func(api dm.API) error) error {
 // probes again. Sessions pinned to it demote either way.
 func (g *Gateway) noteFailure(m *member) {
 	m.failed.Add(1)
-	m.bk.failure()
+	m.bk.Failure()
 	if m.healthy.Swap(false) {
 		g.logf("cluster: replica %s unreachable, removed from rotation", m.name)
 	}

@@ -9,135 +9,13 @@ import (
 )
 
 // Resilience machinery the chaos harness demanded: a per-replica circuit
-// breaker (stop hammering a replica that keeps failing; probe it gently),
-// a global retry budget (failover is a multiplier on offered load — cap
-// it before a partial outage becomes a retry storm), and an epoch-tagged
-// stale cache (when the shared database is gone, answering yesterday's
-// browse query beats answering nothing — the paper's archive is
-// append-mostly, so stale reads are wrong only in what they omit).
-
-// --- circuit breaker ---
-
-// breakerState is the classic three-state circuit.
-type breakerState int32
-
-const (
-	breakerClosed breakerState = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-func (s breakerState) String() string {
-	switch s {
-	case breakerClosed:
-		return "closed"
-	case breakerOpen:
-		return "open"
-	case breakerHalfOpen:
-		return "half-open"
-	}
-	return "?"
-}
-
-// breaker opens after threshold consecutive transport failures, holds
-// requests off for cooldown, then admits exactly one probe at a time
-// (half-open) until a success closes it again.
-type breaker struct {
-	threshold int
-	cooldown  time.Duration
-
-	mu       sync.Mutex
-	state    breakerState
-	fails    int
-	openedAt time.Time
-	opens    int64 // lifetime open transitions, for /stats
-}
-
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown}
-}
-
-// available is the non-mutating routing check: would a call be admitted?
-func (b *breaker) available() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed, breakerHalfOpen:
-		return b.state == breakerClosed // half-open: the probe slot is taken
-	default:
-		return time.Since(b.openedAt) >= b.cooldown
-	}
-}
-
-// tryAcquire admits a call. Closed circuits admit freely; an open circuit
-// past its cooldown converts to half-open and admits the caller as its
-// single probe; otherwise the call is refused. Every true return must be
-// answered by success() or failure().
-func (b *breaker) tryAcquire() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerClosed:
-		return true
-	case breakerHalfOpen:
-		return false // a probe is already in flight
-	default: // open
-		if time.Since(b.openedAt) < b.cooldown {
-			return false
-		}
-		b.state = breakerHalfOpen
-		return true
-	}
-}
-
-// success reports a completed call that proves the replica answers.
-func (b *breaker) success() {
-	b.mu.Lock()
-	b.state = breakerClosed
-	b.fails = 0
-	b.mu.Unlock()
-}
-
-// failure reports a transport failure. A failed half-open probe re-opens
-// immediately; consecutive closed-state failures open at the threshold.
-func (b *breaker) failure() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	switch b.state {
-	case breakerHalfOpen:
-		b.state = breakerOpen
-		b.openedAt = time.Now()
-		b.opens++
-	case breakerClosed:
-		b.fails++
-		if b.fails >= b.threshold {
-			b.state = breakerOpen
-			b.openedAt = time.Now()
-			b.opens++
-		}
-	default: // already open (a straggler from before it opened)
-	}
-}
-
-// reset closes the circuit outright — the active health prober has fresh
-// evidence the replica answers.
-func (b *breaker) reset() {
-	b.mu.Lock()
-	b.state = breakerClosed
-	b.fails = 0
-	b.mu.Unlock()
-}
-
-// snapshot returns (state name, consecutive fails, lifetime opens).
-func (b *breaker) snapshot() (string, int, int64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.state
-	if st == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
-		st = breakerHalfOpen // cosmetically: next call will probe
-	}
-	return st.String(), b.fails, b.opens
-}
+// breaker (stop hammering a replica that keeps failing; probe it gently —
+// the breaker itself lives in internal/circuit, shared with the shard
+// router), a global retry budget (failover is a multiplier on offered
+// load — cap it before a partial outage becomes a retry storm), and an
+// epoch-tagged stale cache (when the shared database is gone, answering
+// yesterday's browse query beats answering nothing — the paper's archive
+// is append-mostly, so stale reads are wrong only in what they omit).
 
 // --- retry budget ---
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/circuit"
 	"repro/internal/dbnet"
 	"repro/internal/dm"
 	"repro/internal/minidb"
@@ -18,59 +19,59 @@ import (
 // --- circuit breaker unit tests ---
 
 func TestBreakerLifecycle(t *testing.T) {
-	b := newBreaker(3, 50*time.Millisecond)
+	b := circuit.New(3, 50*time.Millisecond)
 
 	// Closed admits freely; failures below the threshold keep it closed.
 	for i := 0; i < 2; i++ {
-		if !b.tryAcquire() {
+		if !b.TryAcquire() {
 			t.Fatal("closed breaker refused a call")
 		}
-		b.failure()
+		b.Failure()
 	}
-	if st, fails, _ := b.snapshot(); st != "closed" || fails != 2 {
+	if st, fails, _ := b.Snapshot(); st != "closed" || fails != 2 {
 		t.Fatalf("state %s fails %d, want closed/2", st, fails)
 	}
 
 	// The threshold failure opens it; an open breaker refuses.
-	if !b.tryAcquire() {
+	if !b.TryAcquire() {
 		t.Fatal("closed breaker refused")
 	}
-	b.failure()
-	if st, _, opens := b.snapshot(); st != "open" || opens != 1 {
+	b.Failure()
+	if st, _, opens := b.Snapshot(); st != "open" || opens != 1 {
 		t.Fatalf("state %s opens %d, want open/1", st, opens)
 	}
-	if b.tryAcquire() {
+	if b.TryAcquire() {
 		t.Fatal("open breaker admitted a call inside cooldown")
 	}
 
 	// After cooldown exactly one probe is admitted (half-open).
 	time.Sleep(60 * time.Millisecond)
-	if !b.tryAcquire() {
+	if !b.TryAcquire() {
 		t.Fatal("breaker past cooldown refused the probe")
 	}
-	if b.tryAcquire() {
+	if b.TryAcquire() {
 		t.Fatal("half-open breaker admitted a second probe")
 	}
 
 	// A failed probe re-opens; a later successful probe closes.
-	b.failure()
-	if st, _, opens := b.snapshot(); st != "open" || opens != 2 {
+	b.Failure()
+	if st, _, opens := b.Snapshot(); st != "open" || opens != 2 {
 		t.Fatalf("after failed probe: state %s opens %d, want open/2", st, opens)
 	}
 	time.Sleep(60 * time.Millisecond)
-	if !b.tryAcquire() {
+	if !b.TryAcquire() {
 		t.Fatal("re-opened breaker refused probe after cooldown")
 	}
-	b.success()
-	if st, fails, _ := b.snapshot(); st != "closed" || fails != 0 {
+	b.Success()
+	if st, fails, _ := b.Snapshot(); st != "closed" || fails != 0 {
 		t.Fatalf("after successful probe: state %s fails %d, want closed/0", st, fails)
 	}
 }
 
 func TestBreakerSingleProbeUnderRace(t *testing.T) {
-	b := newBreaker(1, 10*time.Millisecond)
-	b.tryAcquire()
-	b.failure() // open
+	b := circuit.New(1, 10*time.Millisecond)
+	b.TryAcquire()
+	b.Failure() // open
 	time.Sleep(20 * time.Millisecond)
 
 	// Many goroutines race for the half-open slot: exactly one wins.
@@ -80,7 +81,7 @@ func TestBreakerSingleProbeUnderRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if b.tryAcquire() {
+			if b.TryAcquire() {
 				admitted.Add(1)
 			}
 		}()

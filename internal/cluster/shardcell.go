@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/dbnet"
+	"repro/internal/dm"
+	"repro/internal/minidb"
+	"repro/internal/shard"
+)
+
+// ShardCellOptions configures an N-shard × M-replica cell: M identical
+// DM replicas, each routing through its own shard.Router over dbnet
+// clients to the N shard databases, fronted by one gateway. This is the
+// deployment shape that breaks the Figure 5 ceiling — the single shared
+// database becomes N databases, each with its own throughput budget.
+type ShardCellOptions struct {
+	// ShardAddrs are the dbnet server addresses, index = shard id.
+	// Required, non-empty.
+	ShardAddrs []string
+	// Replicas is the middle-tier node count (default 1).
+	Replicas int
+	// Capacity is the per-replica load model (zero disables it).
+	Capacity Capacity
+	// Gateway configures the fronting gateway.
+	Gateway GatewayOptions
+	// CallTimeout bounds each dbnet dial and call (0 = dbnet defaults).
+	CallTimeout time.Duration
+	// NamePrefix names the replicas ("<prefix>-<i>"; default "shardrep").
+	NamePrefix string
+	// Logger receives cell noise. Nil discards it.
+	Logger *log.Logger
+}
+
+// ShardCell is a running N-shard × M-replica deployment.
+type ShardCell struct {
+	// GW fronts the replicas; it is the cell's client surface.
+	GW *Gateway
+	// Replicas are the live middle-tier nodes.
+	Replicas []*Replica
+
+	// routers, one per replica; closing a router closes its dbnet
+	// clients, so the cell tracks no client handles of its own.
+	routers []*shard.Router
+}
+
+// StartShardCell dials every shard from every replica and brings the
+// cell up. The shard databases themselves (and their dbnet servers) are
+// the caller's: they usually outlive several cells in a sweep.
+func StartShardCell(o ShardCellOptions) (*ShardCell, error) {
+	if len(o.ShardAddrs) == 0 {
+		return nil, fmt.Errorf("cluster: shard cell needs at least one shard address")
+	}
+	replicas := o.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	prefix := o.NamePrefix
+	if prefix == "" {
+		prefix = "shardrep"
+	}
+	c := &ShardCell{GW: NewGateway(o.Gateway)}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+	for i := 0; i < replicas; i++ {
+		engines := make(map[int]minidb.Engine, len(o.ShardAddrs))
+		closePartial := func() {
+			for _, e := range engines {
+				if cl, isClient := e.(*dbnet.Client); isClient {
+					cl.Close()
+				}
+			}
+		}
+		for sid, addr := range o.ShardAddrs {
+			cl, err := dbnet.Dial(dbnet.ClientOptions{
+				Addr:        addr,
+				DialTimeout: o.CallTimeout,
+				CallTimeout: o.CallTimeout,
+			})
+			if err != nil {
+				closePartial()
+				return nil, fmt.Errorf("cluster: replica %d dial shard %d: %w", i, sid, err)
+			}
+			engines[sid] = cl
+		}
+		router, err := shard.NewRouter(shard.Options{Shards: engines, Logger: o.Logger})
+		if err != nil {
+			closePartial()
+			return nil, fmt.Errorf("cluster: replica %d router: %w", i, err)
+		}
+		c.routers = append(c.routers, router)
+		rep, err := StartReplica(ReplicaOptions{
+			Name:     fmt.Sprintf("%s-%d", prefix, i),
+			DB:       router,
+			Capacity: o.Capacity,
+			Logger:   o.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		c.Replicas = append(c.Replicas, rep)
+		c.GW.AddReplica(rep.Name(), dm.NewRemote(rep.URL(), nil))
+	}
+	ok = true
+	return c, nil
+}
+
+// Routers exposes the per-replica shard routers (tests and diagnostics).
+func (c *ShardCell) Routers() []*shard.Router { return c.routers }
+
+// Close stops the gateway, the replicas and every router (which closes
+// the dbnet clients under it). The shard servers and databases stay up.
+func (c *ShardCell) Close() {
+	if c.GW != nil {
+		c.GW.Close()
+	}
+	for _, r := range c.Replicas {
+		r.Stop()
+	}
+	for _, rt := range c.routers {
+		rt.Close()
+	}
+}

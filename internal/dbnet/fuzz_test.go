@@ -25,10 +25,10 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add(frame([]byte{opPing}))
 	f.Add(frame(nil))
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // 4 GiB length prefix
-	f.Add([]byte{0x10, 0x00, 0x00, 0x00, opQuery})    // truncated: promises 16, delivers 1
-	f.Add([]byte{0x01, 0x00})                         // truncated header
-	f.Add(frame([]byte{opDeadline, 0x80}))            // unterminated budget uvarint
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})          // 4 GiB length prefix
+	f.Add([]byte{0x10, 0x00, 0x00, 0x00, opQuery}) // truncated: promises 16, delivers 1
+	f.Add([]byte{0x01, 0x00})                      // truncated header
+	f.Add(frame([]byte{opDeadline, 0x80}))         // unterminated budget uvarint
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := readFrame(bytes.NewReader(data), 1<<16)
 		if err != nil {

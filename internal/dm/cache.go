@@ -58,6 +58,15 @@ func (c *queryCache) put(key string, epoch uint64, val any) {
 	c.m[key] = cacheEntry{epoch: epoch, val: val}
 }
 
+// queryEpocher is the shard-aware refinement of TableEpoch: a sharded
+// engine (internal/shard.Router) scopes the epoch to the shards the query
+// can actually touch, so a commit on shard k stops invalidating cached
+// results that only depend on other shards. Discovered structurally so the
+// DM keeps zero compile-time knowledge of the sharding layer.
+type queryEpocher interface {
+	QueryEpoch(minidb.Query) uint64
+}
+
 // cachedQuery runs q through the cache. Results returned from the cache are
 // SHARED between callers: treat them as immutable (read rows, never write).
 // Only deterministic queries belong here — anything keyed on sessions is
@@ -66,7 +75,12 @@ func (d *DM) cachedQuery(q minidb.Query) (*minidb.Result, error) {
 	db := d.routeDB(q.Table)
 	// Epoch first, then lookup/query: a commit racing past this point makes
 	// the stored entry a future miss rather than a stale hit.
-	epoch := db.TableEpoch(q.Table)
+	var epoch uint64
+	if qe, ok := db.(queryEpocher); ok {
+		epoch = qe.QueryEpoch(q)
+	} else {
+		epoch = db.TableEpoch(q.Table)
+	}
 	key := fingerprint(q)
 	if v, ok := d.cache.get(key, epoch); ok {
 		d.stats.QueryCacheHits.Add(1)

@@ -28,8 +28,8 @@ type rpcEnvelope struct {
 }
 
 type rpcReply struct {
-	Error  string          `json:"error,omitempty"`
-	Denied bool            `json:"denied,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Denied bool   `json:"denied,omitempty"`
 	// Unavailable flags errors caused by the shared database tier not
 	// answering, so the caller can distinguish "this replica's database
 	// path is dead" (true) from "this replica rejected the request"

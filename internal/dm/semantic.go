@@ -94,10 +94,23 @@ func (d *DM) CountHLEs(s *Session, f HLEFilter) (int, error) {
 // GetHLE fetches one event by id, enforcing visibility.
 func (d *DM) GetHLE(s *Session, id string) (*schema.HLE, error) {
 	d.stats.Requests.Add(1)
-	res, err := d.query(minidb.Query{
+	// Point reads are the hottest catalog path. Against a sharded engine
+	// they go through the cache: per-shard epochs mean a commit on another
+	// shard is not an invalidation, so entries stay warm under mixed load.
+	// Against a single engine the table-level epoch would evict them on
+	// every hle write anyway, so the uncached path keeps the §7.2 page
+	// anatomy (7 queries per browse request) exactly as calibrated.
+	q := minidb.Query{
 		Table: schema.TableHLE,
 		Where: []minidb.Pred{{Col: "hle_id", Op: minidb.OpEq, Val: minidb.S(id)}},
-	})
+	}
+	var res *minidb.Result
+	var err error
+	if _, sharded := d.routeDB(q.Table).(queryEpocher); sharded {
+		res, err = d.cachedQuery(q)
+	} else {
+		res, err = d.query(q)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -73,6 +73,38 @@ func (b *Batch) Delete(table string, rowid int64) {
 func (b *Batch) Len() int     { return len(b.ops) }
 func (b *Batch) Inserts() int { return b.inserts }
 
+// BatchOpKind classifies one queued batch mutation for external observers.
+type BatchOpKind uint8
+
+const (
+	BatchInsert BatchOpKind = iota
+	BatchUpdate
+	BatchDelete
+)
+
+// BatchOp is the exported view of one queued mutation. The shard router
+// partitions a Batch into per-shard sub-batches through this view; Row is
+// the batch's own slice, not a copy, so observers must not mutate it.
+type BatchOp struct {
+	Kind  BatchOpKind
+	Table string
+	RowID int64
+	Row   Row
+}
+
+// Op returns the i'th queued mutation (queue order, 0 <= i < Len).
+func (b *Batch) Op(i int) BatchOp {
+	op := b.ops[i]
+	k := BatchInsert
+	switch op.kind {
+	case walUpdate:
+		k = BatchUpdate
+	case walDelete:
+		k = BatchDelete
+	}
+	return BatchOp{Kind: k, Table: op.table, RowID: op.rowid, Row: op.row}
+}
+
 // applyReq is one committer waiting in the group-commit queue.
 type applyReq struct {
 	batch  *Batch

@@ -20,6 +20,7 @@ import (
 	"repro/internal/minidb"
 	"repro/internal/pl"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/synoptic"
 	"repro/internal/telemetry"
 )
@@ -646,5 +647,59 @@ func TestBrowseDegradedBanner(t *testing.T) {
 	}
 	if s.Stats().Errors.Load() != 0 {
 		t.Fatalf("degraded serve counted as error")
+	}
+}
+
+// TestStatsShardSection: when the DM's metadata engine is a shard
+// router, /stats surfaces the routing split, the map version and
+// per-shard circuit state alongside the usual sections.
+func TestStatsShardSection(t *testing.T) {
+	engines := make(map[int]minidb.Engine, 2)
+	for i := 0; i < 2; i++ {
+		db, err := minidb.Open("", schema.AllSchemas()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		engines[i] = db
+	}
+	router, err := shard.NewRouter(shard.Options{Shards: engines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dm.Open(dm.Options{Node: "shard-web", MetaDB: router,
+		Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Bootstrap("secret"); err != nil {
+		t.Fatal(err)
+	}
+	api := dm.Local{DM: d}
+	s := New(Config{API: api, LocalDM: d, Node: "shard-web"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Drive one scatter query through the stack so the counters are
+	// non-zero when the page renders.
+	if _, err := api.QueryHLEs("", "10.9.0.1", dm.HLEFilter{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"Shard router", "shard map version", "single-shard ops",
+		"scatter-gather ops", "shard 0", "shard 1", "circuit closed",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("stats page missing %q", want)
+		}
 	}
 }

@@ -1,9 +1,12 @@
 #!/bin/sh
-# Full verification: vet, build, the full test suite, a short-mode race
-# lane, the crash-recovery and network-chaos harnesses under -race, one
-# iteration each of the parallel query and ingest benchmarks (smoke-checks
-# the concurrent read and fast write paths), and short runs of the WAL and
-# dbnet wire-decode fuzz targets.
+# Full verification: vet, build, the full test suite (which includes the
+# sharded-cell smoke and the scaled-down Figure 5 sharded sweep with its
+# bit-identical scatter-gather oracle), a short-mode race lane, the
+# crash-recovery and network-chaos harnesses under -race (both enumerate
+# sharded schedules too), one iteration each of the parallel query and
+# ingest benchmarks (smoke-checks the concurrent read and fast write
+# paths), and short runs of the WAL, dbnet wire-decode, columnar segment
+# and shard map/merge fuzz targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,7 +44,9 @@ for spec in \
 	"./internal/minidb/ FuzzReadWal" \
 	"./internal/dbnet/ FuzzReadFrame" \
 	"./internal/dbnet/ FuzzDispatch" \
-	"./internal/colseg/ FuzzDecodeSegment"; do
+	"./internal/colseg/ FuzzDecodeSegment" \
+	"./internal/shard/ FuzzDecodeShardMap" \
+	"./internal/shard/ FuzzMergeReplies"; do
 	pkg=${spec% *}
 	target=${spec#* }
 	echo "==> fuzz smoke: $pkg $target ($FUZZTIME)"
