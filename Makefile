@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded torture chaos fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded bench-timetravel torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ bench-chaos:
 bench-analytics:
 	$(GO) run ./cmd/hedc-bench -exp analytics -json .
 
+# bench-timetravel measures as-of reads over the lake's commit journal
+# (open + read latency by commit depth, the compaction/GC win, and a
+# commit-replay oracle check) and records BENCH_lake.json.
+bench-timetravel:
+	$(GO) run ./cmd/hedc-bench -exp timetravel -json .
+
 # bench-fig5sharded measures the N-shard x M-replica cell against the
 # single-shard Figure 5 ceiling and records BENCH_fig5sharded.json. The
 # sweep hard-fails unless every scatter-gather result is bit-identical
@@ -48,8 +54,8 @@ torture:
 chaos:
 	$(GO) test -race -count=1 -v ./internal/chaos/
 
-# fuzz runs each WAL, dbnet wire, columnar segment and shard map/merge
-# fuzz target for 30s.
+# fuzz runs each WAL, dbnet wire, columnar segment, shard map/merge and
+# lake journal fuzz target for 30s.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeWalOp$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeValue$$' -fuzztime 30s ./internal/minidb/
@@ -59,6 +65,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 30s ./internal/colseg/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShardMap$$' -fuzztime 30s ./internal/shard/
 	$(GO) test -run '^$$' -fuzz '^FuzzMergeReplies$$' -fuzztime 30s ./internal/shard/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeJournal$$' -fuzztime 30s ./internal/lake/
 
 # check runs the full gate: vet, build, race tests (torture harness
 # included), a one-iteration smoke run of the parallel query benchmark, and

@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|fig5sharded|table1|table2|table3|tables|approx|engine|chaos|analytics")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_fig5sharded.json / BENCH_tables.json / BENCH_chaos.json / BENCH_analytics.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|fig5sharded|table1|table2|table3|tables|approx|engine|chaos|analytics|timetravel")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_fig5sharded.json / BENCH_tables.json / BENCH_chaos.json / BENCH_analytics.json / BENCH_lake.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -43,6 +43,7 @@ func main() {
 	var ingestRes []bench.IngestResult
 	var chaosRes *bench.ChaosResult
 	var anaRes *bench.AnalyticsResult
+	var ttRes *bench.TimeTravelResult
 
 	if run("fig4") {
 		any = true
@@ -154,12 +155,24 @@ func main() {
 		fmt.Printf("columnar segments + zone maps turn full-archive statistics (the\n")
 		fmt.Printf("histogram workload's recalibration scans) into sub-scan work\n\n")
 	}
+	if run("timetravel") {
+		any = true
+		var err error
+		ttRes, err = bench.RunTimeTravel(bench.DefaultTimeTravelParams(), log.New(os.Stderr, "", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timetravel:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatTimeTravel(ttRes))
+		fmt.Printf("as-of reads replay the journal prefix at open, then cost the same as\n")
+		fmt.Printf("head reads; the anchor pin kept every commit openable across the rewrite\n\n")
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, shardedRes, ingestRes, chaosRes, anaRes); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, shardedRes, ingestRes, chaosRes, anaRes, ttRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -170,7 +183,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, shardedRes *bench.ShardedResult, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, shardedRes *bench.ShardedResult, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult, ttRes *bench.TimeTravelResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -240,6 +253,16 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 			"experiment": "analytics",
 			"note":       "vectorized columnar scans vs row-at-a-time over synthetic events; results bit-identical between paths",
 			"results":    anaRes,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if ttRes != nil {
+		err := write("BENCH_lake.json", map[string]any{
+			"experiment": "timetravel",
+			"note":       "as-of read latency by commit depth over the lake's commit journal, plus the compaction/GC win; every view verified bit-identical against a commit-replay oracle",
+			"results":    ttRes,
 		})
 		if err != nil {
 			return err

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/lake"
 	"repro/internal/minidb"
 )
 
@@ -104,6 +105,11 @@ type Archive struct {
 	files    map[string]fileMeta
 	pending  map[string]bool // paths reserved by an in-flight StoreBatch
 	packSeq  int64           // next container-file sequence number
+
+	// lk, when non-nil, puts the archive in lake mode: the commit journal
+	// (not MANIFEST.crc) is the source of truth and every data method
+	// delegates to it. See lakemode.go.
+	lk *lake.Lake
 }
 
 const manifestName = "MANIFEST.crc"
@@ -161,6 +167,9 @@ func (a *Archive) Online() bool {
 // Used returns bytes stored; CapacityLeft returns remaining bytes
 // (MaxInt64 when unlimited).
 func (a *Archive) Used() int64 {
+	if a.lk != nil {
+		return a.lk.LiveBytes()
+	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.used
@@ -173,11 +182,19 @@ func (a *Archive) CapacityLeft() int64 {
 	if a.capacity == 0 {
 		return 1<<63 - 1
 	}
+	if a.lk != nil {
+		// Lake mode: physical bytes (history included) occupy the tier
+		// until GC retires them.
+		return a.capacity - a.lk.PhysBytes()
+	}
 	return a.capacity - a.used
 }
 
 // Len returns the number of stored files.
 func (a *Archive) Len() int {
+	if a.lk != nil {
+		return a.lk.Len()
+	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return len(a.files)
@@ -197,6 +214,9 @@ func cleanRel(rel string) (string, error) {
 
 // Store writes a new file. Overwrites are rejected: file data is read only.
 func (a *Archive) Store(rel string, data []byte) error {
+	if a.lk != nil {
+		return a.lakeStoreBatch([]BatchFile{{Rel: rel, Data: data}})
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return err
@@ -238,9 +258,12 @@ func (a *Archive) Store(rel string, data []byte) error {
 	return nil
 }
 
-// BatchFile is one file of a StoreBatch.
+// BatchFile is one file of a StoreBatch. Day is the mission-day partition
+// key used by lake-mode archives to time-sort compacted containers;
+// manifest-mode archives ignore it.
 type BatchFile struct {
 	Rel  string
+	Day  int64
 	Data []byte
 }
 
@@ -267,6 +290,9 @@ type BatchFile struct {
 func (a *Archive) StoreBatch(files []BatchFile) error {
 	if len(files) == 0 {
 		return nil
+	}
+	if a.lk != nil {
+		return a.lakeStoreBatch(files)
 	}
 	// Phase 1 (locked): validate, reserve the paths and the capacity.
 	rels := make([]string, len(files))
@@ -412,6 +438,9 @@ func (a *Archive) writeFileSync(abs string, data []byte, perm fs.FileMode) error
 // Read returns the file's contents after verifying its checksum. Tape and
 // NFS tiers incur their access latency here.
 func (a *Archive) Read(rel string) ([]byte, error) {
+	if a.lk != nil {
+		return a.lakeRead(rel)
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return nil, err
@@ -458,6 +487,9 @@ func (a *Archive) readMember(rel string, meta fileMeta) ([]byte, error) {
 // Open returns a reader over the file without checksum verification (used
 // for streaming large units). Prefer Read when integrity matters.
 func (a *Archive) Open(rel string) (io.ReadCloser, error) {
+	if a.lk != nil {
+		return a.lakeOpen(rel)
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return nil, err
@@ -490,6 +522,10 @@ func (a *Archive) Open(rel string) (io.ReadCloser, error) {
 
 // Stat returns the size of a stored file.
 func (a *Archive) Stat(rel string) (int64, error) {
+	if a.lk != nil {
+		n, err := a.lk.Stat(rel)
+		return n, mapLakeErr(err)
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return 0, err
@@ -505,6 +541,9 @@ func (a *Archive) Stat(rel string) (int64, error) {
 
 // Exists reports whether the file is stored here.
 func (a *Archive) Exists(rel string) bool {
+	if a.lk != nil {
+		return a.lk.Exists(rel)
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return false
@@ -518,6 +557,9 @@ func (a *Archive) Exists(rel string) bool {
 // Remove deletes a file. Only system processes (archive relocation,
 // purging, §5.2) call this; it is not exposed to users.
 func (a *Archive) Remove(rel string) error {
+	if a.lk != nil {
+		return a.lakeRemove(rel)
+	}
 	rel, err := cleanRel(rel)
 	if err != nil {
 		return err
@@ -564,6 +606,9 @@ func (a *Archive) Remove(rel string) error {
 
 // List returns stored paths in sorted order.
 func (a *Archive) List() []string {
+	if a.lk != nil {
+		return a.lk.List()
+	}
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	out := make([]string, 0, len(a.files))
@@ -577,6 +622,9 @@ func (a *Archive) List() []string {
 // Verify re-reads every file and checks it against the manifest, returning
 // the paths that fail.
 func (a *Archive) Verify() []string {
+	if a.lk != nil {
+		return a.lk.Verify()
+	}
 	var bad []string
 	for _, p := range a.List() {
 		if _, err := a.Read(p); err != nil {

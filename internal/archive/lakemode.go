@@ -1,0 +1,144 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/lake"
+	"repro/internal/minidb"
+)
+
+// Lake mode: an archive whose source of truth is the lake's commit journal
+// instead of MANIFEST.crc. The Archive surface (Store/StoreBatch/Read/
+// Remove/...) is unchanged — dm keeps addressing members by relative path —
+// but every mutation becomes a journal commit, which buys the archive
+// time travel (OpenAt serves the catalog as of any commit), background
+// compaction of small pack containers, and GC that provably never deletes
+// bytes a live or pinned view still references. The manifest-mode code
+// paths are untouched; fixtures and relocation targets keep using them.
+
+// NewLake opens (or creates) a journal-backed archive rooted at dir.
+func NewLake(id string, kind Kind, dir string, capacityBytes int64) (*Archive, error) {
+	return NewLakeVFS(minidb.OSFS, id, kind, dir, capacityBytes)
+}
+
+// NewLakeVFS is NewLake with an explicit filesystem, so crash-recovery
+// tests can make every journal/container/GC I/O a crash site.
+func NewLakeVFS(fsys VFS, id string, kind Kind, dir string, capacityBytes int64) (*Archive, error) {
+	if id == "" {
+		return nil, fmt.Errorf("archive: empty id")
+	}
+	lk, err := lake.Open(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Archive{
+		id: id, kind: kind, root: dir, fsys: fsys, online: true,
+		capacity: capacityBytes, files: make(map[string]fileMeta),
+		pending: make(map[string]bool), lk: lk,
+	}, nil
+}
+
+// Lake returns the journal store behind a lake-mode archive (nil in
+// manifest mode). Callers use it for time travel, compaction, GC and
+// stats; the Archive surface covers everything else.
+func (a *Archive) Lake() *lake.Lake { return a.lk }
+
+// OpenAt opens a read-only view of the archive as of commit seq (0 = the
+// current head), durably pinned against GC until the view is closed.
+func (a *Archive) OpenAt(seq uint64) (*lake.View, error) {
+	if a.lk == nil {
+		return nil, fmt.Errorf("archive: %s is not journal-backed", a.id)
+	}
+	if !a.Online() {
+		return nil, ErrOffline
+	}
+	return a.lk.OpenAt(seq)
+}
+
+// mapLakeErr translates lake sentinel errors into the archive's, so
+// existing callers keep matching errors.Is(err, archive.ErrNotFound) etc.
+func mapLakeErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, lake.ErrNotFound):
+		return fmt.Errorf("%w: %s", ErrNotFound, trimLakePrefix(err))
+	case errors.Is(err, lake.ErrExists):
+		return fmt.Errorf("%w: %s", ErrExists, trimLakePrefix(err))
+	case errors.Is(err, lake.ErrCorrupt):
+		return fmt.Errorf("%w: %s", ErrCorrupt, trimLakePrefix(err))
+	}
+	return err
+}
+
+func trimLakePrefix(err error) string {
+	s := err.Error()
+	if i := strings.LastIndex(s, ": "); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}
+
+// lakeStoreBatch is StoreBatch in lake mode: one container, one journal
+// commit. Capacity is enforced against physical bytes (history included),
+// since that is what the tier actually holds until GC runs.
+func (a *Archive) lakeStoreBatch(files []BatchFile) error {
+	if !a.Online() {
+		return ErrOffline
+	}
+	var total int64
+	lf := make([]lake.BatchFile, len(files))
+	for i, f := range files {
+		lf[i] = lake.BatchFile{Rel: f.Rel, Day: f.Day, Data: f.Data}
+		total += int64(len(f.Data))
+	}
+	if cap := a.capacityBytes(); cap > 0 {
+		if used := a.lk.PhysBytes(); used+total > cap {
+			return fmt.Errorf("%w: batch needs %d bytes, %d left", ErrFull, total, cap-used)
+		}
+	}
+	_, err := a.lk.StoreBatch(lf)
+	return mapLakeErr(err)
+}
+
+func (a *Archive) capacityBytes() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.capacity
+}
+
+// lakeRead is Read in lake mode (CRC-verified by the lake).
+func (a *Archive) lakeRead(rel string) ([]byte, error) {
+	if !a.Online() {
+		return nil, ErrOffline
+	}
+	if d := a.kind.latency(); d > 0 {
+		time.Sleep(d)
+	}
+	data, err := a.lk.Read(rel)
+	return data, mapLakeErr(err)
+}
+
+// lakeOpen is Open in lake mode: members live inside containers, so the
+// bytes are materialized (there is no per-member file to stream).
+func (a *Archive) lakeOpen(rel string) (io.ReadCloser, error) {
+	data, err := a.lakeRead(rel)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(strings.NewReader(string(data))), nil
+}
+
+// lakeRemove is Remove in lake mode: a tombstone commit. The bytes stay
+// readable through pinned older commits until GC retires them.
+func (a *Archive) lakeRemove(rel string) error {
+	if !a.Online() {
+		return ErrOffline
+	}
+	_, err := a.lk.Delete([]string{rel})
+	return mapLakeErr(err)
+}

@@ -1,0 +1,213 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/lake"
+)
+
+// lakeCompactAll makes every container a merge candidate in tests.
+func lakeCompactAll() lake.CompactOptions {
+	return lake.CompactOptions{SmallBytes: 1 << 20, MinMerge: 2, MaxMerge: 100}
+}
+
+func newLakeArchive(t *testing.T) *Archive {
+	t.Helper()
+	a, err := NewLake("lake-0", Disk, t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("NewLake: %v", err)
+	}
+	return a
+}
+
+// TestLakeModeSurface drives the whole Archive surface in lake mode and
+// checks the manifest-mode error contract holds.
+func TestLakeModeSurface(t *testing.T) {
+	a := newLakeArchive(t)
+	if a.Lake() == nil {
+		t.Fatal("Lake() nil in lake mode")
+	}
+
+	if err := a.Store("fits.gz/u1.fits.gz", []byte("raw-unit")); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	if err := a.Store("fits.gz/u1.fits.gz", []byte("dup")); !errors.Is(err, ErrExists) {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, err := a.Read("fits.gz/u1.fits.gz")
+	if err != nil || string(got) != "raw-unit" {
+		t.Fatalf("read: %q, %v", got, err)
+	}
+	if n, err := a.Stat("fits.gz/u1.fits.gz"); err != nil || n != 8 {
+		t.Fatalf("stat: %d, %v", n, err)
+	}
+	if !a.Exists("fits.gz/u1.fits.gz") {
+		t.Fatal("exists")
+	}
+	if a.Used() != 8 || a.Len() != 1 {
+		t.Fatalf("used %d len %d", a.Used(), a.Len())
+	}
+	rc, err := a.Open("fits.gz/u1.fits.gz")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(rc)
+	rc.Close()
+	if buf.String() != "raw-unit" {
+		t.Fatalf("open read: %q", buf.String())
+	}
+
+	batch := []BatchFile{
+		{Rel: "wavelet/u1a.wav", Day: 3, Data: []byte("wave-a")},
+		{Rel: "wavelet/u1b.wav", Day: 3, Data: []byte("wave-b")},
+	}
+	if err := a.StoreBatch(batch); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(a.List()) != 3 {
+		t.Fatalf("list: %v", a.List())
+	}
+	if bad := a.Verify(); len(bad) != 0 {
+		t.Fatalf("verify: %v", bad)
+	}
+
+	if err := a.Remove("wavelet/u1a.wav"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := a.Read("wavelet/u1a.wav"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read removed: %v", err)
+	}
+	if err := a.Remove("wavelet/u1a.wav"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+
+	// Offline archives reject everything, as in manifest mode.
+	a.SetOnline(false)
+	if _, err := a.Read("fits.gz/u1.fits.gz"); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline read: %v", err)
+	}
+	if err := a.Store("x/y", []byte("z")); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline store: %v", err)
+	}
+	if err := a.Remove("fits.gz/u1.fits.gz"); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline remove: %v", err)
+	}
+	if _, err := a.OpenAt(0); !errors.Is(err, ErrOffline) {
+		t.Fatalf("offline OpenAt: %v", err)
+	}
+	a.SetOnline(true)
+}
+
+// TestLakeModeTimeTravel checks OpenAt through the Archive surface: the
+// store relocation / purge flow deletes a file, but a view pinned before
+// the delete still reads it bit-identically.
+func TestLakeModeTimeTravel(t *testing.T) {
+	a := newLakeArchive(t)
+	if err := a.Store("fits.gz/u1.fits.gz", []byte("original calibration")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.OpenAt(0)
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	defer v.Close()
+
+	if err := a.Remove("fits.gz/u1.fits.gz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store("fits.gz/u1.fits.gz", []byte("recalibrated")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Read("fits.gz/u1.fits.gz"); string(got) != "recalibrated" {
+		t.Fatalf("head read: %q", got)
+	}
+	if got, err := v.Read("fits.gz/u1.fits.gz"); err != nil || string(got) != "original calibration" {
+		t.Fatalf("pinned read: %q, %v", got, err)
+	}
+
+	// Compact + GC must not disturb either generation while the pin holds.
+	if _, err := a.Lake().Compact(lakeCompactAll()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lake().GC(a.Lake().Head()); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := v.Read("fits.gz/u1.fits.gz"); string(got) != "original calibration" {
+		t.Fatalf("pinned read after compact+gc: %q", got)
+	}
+	if got, _ := a.Read("fits.gz/u1.fits.gz"); string(got) != "recalibrated" {
+		t.Fatalf("head read after compact+gc: %q", got)
+	}
+}
+
+// TestLakeModeCapacity enforces the tier capacity against physical bytes.
+func TestLakeModeCapacity(t *testing.T) {
+	a, err := NewLake("lake-cap", Disk, t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store("a", make([]byte, 48)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store("b", make([]byte, 32)); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity store: %v", err)
+	}
+	if left := a.CapacityLeft(); left != 16 {
+		t.Fatalf("capacity left = %d", left)
+	}
+	// A remove alone frees nothing physically; compact+GC does.
+	if err := a.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store("c", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lake().Compact(lakeCompactAll()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Lake().GC(a.Lake().Head()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Store("b", make([]byte, 32)); err != nil {
+		t.Fatalf("store after gc reclaim: %v", err)
+	}
+}
+
+// TestLakeModeRestart reopens a lake archive and checks the catalog and a
+// durable pin survive.
+func TestLakeModeRestart(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewLake("lake-r", Disk, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Store(fmt.Sprintf("wavelet/u%d.wav", i), []byte(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := a.OpenAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := v.Token()
+
+	b, err := NewLake("lake-r", Disk, dir, 0)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len after reopen = %d", b.Len())
+	}
+	v2, err := b.Lake().AttachPin(token)
+	if err != nil {
+		t.Fatalf("attach pin: %v", err)
+	}
+	if got, err := v2.Read("wavelet/u3.wav"); err != nil || string(got) != "w3" {
+		t.Fatalf("pinned read after restart: %q, %v", got, err)
+	}
+}

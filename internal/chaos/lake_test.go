@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLakeScheduleMatrix pins the storm enumeration: ten distinct named
+// schedules, each exercising a different actor mix.
+func TestLakeScheduleMatrix(t *testing.T) {
+	scheds := LakeSchedules()
+	if len(scheds) != 10 {
+		t.Fatalf("%d lake schedules enumerated, want 10", len(scheds))
+	}
+	seen := make(map[string]bool)
+	for _, s := range scheds {
+		if s.ID == "" {
+			t.Fatal("schedule with empty ID")
+		}
+		if seen[s.Name()] {
+			t.Fatalf("duplicate schedule %s", s.Name())
+		}
+		seen[s.Name()] = true
+		if s.TimeTravel && s.Crash {
+			t.Fatalf("schedule %s combines TimeTravel with Crash", s.Name())
+		}
+	}
+}
+
+// TestLakeChaosEnumeration runs every storm: concurrent actors churn one
+// commit journal while ingest keeps landing, and every lake invariant —
+// acked stores bit-identical, pinned views frozen, typed failures only,
+// post-heal convergence — must hold.
+func TestLakeChaosEnumeration(t *testing.T) {
+	cfg := chaosConfig(t)
+	for _, s := range LakeSchedules() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunLake(s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stores < 20 {
+				t.Fatalf("only %d stores acknowledged — the storm barely ran", res.Stores)
+			}
+			if s.Compact && res.Compactions == 0 {
+				t.Fatal("compaction actor never merged anything")
+			}
+			if s.Pins && res.PinCycles == 0 {
+				t.Fatal("pin actor completed no cycles")
+			}
+			if s.TimeTravel && res.AsOfReads == 0 {
+				t.Fatal("time-travel actor served no reads")
+			}
+			if s.Offline && res.OfflineFlips == 0 {
+				t.Fatal("offline actor never flipped")
+			}
+			if s.Crash && !res.Crashed {
+				t.Fatal("crash schedule did not crash")
+			}
+			t.Logf("%d stores (%d typed errs), %d deletes, %d compactions, %d gc runs, %d pin cycles, %d as-of reads, %d flips; converged in %v",
+				res.Stores, res.StoreErrs, res.Deleted, res.Compactions,
+				res.GCRuns, res.PinCycles, res.AsOfReads, res.OfflineFlips,
+				res.Converged.Round(time.Millisecond))
+		})
+	}
+}

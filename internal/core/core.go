@@ -20,6 +20,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/colseg"
 	"repro/internal/dm"
+	"repro/internal/lake"
 	"repro/internal/minidb"
 	"repro/internal/pl"
 	"repro/internal/schema"
@@ -53,6 +54,10 @@ type Config struct {
 	InvokeTimeout time.Duration
 	// SynopticArchives lists remote archives for the synoptic search.
 	SynopticArchives []synoptic.Endpoint
+	// LakeKeepHistory is how many commits of archive history maintenance
+	// GC preserves beyond the durable pin set (default 256), the
+	// operator's time-travel window.
+	LakeKeepHistory uint64
 	// Logger for operational messages (nil = discard).
 	Logger *log.Logger
 }
@@ -86,6 +91,9 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
+	if cfg.LakeKeepHistory == 0 {
+		cfg.LakeKeepHistory = 256
+	}
 	n := &Node{cfg: cfg}
 
 	dbDir, domainDir, archDir := "", "", ""
@@ -116,7 +124,11 @@ func Start(cfg Config) (*Node, error) {
 	if archDir == "" {
 		return nil, fmt.Errorf("core: DataDir is required (archives need a directory)")
 	}
-	arch, err := archive.New("disk-0", archive.Disk, archDir, 0)
+	// The ingest archive is journal-backed (a lake): every store/delete is
+	// a commit, so the node serves time-travel reads and survives crashes
+	// by journal replay. Old manifest-mode archives keep working as
+	// secondary tiers (tape), registered separately.
+	arch, err := archive.NewLake("disk-0", archive.Disk, archDir, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +214,7 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", n.Web.Handler())
 	mux.Handle("/dm/", dm.NewServer(dm.Local{DM: n.DM}, "/dm/").Mux())
+	mux.Handle("/admin/lake/", n.lakeAdminHandler())
 	return mux
 }
 
@@ -232,6 +245,14 @@ func (n *Node) StartMaintenance(interval time.Duration) (stop func()) {
 				}
 				if err := n.Segments.RefreshAll(); err != nil {
 					n.cfg.Logger.Printf("maintenance segment refresh: %v", err)
+				}
+				// Lake housekeeping: merge small ingest containers, then
+				// let GC retire history past the keep window — never past
+				// a durable pin.
+				if a := n.DM.DefaultArchive(); a != nil && a.Lake() != nil {
+					if _, _, err := n.DM.LakeMaintenance(lake.DefaultCompactOptions(), n.cfg.LakeKeepHistory); err != nil {
+						n.cfg.Logger.Printf("maintenance lake: %v", err)
+					}
 				}
 			}
 		}

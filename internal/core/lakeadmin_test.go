@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLakeAdminSurface drives the operator endpoints end to end: status
+// reflects ingest, a pin taken over HTTP survives as a durable journal
+// record and blocks GC, and unpinning releases the history.
+func TestLakeAdminSurface(t *testing.T) {
+	n := startNode(t, Config{})
+	if _, err := n.LoadDay(1, smallTelemetry(), 300); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(n.Handler())
+	defer ts.Close()
+
+	getJSON := func(method, path string, out any) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("%s %s: decode: %v", method, path, err)
+			}
+		}
+		return resp
+	}
+
+	var status struct {
+		Lake struct {
+			Head      uint64 `json:"Head"`
+			LiveFiles int    `json:"LiveFiles"`
+		} `json:"lake"`
+	}
+	if resp := getJSON(http.MethodGet, "/admin/lake/status", &status); resp.StatusCode != 200 {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	if status.Lake.Head == 0 || status.Lake.LiveFiles == 0 {
+		t.Fatalf("status shows empty lake: %+v", status)
+	}
+
+	// Pin the current head over HTTP; the pin must appear in the pin set.
+	var pinned struct {
+		Token  string `json:"token"`
+		Commit uint64 `json:"commit"`
+	}
+	if resp := getJSON(http.MethodPost, "/admin/lake/pin", &pinned); resp.StatusCode != 200 {
+		t.Fatalf("pin: %d", resp.StatusCode)
+	}
+	if pinned.Token == "" || pinned.Commit == 0 {
+		t.Fatalf("pin reply: %+v", pinned)
+	}
+	pins := map[string]uint64{}
+	getJSON(http.MethodGet, "/admin/lake/pins", &pins)
+	if pins[pinned.Token] != pinned.Commit {
+		t.Fatalf("pin %s missing from pin set %v", pinned.Token, pins)
+	}
+
+	// Compact, then ask GC to retire everything: the pin must hold the
+	// horizon at or below the pinned commit.
+	if resp := getJSON(http.MethodPost, "/admin/lake/compact", nil); resp.StatusCode != 200 {
+		t.Fatalf("compact: %d", resp.StatusCode)
+	}
+	if resp := getJSON(http.MethodPost, "/admin/lake/gc?keep=0", nil); resp.StatusCode != 200 {
+		t.Fatalf("gc: %d", resp.StatusCode)
+	}
+	lk := n.DM.DefaultArchive().Lake()
+	if lk.Horizon() > pinned.Commit {
+		t.Fatalf("gc horizon %d passed the pinned commit %d", lk.Horizon(), pinned.Commit)
+	}
+
+	// Unpin and GC again: now the horizon may pass the old commit.
+	if resp := getJSON(http.MethodPost, fmt.Sprintf("/admin/lake/unpin?token=%s", pinned.Token), nil); resp.StatusCode != 200 {
+		t.Fatalf("unpin: %d", resp.StatusCode)
+	}
+	if resp := getJSON(http.MethodPost, "/admin/lake/gc?keep=0", nil); resp.StatusCode != 200 {
+		t.Fatalf("gc after unpin: %d", resp.StatusCode)
+	}
+	if lk.Horizon() < pinned.Commit {
+		t.Fatalf("horizon %d did not advance past released pin %d", lk.Horizon(), pinned.Commit)
+	}
+	if probs := lk.Verify(); len(probs) > 0 {
+		t.Fatalf("verify after admin round: %v", probs)
+	}
+
+	// The web /stats page renders the lake section.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "Lake archive") {
+		t.Fatal("/stats is missing the Lake archive section")
+	}
+
+	// Method and mode guards.
+	if resp := getJSON(http.MethodPost, "/admin/lake/status", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status: %d", resp.StatusCode)
+	}
+	if resp := getJSON(http.MethodGet, "/admin/lake/compact", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET compact: %d", resp.StatusCode)
+	}
+}

@@ -82,7 +82,10 @@ type Stats struct {
 	AnalyticsVector    atomic.Int64
 	AnalyticsRowFall   atomic.Int64
 	AnalyticsCacheHits atomic.Int64
-	AccessDenied       atomic.Int64
+	// Time-travel reads (asof.go): sessions pinned to a journal commit.
+	AsOfOpens    atomic.Int64
+	AsOfReads    atomic.Int64
+	AccessDenied atomic.Int64
 	RedirectsOut       atomic.Int64 // calls shipped to a remote DM
 	RedirectsIn        atomic.Int64 // calls served on behalf of a remote caller
 	EventsDetected     atomic.Int64

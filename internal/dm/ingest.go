@@ -275,7 +275,7 @@ func (d *DM) storeUnit(dv *derivedUnit) (*LoadReport, error) {
 	}
 	batch := make([]archive.BatchFile, len(files))
 	for i, f := range files {
-		batch[i] = archive.BatchFile{Rel: f.relPath, Data: data[i]}
+		batch[i] = archive.BatchFile{Rel: f.relPath, Day: int64(u.Day), Data: data[i]}
 	}
 	// One bulk store: per-file data fsyncs plus a single manifest fsync for
 	// the unit's whole file group, instead of a manifest fsync per file.

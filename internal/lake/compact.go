@@ -1,0 +1,279 @@
+package lake
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Compaction merges small or mostly-dead containers into one large
+// time-sorted container under a single journal commit. History is never
+// rewritten: the victims stay readable through every commit before the
+// compaction commit, and only GC later deletes their files. The protocol
+// is crash-recoverable at every step:
+//
+//	plan    (locked)   pick victims, reserve the output container name
+//	write   (unlocked) read victim bytes, write + fsync the merged container
+//	commit  (locked)   re-validate each member is STILL live and still
+//	                   served by its victim, then append one KindCompact
+//	                   record adding the merged container and removing the
+//	                   victims
+//
+// A crash before the commit leaves an orphaned output container that the
+// journal never references — harmless, overwritten when its name is
+// reused (names come from the journal-replayed counter). A crash after
+// the commit is a complete compaction. The re-validation closes the race
+// with deletes and concurrent ingest: a member tombstoned between plan
+// and commit is simply not carried into the merged container, so
+// compaction can never resurrect deleted data.
+
+// CompactOptions tune victim selection.
+type CompactOptions struct {
+	// SmallBytes marks a container as a merge candidate when its live
+	// byte count is below this threshold.
+	SmallBytes int64
+	// DeadFraction marks a container whose dead (tombstoned or
+	// superseded) byte fraction is at or above this threshold.
+	DeadFraction float64
+	// MinMerge is the fewest victims worth one merged container.
+	MinMerge int
+	// MaxMerge bounds one compaction round.
+	MaxMerge int
+}
+
+// DefaultCompactOptions is the maintenance-loop tuning.
+func DefaultCompactOptions() CompactOptions {
+	return CompactOptions{SmallBytes: 1 << 20, DeadFraction: 0.5, MinMerge: 2, MaxMerge: 64}
+}
+
+func (o *CompactOptions) withDefaults() CompactOptions {
+	out := *o
+	if out.SmallBytes <= 0 {
+		out.SmallBytes = 1 << 20
+	}
+	if out.DeadFraction <= 0 {
+		out.DeadFraction = 0.5
+	}
+	if out.MinMerge < 2 {
+		out.MinMerge = 2
+	}
+	if out.MaxMerge < out.MinMerge {
+		out.MaxMerge = 64
+	}
+	return out
+}
+
+// CompactResult reports one compaction round.
+type CompactResult struct {
+	Merged    int    // victim containers removed from the view
+	Members   int    // live members carried into the merged container
+	Seq       uint64 // the compaction commit (0 when nothing was done)
+	OutBytes  int64
+	Container string
+}
+
+// liveByCtr returns, per live container path, the live members it serves.
+// Caller holds l.mu.
+func (l *Lake) liveByCtr() map[string][]Member {
+	by := make(map[string][]Member)
+	for _, ref := range l.live {
+		by[ref.path] = append(by[ref.path], ref.m)
+	}
+	return by
+}
+
+// Compact runs one compaction round. Concurrent Compact calls are safe —
+// the commit-time re-validation makes the loser a no-op for any member the
+// winner moved first — but the background compactor serializes them
+// anyway.
+func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
+	o := opts.withDefaults()
+
+	// Plan (locked): pick victims — live containers that are small or
+	// mostly dead — and reserve the output name.
+	l.mu.Lock()
+	by := l.liveByCtr()
+	type cand struct {
+		path string
+		live int64
+	}
+	var cands []cand
+	for path, cs := range l.ctrs {
+		if cs.removeSeq != 0 {
+			continue // already out of the view
+		}
+		var liveBytes int64
+		for _, m := range by[path] {
+			liveBytes += m.Size
+		}
+		dead := float64(cs.bytes-liveBytes) / float64(max64(cs.bytes, 1))
+		if liveBytes == 0 && cs.bytes > 0 {
+			// Fully dead: no merge needed, a remove-only compaction entry
+			// still wants it out of the view so GC can reach it.
+			cands = append(cands, cand{path: path, live: 0})
+			continue
+		}
+		if liveBytes < o.SmallBytes || dead >= o.DeadFraction {
+			cands = append(cands, cand{path: path, live: liveBytes})
+		}
+	}
+	if len(cands) < o.MinMerge {
+		l.mu.Unlock()
+		return CompactResult{}, nil
+	}
+	// Oldest (smallest container seq) first: compaction drains the long
+	// tail of tiny early containers before touching recent ones.
+	sort.Slice(cands, func(i, j int) bool {
+		return containerSeqOf(cands[i].path) < containerSeqOf(cands[j].path)
+	})
+	if len(cands) > o.MaxMerge {
+		cands = cands[:o.MaxMerge]
+	}
+	victims := make([]string, len(cands))
+	planned := make(map[string][]Member, len(cands))
+	for i, c := range cands {
+		victims[i] = c.path
+		planned[c.path] = by[c.path]
+	}
+	outRel := containerPath(l.nextCtr)
+	l.nextCtr++
+	l.mu.Unlock()
+
+	// Write (unlocked): read victim bytes, lay members out sorted by
+	// (Day, Rel) so a time-range reprocessing scan is one contiguous read.
+	type moved struct {
+		m    Member
+		from string
+		data []byte
+	}
+	var moves []moved
+	for _, path := range victims {
+		// One ReadFile per victim container, not one per member: slicing
+		// every member out of a single blob keeps a merge of an
+		// already-large container linear in its size.
+		blob, err := l.fsys.ReadFile(filepath.Join(l.root, path))
+		if err != nil {
+			// The victim may have been compacted+GC'd by a racing round;
+			// re-validation would drop it anyway. Skip.
+			continue
+		}
+		for _, m := range planned[path] {
+			if m.Off < 0 || m.Off+m.Size > int64(len(blob)) {
+				continue
+			}
+			data := blob[m.Off : m.Off+m.Size]
+			if crc32Sum(data) != m.CRC {
+				continue
+			}
+			moves = append(moves, moved{m: m, from: path, data: data})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].m.Day != moves[j].m.Day {
+			return moves[i].m.Day < moves[j].m.Day
+		}
+		return moves[i].m.Rel < moves[j].m.Rel
+	})
+
+	// Commit (locked): re-validate, build the final layout, write, seal.
+	l.mu.Lock()
+	var members []Member
+	var blob []byte
+	var off int64
+	for _, mv := range moves {
+		ref, ok := l.live[mv.m.Rel]
+		if !ok || ref.path != mv.from {
+			continue // deleted or superseded since the plan: do not resurrect
+		}
+		m := mv.m
+		m.Off = off
+		members = append(members, m)
+		blob = append(blob, mv.data...)
+		off += int64(len(mv.data))
+	}
+	// Victims must still be live containers (a racing compaction may have
+	// removed some); removing an already-removed container is a no-op in
+	// apply(), but keeping the record minimal keeps replay honest.
+	var stillVictims []string
+	for _, path := range victims {
+		if cs := l.ctrs[path]; cs != nil && cs.removeSeq == 0 {
+			stillVictims = append(stillVictims, path)
+		}
+	}
+	if len(stillVictims) == 0 {
+		l.mu.Unlock()
+		return CompactResult{}, nil
+	}
+	rec := &Record{Kind: KindCompact, Removes: stillVictims}
+	if len(members) > 0 {
+		// The container write happens under the lock: commit-time layout
+		// depends on re-validation, and the lake's containers are small
+		// enough (bounded by MaxMerge) that this matches the archive
+		// tier's seal discipline.
+		if err := l.writeFileSync(filepath.Join(l.root, outRel), blob); err != nil {
+			l.mu.Unlock()
+			_ = l.fsys.Remove(filepath.Join(l.root, outRel))
+			return CompactResult{}, err
+		}
+		rec.Adds = []Container{{Path: outRel, Members: members}}
+	}
+	if err := l.commit(rec); err != nil {
+		l.mu.Unlock()
+		if len(members) > 0 {
+			_ = l.fsys.Remove(filepath.Join(l.root, outRel))
+		}
+		return CompactResult{}, err
+	}
+	seq := l.head
+	l.mu.Unlock()
+	l.stats.Compactions.Add(1)
+	res := CompactResult{Merged: len(stillVictims), Members: len(members), Seq: seq, OutBytes: off}
+	if len(members) > 0 {
+		res.Container = outRel
+	}
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StartCompactor runs Compact + GC on a ticker until ctx is cancelled.
+// keepFrom() supplies the GC target each round (e.g. the dm retention
+// policy); nil keeps everything up to the head minus nothing — i.e. GC
+// runs to the head, still bounded by pins.
+func (l *Lake) StartCompactor(ctx context.Context, every time.Duration, opts CompactOptions, keepFrom func() uint64) {
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := l.Compact(opts); err != nil {
+					continue
+				}
+				target := l.Head()
+				if keepFrom != nil {
+					target = keepFrom()
+				}
+				_, _ = l.GC(target)
+			}
+		}
+	}()
+}
+
+// String renders a compaction result for logs.
+func (r CompactResult) String() string {
+	if r.Seq == 0 {
+		return "compact: no-op"
+	}
+	return fmt.Sprintf("compact: commit %d merged %d containers, %d members, %d bytes",
+		r.Seq, r.Merged, r.Members, r.OutBytes)
+}

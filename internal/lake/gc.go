@@ -1,0 +1,120 @@
+package lake
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+)
+
+// GC is the only operation that ever deletes container bytes, and its
+// safety argument is three clamps on the requested horizon:
+//
+//	target = min(requested, head)        // can't retire unwritten history
+//	target = min(target, min pinned seq) // a pinned view keeps everything
+//	                                     // it can read
+//	target = max(target, horizon)        // the horizon never retreats
+//
+// A container is then deletable iff it left the logical view at or before
+// the target: 0 < removeSeq ≤ target. Every commit ≥ target — which is
+// every commit OpenAt will still accept, and every pinned commit — sees
+// only containers with removeSeq == 0 or removeSeq > target, none of which
+// are touched. So GC can never delete a container referenced by a live or
+// pinned view, by construction rather than by audit.
+//
+// The GC record (horizon + the container paths it retires) is journaled
+// and fsynced BEFORE any file is unlinked. A crash mid-deletion leaves
+// journaled-dead containers on disk; Open resumes the sweep, and a sweep
+// that fails transiently is retried by the next GC round via the unswept
+// set.
+
+// GCResult reports one GC round.
+type GCResult struct {
+	Seq       uint64 // the GC commit (0 when nothing was done)
+	Horizon   uint64
+	Deleted   int
+	Reclaimed int64
+	SweepErrs int
+}
+
+// GC advances the horizon toward keepFrom (commits < horizon become
+// unopenable) and physically deletes every container no remaining commit
+// references. keepFrom is a request, clamped by head, pins, and the
+// current horizon.
+func (l *Lake) GC(keepFrom uint64) (GCResult, error) {
+	l.mu.Lock()
+	target := keepFrom
+	if target > l.head {
+		target = l.head
+	}
+	for _, pinned := range l.pins {
+		if pinned < target {
+			target = pinned
+		}
+	}
+	if target < l.horizon {
+		target = l.horizon
+	}
+
+	var dead []string
+	var reclaim int64
+	for path, cs := range l.ctrs {
+		if cs.gcSeq == 0 && cs.removeSeq != 0 && cs.removeSeq <= target {
+			dead = append(dead, path)
+			reclaim += cs.bytes
+		}
+	}
+	// Retry containers whose journaled deletion previously failed to
+	// sweep, independent of horizon movement.
+	retry := make([]string, 0, len(l.unswept))
+	for path := range l.unswept {
+		retry = append(retry, path)
+	}
+
+	if len(dead) == 0 && target == l.horizon {
+		l.mu.Unlock()
+		// Nothing to journal, but finish any pending sweep.
+		res := GCResult{Horizon: target}
+		l.sweep(retry, &res)
+		return res, nil
+	}
+
+	rec := &Record{Kind: KindGC, Horizon: target, Removes: dead}
+	if err := l.commit(rec); err != nil {
+		l.mu.Unlock()
+		return GCResult{}, err
+	}
+	seq := l.head
+	l.mu.Unlock()
+
+	l.stats.GCRuns.Add(1)
+	res := GCResult{Seq: seq, Horizon: target, Reclaimed: reclaim}
+	l.sweep(append(dead, retry...), &res)
+	return res, nil
+}
+
+// sweep unlinks journaled-dead container files, tracking failures for
+// retry by the next round.
+func (l *Lake) sweep(paths []string, res *GCResult) {
+	for _, path := range paths {
+		err := l.fsys.Remove(filepath.Join(l.root, path))
+		l.mu.Lock()
+		if err != nil && !errors.Is(err, fs.ErrNotExist) {
+			l.unswept[path] = true
+			res.SweepErrs++
+		} else {
+			delete(l.unswept, path)
+			res.Deleted++
+		}
+		l.mu.Unlock()
+	}
+}
+
+// String renders a GC result for logs.
+func (r GCResult) String() string {
+	if r.Seq == 0 && r.Deleted == 0 {
+		return "gc: no-op"
+	}
+	return fmt.Sprintf("gc: commit %d horizon %d deleted %d containers (%d bytes, %d sweep errors)",
+		r.Seq, r.Horizon, r.Deleted, r.Reclaimed, r.SweepErrs)
+}

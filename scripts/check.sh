@@ -3,10 +3,11 @@
 # sharded-cell smoke and the scaled-down Figure 5 sharded sweep with its
 # bit-identical scatter-gather oracle), a short-mode race lane, the
 # crash-recovery and network-chaos harnesses under -race (both enumerate
-# sharded schedules too), one iteration each of the parallel query and
-# ingest benchmarks (smoke-checks the concurrent read and fast write
-# paths), and short runs of the WAL, dbnet wire-decode, columnar segment
-# and shard map/merge fuzz targets.
+# sharded schedules too; torture includes the lake journal/compaction/GC
+# crash sites and chaos the ten lake storm schedules), one iteration each
+# of the parallel query and ingest benchmarks (smoke-checks the concurrent
+# read and fast write paths), and short runs of the WAL, dbnet wire-decode,
+# columnar segment, shard map/merge and lake journal fuzz targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,10 @@ go test -race -short ./...
 
 echo "==> crash-recovery torture harness (-race)"
 go test -race -count=1 ./internal/torture/
+
+echo "==> lake torture lane (short: sampled crash sites x all modes)"
+go test -race -short -count=1 -run 'TestLake' ./internal/torture/
+go test -race -count=1 ./internal/lake/
 
 echo "==> network chaos harness (-race)"
 go test -race -count=1 ./internal/chaos/
@@ -46,7 +51,8 @@ for spec in \
 	"./internal/dbnet/ FuzzDispatch" \
 	"./internal/colseg/ FuzzDecodeSegment" \
 	"./internal/shard/ FuzzDecodeShardMap" \
-	"./internal/shard/ FuzzMergeReplies"; do
+	"./internal/shard/ FuzzMergeReplies" \
+	"./internal/lake/ FuzzDecodeJournal"; do
 	pkg=${spec% *}
 	target=${spec#* }
 	echo "==> fuzz smoke: $pkg $target ($FUZZTIME)"
