@@ -419,7 +419,14 @@ func (a *Archive) appendManifestBatch(rels []string, metas []fileMeta) error {
 }
 
 // writeFileSync creates abs with data and forces it to stable storage.
+// Data files are created read-only (0444), so a crash-orphaned file of a
+// reused name is unlinked first — Create alone would fail with EACCES on
+// the 0444 leftover for non-root users, wedging the recovery paths that
+// rely on overwriting orphans.
 func (a *Archive) writeFileSync(abs string, data []byte, perm fs.FileMode) error {
+	if err := a.fsys.Remove(abs); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
 	f, err := a.fsys.Create(abs, perm)
 	if err != nil {
 		return err

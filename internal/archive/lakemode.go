@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -35,11 +37,93 @@ func NewLakeVFS(fsys VFS, id string, kind Kind, dir string, capacityBytes int64)
 	if err != nil {
 		return nil, err
 	}
+	// A directory that already holds a manifest-mode archive (pre-lake
+	// deployment) is imported into the journal before first use: opening
+	// it as an empty lake would orphan every file the location tables
+	// still reference.
+	if err := migrateManifest(fsys, kind, dir, lk); err != nil {
+		return nil, fmt.Errorf("archive: manifest→lake migration of %s: %w", dir, err)
+	}
 	return &Archive{
 		id: id, kind: kind, root: dir, fsys: fsys, online: true,
 		capacity: capacityBytes, files: make(map[string]fileMeta),
 		pending: make(map[string]bool), lk: lk,
 	}, nil
+}
+
+// migratedManifestName is where a consumed manifest is parked: its
+// presence marks a completed migration, its absence alongside a
+// MANIFEST.crc marks one to (re)run. Kept rather than deleted so an
+// operator can audit what the journal was seeded from.
+const migratedManifestName = manifestName + ".migrated"
+
+// migrateManifest imports a legacy manifest-mode archive into the journal:
+// every manifest member is read back (CRC-verified), stored through the
+// lake in bounded batches, and only then is the manifest moved aside and
+// the legacy bytes dropped. The steps are idempotent — a crash anywhere
+// resumes on the next open, skipping members the journal already holds —
+// and ordered so the journal owns a member's bytes before the manifest
+// copy can disappear.
+func migrateManifest(fsys VFS, kind Kind, dir string, lk *lake.Lake) error {
+	manifest := filepath.Join(dir, manifestName)
+	if _, err := fsys.ReadFile(manifest); errors.Is(err, fs.ErrNotExist) {
+		return nil
+	} else if err != nil {
+		return err
+	}
+	legacy, err := NewVFS(fsys, "legacy", kind, dir, 0)
+	if err != nil {
+		return err
+	}
+
+	var batch []lake.BatchFile
+	var batchBytes int64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := lk.StoreBatch(batch)
+		batch, batchBytes = nil, 0
+		return err
+	}
+	for _, rel := range legacy.List() {
+		if lk.Exists(rel) {
+			continue // an earlier interrupted migration already moved it
+		}
+		data, err := legacy.Read(rel)
+		if err != nil {
+			return fmt.Errorf("member %s: %w", rel, err)
+		}
+		batch = append(batch, lake.BatchFile{Rel: rel, Data: data})
+		batchBytes += int64(len(data))
+		if batchBytes >= 32<<20 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Seal: park the manifest, then drop the now-redundant legacy bytes.
+	// A crash between the two leaves unreferenced orphans, never a member
+	// whose only copy is gone.
+	if err := fsys.Rename(manifest, filepath.Join(dir, migratedManifestName)); err != nil {
+		return err
+	}
+	packs := make(map[string]bool)
+	for rel, meta := range legacy.files {
+		if meta.pack != "" {
+			packs[meta.pack] = true
+			continue
+		}
+		_ = fsys.Remove(filepath.Join(dir, rel))
+	}
+	for pack := range packs {
+		_ = fsys.Remove(filepath.Join(dir, pack))
+	}
+	return nil
 }
 
 // Lake returns the journal store behind a lake-mode archive (nil in

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
 	"testing"
 
 	"repro/internal/lake"
@@ -209,5 +210,90 @@ func TestLakeModeRestart(t *testing.T) {
 	}
 	if got, err := v2.Read("wavelet/u3.wav"); err != nil || string(got) != "w3" {
 		t.Fatalf("pinned read after restart: %q, %v", got, err)
+	}
+}
+
+// A pre-lake data directory (MANIFEST.crc + pack files) opened in lake
+// mode is imported into the journal, not served as an empty catalog that
+// would orphan every file the location tables reference.
+func TestManifestArchiveMigratesToLake(t *testing.T) {
+	dir := t.TempDir()
+	legacy, err := New("disk-0", Disk, dir, 0)
+	if err != nil {
+		t.Fatalf("legacy New: %v", err)
+	}
+	want := map[string][]byte{
+		"raw/d001/u1":    []byte("plain-stored-unit"),
+		"raw/d002/u2":    []byte("packed-unit-two"),
+		"wavelet/u2.wav": []byte("packed-wavelet"),
+	}
+	if err := legacy.Store("raw/d001/u1", want["raw/d001/u1"]); err != nil {
+		t.Fatalf("legacy store: %v", err)
+	}
+	if err := legacy.StoreBatch([]BatchFile{
+		{Rel: "raw/d002/u2", Data: want["raw/d002/u2"]},
+		{Rel: "wavelet/u2.wav", Data: want["wavelet/u2.wav"]},
+	}); err != nil {
+		t.Fatalf("legacy batch: %v", err)
+	}
+
+	// Upgrade: the same directory opens journal-backed.
+	a, err := NewLake("disk-0", Disk, dir, 0)
+	if err != nil {
+		t.Fatalf("NewLake over manifest dir: %v", err)
+	}
+	if a.Len() != len(want) {
+		t.Fatalf("migrated archive holds %d files, want %d (%v)", a.Len(), len(want), a.List())
+	}
+	for rel, data := range want {
+		got, err := a.Read(rel)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("migrated read %s: %q, %v", rel, got, err)
+		}
+	}
+	// The manifest is parked (completion marker), the legacy bytes dropped.
+	if legacy.fsys != nil {
+		if _, err := legacy.fsys.ReadFile(a.Root() + "/" + manifestName); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("MANIFEST.crc still present after migration: %v", err)
+		}
+		if _, err := legacy.fsys.ReadFile(a.Root() + "/" + migratedManifestName); err != nil {
+			t.Fatalf("parked manifest missing: %v", err)
+		}
+		if _, err := legacy.fsys.ReadFile(a.Root() + "/raw/d001/u1"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("legacy plain file survived migration: %v", err)
+		}
+		if _, err := legacy.fsys.ReadFile(a.Root() + "/packs/p00000000.pack"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("legacy pack survived migration: %v", err)
+		}
+	}
+
+	// Reopening is idempotent, and the migrated catalog is time-travelable.
+	a2, err := NewLake("disk-0", Disk, dir, 0)
+	if err != nil {
+		t.Fatalf("reopen migrated archive: %v", err)
+	}
+	if a2.Len() != len(want) {
+		t.Fatalf("reopened archive holds %d files", a2.Len())
+	}
+	v, err := a2.OpenAt(0)
+	if err != nil {
+		t.Fatalf("OpenAt over migrated data: %v", err)
+	}
+	defer v.Close()
+	for rel, data := range want {
+		got, err := v.Read(rel)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("as-of read %s: %q, %v", rel, got, err)
+		}
+	}
+	// Post-migration mutations behave like any lake archive.
+	if err := a2.Store("raw/d003/u3", []byte("post-migration")); err != nil {
+		t.Fatalf("store after migration: %v", err)
+	}
+	if err := a2.Remove("raw/d001/u1"); err != nil {
+		t.Fatalf("remove after migration: %v", err)
+	}
+	if a2.Exists("raw/d001/u1") {
+		t.Fatal("removed migrated member still live")
 	}
 }

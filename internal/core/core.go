@@ -126,8 +126,11 @@ func Start(cfg Config) (*Node, error) {
 	}
 	// The ingest archive is journal-backed (a lake): every store/delete is
 	// a commit, so the node serves time-travel reads and survives crashes
-	// by journal replay. Old manifest-mode archives keep working as
-	// secondary tiers (tape), registered separately.
+	// by journal replay. A data directory from a pre-lake deployment
+	// (MANIFEST.crc, pack files) is imported into the journal on first
+	// open, so members the location tables reference stay readable across
+	// the upgrade. Old manifest-mode archives keep working as secondary
+	// tiers (tape), registered separately.
 	arch, err := archive.NewLake("disk-0", archive.Disk, archDir, 0)
 	if err != nil {
 		return nil, err

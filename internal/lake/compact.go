@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -28,6 +29,14 @@ import (
 // with deletes and concurrent ingest: a member tombstoned between plan
 // and commit is simply not carried into the merged container, so
 // compaction can never resurrect deleted data.
+//
+// The commit also re-validates the opposite direction: a victim leaves
+// the view only if every member still live and served by it was read
+// whole (CRC-verified) into the merged container. A victim whose bytes
+// could not be read — I/O failure, truncation, checksum mismatch — stays
+// in the view untouched and the round reports the failure, because
+// removing it would silently drop its live members and let GC delete
+// bytes the live view still references.
 
 // CompactOptions tune victim selection.
 type CompactOptions struct {
@@ -69,6 +78,7 @@ func (o *CompactOptions) withDefaults() CompactOptions {
 type CompactResult struct {
 	Merged    int    // victim containers removed from the view
 	Members   int    // live members carried into the merged container
+	Skipped   int    // victims left in place: live members unreadable
 	Seq       uint64 // the compaction commit (0 when nothing was done)
 	OutBytes  int64
 	Container string
@@ -120,8 +130,21 @@ func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
 		}
 	}
 	if len(cands) < o.MinMerge {
-		l.mu.Unlock()
-		return CompactResult{}, nil
+		// A remove-only round needs no merge partner: retiring containers
+		// with no live members must not wait for MinMerge, or a lone
+		// fully-dead container would linger forever and GC could never
+		// reclaim its bytes.
+		var deadOnly []cand
+		for _, c := range cands {
+			if len(by[c.path]) == 0 {
+				deadOnly = append(deadOnly, c)
+			}
+		}
+		if len(deadOnly) == 0 {
+			l.mu.Unlock()
+			return CompactResult{}, nil
+		}
+		cands = deadOnly
 	}
 	// Oldest (smallest container seq) first: compaction drains the long
 	// tail of tiny early containers before touching recent ones.
@@ -149,26 +172,41 @@ func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
 		data []byte
 	}
 	var moves []moved
+	// got records which planned members were read whole per victim;
+	// readErr the first failure. The commit phase decides what a failure
+	// means: a victim retired by a racing compaction is dropped from the
+	// record, but a still-live victim with unreadable members must stay in
+	// the view, or its members would silently vanish.
+	got := make(map[string]map[string]bool, len(victims))
+	readErr := make(map[string]error, len(victims))
 	for _, path := range victims {
 		// One ReadFile per victim container, not one per member: slicing
 		// every member out of a single blob keeps a merge of an
 		// already-large container linear in its size.
 		blob, err := l.fsys.ReadFile(filepath.Join(l.root, path))
 		if err != nil {
-			// The victim may have been compacted+GC'd by a racing round;
-			// re-validation would drop it anyway. Skip.
+			readErr[path] = err
 			continue
 		}
+		ok := make(map[string]bool, len(planned[path]))
 		for _, m := range planned[path] {
 			if m.Off < 0 || m.Off+m.Size > int64(len(blob)) {
+				if readErr[path] == nil {
+					readErr[path] = fmt.Errorf("%w: %s (container %s truncated)", ErrCorrupt, m.Rel, path)
+				}
 				continue
 			}
 			data := blob[m.Off : m.Off+m.Size]
 			if crc32Sum(data) != m.CRC {
+				if readErr[path] == nil {
+					readErr[path] = fmt.Errorf("%w: %s", ErrCorrupt, m.Rel)
+				}
 				continue
 			}
+			ok[m.Rel] = true
 			moves = append(moves, moved{m: m, from: path, data: data})
 		}
+		got[path] = ok
 	}
 	sort.Slice(moves, func(i, j int) bool {
 		if moves[i].m.Day != moves[j].m.Day {
@@ -179,10 +217,46 @@ func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
 
 	// Commit (locked): re-validate, build the final layout, write, seal.
 	l.mu.Lock()
+	// Victims must still be live containers (a racing compaction may have
+	// removed some), and — the safety half of the re-validation — every
+	// member still live and served by a victim must have been read whole.
+	// The live set of an immutable container only shrinks between plan and
+	// commit, so checking the planned members covers every commit-time one.
+	var stillVictims []string
+	var skipped []string
+	var cause error
+	movable := make(map[string]bool, len(victims))
+	for _, path := range victims {
+		cs := l.ctrs[path]
+		if cs == nil || cs.removeSeq != 0 {
+			continue // already out of the view: drop from the record
+		}
+		whole := true
+		for _, m := range planned[path] {
+			if ref, ok := l.live[m.Rel]; ok && ref.path == path && !got[path][m.Rel] {
+				whole = false
+				break
+			}
+		}
+		if !whole {
+			skipped = append(skipped, path)
+			if cause == nil {
+				if cause = readErr[path]; cause == nil {
+					cause = ErrCorrupt
+				}
+			}
+			continue
+		}
+		movable[path] = true
+		stillVictims = append(stillVictims, path)
+	}
 	var members []Member
 	var blob []byte
 	var off int64
 	for _, mv := range moves {
+		if !movable[mv.from] {
+			continue // the victim stays in the view: leave its members home
+		}
 		ref, ok := l.live[mv.m.Rel]
 		if !ok || ref.path != mv.from {
 			continue // deleted or superseded since the plan: do not resurrect
@@ -193,18 +267,14 @@ func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
 		blob = append(blob, mv.data...)
 		off += int64(len(mv.data))
 	}
-	// Victims must still be live containers (a racing compaction may have
-	// removed some); removing an already-removed container is a no-op in
-	// apply(), but keeping the record minimal keeps replay honest.
-	var stillVictims []string
-	for _, path := range victims {
-		if cs := l.ctrs[path]; cs != nil && cs.removeSeq == 0 {
-			stillVictims = append(stillVictims, path)
-		}
+	var skipErr error
+	if len(skipped) > 0 {
+		skipErr = fmt.Errorf("lake: compaction left %d container(s) in the view with unreadable live members (%s): %w",
+			len(skipped), strings.Join(skipped, ", "), cause)
 	}
 	if len(stillVictims) == 0 {
 		l.mu.Unlock()
-		return CompactResult{}, nil
+		return CompactResult{Skipped: len(skipped)}, skipErr
 	}
 	rec := &Record{Kind: KindCompact, Removes: stillVictims}
 	if len(members) > 0 {
@@ -229,11 +299,11 @@ func (l *Lake) Compact(opts CompactOptions) (CompactResult, error) {
 	seq := l.head
 	l.mu.Unlock()
 	l.stats.Compactions.Add(1)
-	res := CompactResult{Merged: len(stillVictims), Members: len(members), Seq: seq, OutBytes: off}
+	res := CompactResult{Merged: len(stillVictims), Members: len(members), Skipped: len(skipped), Seq: seq, OutBytes: off}
 	if len(members) > 0 {
 		res.Container = outRel
 	}
-	return res, nil
+	return res, skipErr
 }
 
 func max64(a, b int64) int64 {
@@ -274,6 +344,10 @@ func (r CompactResult) String() string {
 	if r.Seq == 0 {
 		return "compact: no-op"
 	}
-	return fmt.Sprintf("compact: commit %d merged %d containers, %d members, %d bytes",
+	s := fmt.Sprintf("compact: commit %d merged %d containers, %d members, %d bytes",
 		r.Seq, r.Merged, r.Members, r.OutBytes)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(" (%d victims skipped: unreadable live members)", r.Skipped)
+	}
+	return s
 }

@@ -137,10 +137,21 @@ type Lake struct {
 	fsys VFS
 	root string
 
-	mu       sync.Mutex
-	records  []*Record
-	head     uint64
-	horizon  uint64
+	mu      sync.Mutex
+	records []*Record // replayed records above the horizon, oldest first
+
+	// The base view materializes every record at or below the GC horizon:
+	// baseCtrs/baseMembers are the containers and live members as of
+	// baseSeq. OpenAt rejects commits below the horizon, so a view only
+	// ever needs base + the retained tail — records below the horizon are
+	// folded in and dropped, keeping memory and view resolution bounded on
+	// a long-lived node instead of growing with all-time commit count.
+	baseSeq     uint64
+	baseCtrs    map[string]Container
+	baseMembers map[string]memberRef
+
+	head    uint64
+	horizon uint64
 	ctrs     map[string]*ctrState
 	live     map[string]memberRef
 	pins     map[string]uint64 // pin token -> pinned commit
@@ -160,15 +171,17 @@ type Lake struct {
 // Open loads (or creates) the lake rooted at dir.
 func Open(fsys VFS, dir string) (*Lake, error) {
 	l := &Lake{
-		fsys:    fsys,
-		root:    dir,
-		ctrs:    make(map[string]*ctrState),
-		live:    make(map[string]memberRef),
-		pins:    make(map[string]uint64),
-		pending: make(map[string]bool),
-		unswept: make(map[string]bool),
-		nextCtr: 1,
-		clock:   func() int64 { return time.Now().UnixNano() },
+		fsys:        fsys,
+		root:        dir,
+		baseCtrs:    make(map[string]Container),
+		baseMembers: make(map[string]memberRef),
+		ctrs:        make(map[string]*ctrState),
+		live:        make(map[string]memberRef),
+		pins:        make(map[string]uint64),
+		pending:     make(map[string]bool),
+		unswept:     make(map[string]bool),
+		nextCtr:     1,
+		clock:       func() int64 { return time.Now().UnixNano() },
 	}
 	if err := fsys.MkdirAll(filepath.Join(dir, containerDir), 0o755); err != nil {
 		return nil, err
@@ -216,6 +229,11 @@ func (l *Lake) load() error {
 		if err := l.publishHead(); err != nil {
 			return err
 		}
+	}
+	// Drop a head-pointer tmp stranded by a crash mid-publish; the next
+	// publishHead rewrites it from scratch anyway.
+	if err := l.fsys.Remove(l.headPath() + ".tmp"); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
 	}
 	// Finish any GC whose journal record landed but whose file deletions
 	// were interrupted; also retry previously failed sweeps.
@@ -316,6 +334,50 @@ func (l *Lake) apply(r *Record) {
 	}
 	l.head = r.Seq
 	l.records = append(l.records, r)
+	if r.Kind == KindGC {
+		l.pruneBelowHorizon()
+	}
+}
+
+// pruneBelowHorizon folds retained records at or below the GC horizon
+// into the base view and drops them from memory. Pin and GC records fold
+// to nothing here: their durable effects (l.pins, horizon, gcSeq) live in
+// state that replay already updated. Caller holds l.mu (or is load).
+func (l *Lake) pruneBelowHorizon() {
+	cut := 0
+	for cut < len(l.records) && l.records[cut].Seq <= l.horizon {
+		r := l.records[cut]
+		cut++
+		l.baseSeq = r.Seq
+		switch r.Kind {
+		case KindGC, KindPin, KindUnpin:
+			continue
+		}
+		for _, p := range r.Removes {
+			c, ok := l.baseCtrs[p]
+			if !ok {
+				continue
+			}
+			delete(l.baseCtrs, p)
+			for _, m := range c.Members {
+				if ref, ok := l.baseMembers[m.Rel]; ok && ref.path == p {
+					delete(l.baseMembers, m.Rel)
+				}
+			}
+		}
+		for _, c := range r.Adds {
+			l.baseCtrs[c.Path] = c
+			for _, m := range c.Members {
+				l.baseMembers[m.Rel] = memberRef{path: c.Path, m: m}
+			}
+		}
+		for _, rel := range r.Tombstones {
+			delete(l.baseMembers, rel)
+		}
+	}
+	if cut > 0 {
+		l.records = append([]*Record(nil), l.records[cut:]...)
+	}
 }
 
 func pinSeqOf(token string) int64 {
@@ -370,7 +432,14 @@ func (l *Lake) publishHead() error {
 }
 
 // writeFileSync creates abs with data and forces it to stable storage.
+// Containers are written read-only (0444, file data is immutable), so a
+// crash-orphaned file of a reused name must be unlinked first: Create
+// alone would fail with EACCES on the 0444 leftover for non-root users,
+// wedging exactly the recovery paths that rely on overwriting orphans.
 func (l *Lake) writeFileSync(abs string, data []byte) error {
+	if err := l.fsys.Remove(abs); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
 	f, err := l.fsys.Create(abs, 0o444)
 	if err != nil {
 		return err

@@ -629,3 +629,169 @@ func TestStatusShape(t *testing.T) {
 		t.Fatalf("status: %+v", st)
 	}
 }
+
+// A victim whose live members cannot be read back whole (rot, truncation,
+// I/O failure) must stay in the view: removing it would silently drop its
+// members from the live namespace and let GC delete bytes the catalog
+// still references.
+func TestCompactionSkipsUnreadableVictims(t *testing.T) {
+	l, dir := newTestLake(t)
+	l.Store("raw/d001/good", 1, []byte("good-one"))
+	l.Store("raw/d002/also", 2, []byte("good-two"))
+	l.Store("raw/d003/bad", 3, []byte("rotten-bytes"))
+
+	// Rot the container serving the third member.
+	l.mu.Lock()
+	rotted := l.live["raw/d003/bad"].path
+	l.mu.Unlock()
+	path := filepath.Join(dir, rotted)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := l.Compact(CompactOptions{SmallBytes: 1 << 20, MinMerge: 2, MaxMerge: 64})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("compact over a rotted victim reported %v, want ErrCorrupt", err)
+	}
+	if res.Skipped != 1 || res.Merged != 2 || res.Members != 2 {
+		t.Fatalf("compact result: %+v", res)
+	}
+	// The rotted member is still in the live namespace — unreadable, not
+	// silently lost — and its container survives GC.
+	if !l.Exists("raw/d003/bad") {
+		t.Fatal("compaction dropped a live member it could not move")
+	}
+	if _, err := l.Read("raw/d003/bad"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("read of rotted member: %v", err)
+	}
+	if _, err := l.GC(l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("GC deleted a container with live members: %v", err)
+	}
+	// The healthy victims merged normally and still read.
+	for rel, want := range map[string]string{"raw/d001/good": "good-one", "raw/d002/also": "good-two"} {
+		if got, err := l.Read(rel); err != nil || string(got) != want {
+			t.Fatalf("read %s: %q, %v", rel, got, err)
+		}
+	}
+}
+
+// A single container whose members are all tombstoned is retired by a
+// remove-only compaction round even below MinMerge; otherwise GC could
+// never reclaim its bytes.
+func TestLoneFullyDeadContainerRetired(t *testing.T) {
+	l, _ := newTestLake(t)
+	l.Store("raw/d001/u", 1, []byte("doomed"))
+	l.Delete([]string{"raw/d001/u"})
+	res, err := l.Compact(DefaultCompactOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq == 0 || res.Merged != 1 || res.Members != 0 {
+		t.Fatalf("remove-only compact: %+v", res)
+	}
+	gr, err := l.GC(l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Deleted != 1 {
+		t.Fatalf("gc after remove-only compact: %+v", gr)
+	}
+	if n := l.PhysBytes(); n != 0 {
+		t.Fatalf("phys bytes after reclaim: %d", n)
+	}
+}
+
+// Records at or below the GC horizon fold into the materialized base view
+// and leave memory, so a long-lived lake's replayed-record count tracks
+// the retained tail, not all-time commit count — and views at or above
+// the horizon still resolve identically, including after a restart.
+func TestJournalPrunedBelowHorizon(t *testing.T) {
+	l, dir := newTestLake(t)
+	for i := 0; i < 30; i++ {
+		if _, err := l.Store(fmt.Sprintf("raw/d%03d/u", i), int64(i), []byte(fmt.Sprintf("data-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Delete([]string{"raw/d000/u"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Compact(CompactOptions{SmallBytes: 1 << 20, MinMerge: 2, MaxMerge: 100}); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := l.GC(l.Head())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.mu.Lock()
+	retained, base := len(l.records), l.baseSeq
+	l.mu.Unlock()
+	if base != gr.Horizon {
+		t.Fatalf("base folded to %d, horizon is %d", base, gr.Horizon)
+	}
+	if retained != 1 { // only the GC record itself sits above the horizon
+		t.Fatalf("%d records retained after pruning", retained)
+	}
+	// The horizon view resolves from the base and serves the live catalog.
+	v, err := l.OpenAt(gr.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if v.Len() != 29 {
+		t.Fatalf("horizon view sees %d members", v.Len())
+	}
+	if got, err := v.Read("raw/d001/u"); err != nil || string(got) != "data-01" {
+		t.Fatalf("horizon view read: %q, %v", got, err)
+	}
+	if _, err := l.OpenAt(gr.Horizon - 1); !errors.Is(err, ErrHorizon) {
+		t.Fatalf("OpenAt below horizon: %v", err)
+	}
+	// Pruning is memory-only: a restart replays the same journal and
+	// serves the same catalog.
+	l2 := reopen(t, dir)
+	if l2.Len() != 29 {
+		t.Fatalf("reopened lake sees %d members", l2.Len())
+	}
+	if got, err := l2.Read("raw/d029/u"); err != nil || string(got) != "data-29" {
+		t.Fatalf("reopened read: %q, %v", got, err)
+	}
+}
+
+// Crash litter — a 0444 orphan container whose name will be reused and a
+// stale HEAD.lake.tmp — must not wedge the next open or store: data files
+// are unlinked before being recreated, since Create over a read-only
+// leftover fails for non-root users.
+func TestCrashLitterOverwritten(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, containerDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, containerDir, "c0000000001.ctr")
+	if err := os.WriteFile(orphan, []byte("orphaned-by-crash"), 0o444); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, headName+".tmp"), []byte("LHD1 torn"), 0o444); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(minidb.OSFS, dir)
+	if err != nil {
+		t.Fatalf("open over crash litter: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, headName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("stale head tmp survived load: %v", err)
+	}
+	if _, err := l.Store("raw/d001/u", 1, []byte("fresh")); err != nil {
+		t.Fatalf("store over orphaned container name: %v", err)
+	}
+	if got, err := l.Read("raw/d001/u"); err != nil || string(got) != "fresh" {
+		t.Fatalf("read: %q, %v", got, err)
+	}
+}

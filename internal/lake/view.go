@@ -17,11 +17,19 @@ type View struct {
 	closed  bool
 }
 
-// viewAt builds the member index as of seq by replaying the record prefix.
-// Caller holds l.mu.
+// viewAt builds the member index as of seq: the materialized base view at
+// the horizon plus a replay of the retained records in (baseSeq, seq].
+// OpenAt guarantees seq ≥ horizon ≥ baseSeq, so the folded-away prefix is
+// never needed. Caller holds l.mu.
 func (l *Lake) viewAt(seq uint64) map[string]memberRef {
-	members := make(map[string]memberRef)
-	ctrs := make(map[string]Container)
+	members := make(map[string]memberRef, len(l.baseMembers))
+	for rel, ref := range l.baseMembers {
+		members[rel] = ref
+	}
+	ctrs := make(map[string]Container, len(l.baseCtrs))
+	for p, c := range l.baseCtrs {
+		ctrs[p] = c
+	}
 	for _, r := range l.records {
 		if r.Seq > seq {
 			break
