@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded bench-timetravel torture chaos fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded bench-timetravel bench-tablesscale torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ bench-analytics:
 # commit-replay oracle check) and records BENCH_lake.json.
 bench-timetravel:
 	$(GO) run ./cmd/hedc-bench -exp timetravel -json .
+
+# bench-tablesscale measures the processing farm under concurrent mixed
+# load (farm-size sweep, preemption and speculation A/B tails, epoch-keyed
+# memoization with its bit-identity oracle) and records
+# BENCH_tablesscale.json.
+bench-tablesscale:
+	$(GO) run ./cmd/hedc-bench -exp tablesscale -json .
 
 # bench-fig5sharded measures the N-shard x M-replica cell against the
 # single-shard Figure 5 ceiling and records BENCH_fig5sharded.json. The

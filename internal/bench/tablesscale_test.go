@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTablesScaleSmoke runs a miniature of every phase of the farm
+// experiment. Mechanism outcomes (memo speedup, bit-identity, epoch
+// invalidation, hedges winning against the wedged interpreter) are
+// asserted; exact latencies are not — those belong to the full run.
+func TestTablesScaleSmoke(t *testing.T) {
+	p := TablesScaleParams{
+		Users: 3, JobsPerUser: 2, InteractiveShare: 0.7,
+		FarmSizes: []int{1, 2}, ManagerServers: 2, MaxInSystem: 8,
+		BulkFlood: 6, InteractiveProbes: 3,
+		CannedVariants: 2, WarmRepeats: 4,
+		HedgeJobs: 8, WedgeHang: 300 * time.Millisecond,
+		HedgeMin: 20 * time.Millisecond, HedgeMax: 40 * time.Millisecond,
+		DayLength: 600, BackgroundRate: 8, Seed: 42,
+	}
+	res, err := RunTablesScale(p, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Sweep) != 2 {
+		t.Fatalf("sweep points = %d", len(res.Sweep))
+	}
+	for _, pt := range res.Sweep {
+		if pt.Jobs != p.Users*p.JobsPerUser || pt.JobsPerSec <= 0 {
+			t.Fatalf("sweep point %+v", pt)
+		}
+	}
+	if res.Preemption.OnP99Ms <= 0 || res.Preemption.OffP99Ms <= 0 {
+		t.Fatalf("preemption phase empty: %+v", res.Preemption)
+	}
+
+	m := res.Memo
+	if !m.BitIdentical {
+		t.Fatalf("cached deliveries drifted: %+v", m)
+	}
+	if m.Speedup <= 1 {
+		t.Fatalf("memo speedup %.2fx, want > 1", m.Speedup)
+	}
+	if !m.InvalidationMiss {
+		t.Fatalf("recalibration did not invalidate: %+v", m)
+	}
+	if !m.RewarmHit {
+		t.Fatalf("cache not rewarmed under the new epoch: %+v", m)
+	}
+	if m.Hits < int64(p.WarmRepeats) {
+		t.Fatalf("hits = %d, want >= %d", m.Hits, p.WarmRepeats)
+	}
+
+	h := res.Hedge
+	if h.On.HedgesWon < 1 {
+		t.Fatalf("no hedge won against the wedged interpreter: %+v", h.On)
+	}
+	if h.On.Recoveries < 1 {
+		t.Fatalf("canceled primaries should restart the wedged interpreter: %+v", h.On)
+	}
+	if h.Off.HedgesLaunched != 0 {
+		t.Fatalf("hedge-off run launched hedges: %+v", h.Off)
+	}
+
+	out := FormatTablesScale(res)
+	for _, want := range []string{"Tables at scale", "managers", "preemption A/B", "memoization", "speculation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -235,10 +235,23 @@ func (n *Node) StartMaintenance(interval time.Duration) (stop func()) {
 		defer wg.Done()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
+		// The processing directory drops managers whose heartbeat goes
+		// stale, and the scheduler only dispatches to live managers — so
+		// the local manager's entry must be beaten well inside the
+		// staleness window or every analysis fails with "no processing
+		// capacity" one StaleAfter after startup.
+		beat := n.Dir.StaleAfter / 3
+		if beat <= 0 {
+			beat = 20 * time.Second
+		}
+		dirTicker := time.NewTicker(beat)
+		defer dirTicker.Stop()
 		for {
 			select {
 			case <-done:
 				return
+			case <-dirTicker.C:
+				_ = n.Dir.Heartbeat(n.Manager.ID())
 			case <-ticker.C:
 				for _, suffix := range []string{"/dm", "/pl", "/mgr", "/web"} {
 					_ = n.DM.ServiceHeartbeat(n.cfg.Node + suffix)

@@ -95,6 +95,33 @@ func (d *DM) cachedQuery(q minidb.Query) (*minidb.Result, error) {
 	return res, nil
 }
 
+// DataEpoch renders the commit epochs of a set of tables into one opaque
+// tag, for callers that cache derived results outside the DM (the PL's
+// analysis memoization). The tag changes iff some listed table's epoch
+// changes: per-table epochs are rendered individually (never folded), so
+// distinct states cannot collide. Shard-aware engines contribute their
+// query-scoped epoch through the same queryEpocher seam cachedQuery uses.
+// Read the tag BEFORE computing the result being cached — a commit racing
+// the computation then parks the entry under the older tag, conservative,
+// never stale-serving.
+func (d *DM) DataEpoch(tables ...string) string {
+	var b strings.Builder
+	for i, table := range tables {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		db := d.routeDB(table)
+		var epoch uint64
+		if qe, ok := db.(queryEpocher); ok {
+			epoch = qe.QueryEpoch(minidb.Query{Table: table})
+		} else {
+			epoch = db.TableEpoch(table)
+		}
+		b.WriteString(strconv.FormatUint(epoch, 10))
+	}
+	return b.String()
+}
+
 // fingerprint renders a Query into a canonical string. Every field that
 // affects the result set participates; values are length-prefixed so no
 // string content can collide with the structure.

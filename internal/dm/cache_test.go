@@ -1,10 +1,12 @@
 package dm
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/minidb"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // TestCountCacheHitAndInvalidation is the acceptance path for the
@@ -175,5 +177,49 @@ func TestCacheCapReset(t *testing.T) {
 	}
 	if _, ok := c.get("c", 2); ok {
 		t.Fatal("epoch mismatch must miss")
+	}
+}
+
+// TestDataEpoch: the multi-table epoch tag changes exactly when a listed
+// table commits — per-table epochs are rendered, never folded, so distinct
+// states cannot collide.
+func TestDataEpoch(t *testing.T) {
+	d := newTestDM(t)
+	tag0 := d.DataEpoch(schema.TableRawUnits, schema.TableViews)
+	if tag0 == "" || !strings.Contains(tag0, ".") {
+		t.Fatalf("tag = %q", tag0)
+	}
+	if again := d.DataEpoch(schema.TableRawUnits, schema.TableViews); again != tag0 {
+		t.Fatalf("tag unstable without commits: %q then %q", tag0, again)
+	}
+
+	// A commit to a listed table changes the tag...
+	day := telemetry.GenerateDay(1, telemetry.Config{Seed: 3, DayLength: 600, BackgroundRate: 2})
+	if _, err := d.LoadUnit(telemetry.SegmentDay(day, 600)[0]); err != nil {
+		t.Fatal(err)
+	}
+	tag1 := d.DataEpoch(schema.TableRawUnits, schema.TableViews)
+	if tag1 == tag0 {
+		t.Fatal("raw_units commit did not change the tag")
+	}
+
+	// ...a commit to an unlisted table does not.
+	if err := d.CreateUser("epoch-probe", "pw", GroupScientist, RightBrowse); err != nil {
+		t.Fatal(err)
+	}
+	if tag2 := d.DataEpoch(schema.TableRawUnits, schema.TableViews); tag2 != tag1 {
+		t.Fatalf("unlisted-table commit changed the tag: %q -> %q", tag1, tag2)
+	}
+
+	// Recalibration is a raw_units commit: the invalidation trigger.
+	units, err := d.UnitsInRange(0, 600)
+	if err != nil || len(units) == 0 {
+		t.Fatalf("units: %v %v", units, err)
+	}
+	if _, err := d.Recalibrate(units[0].UnitID, "probe"); err != nil {
+		t.Fatal(err)
+	}
+	if tag3 := d.DataEpoch(schema.TableRawUnits, schema.TableViews); tag3 == tag1 {
+		t.Fatal("recalibration did not change the tag")
 	}
 }

@@ -68,6 +68,9 @@ type Stats struct {
 	Failures    int64
 	Crashes     int64
 	Restarts    int64
+	// BusySeconds really is seconds: it accumulates time.Since(...).Seconds()
+	// per invocation (unlike pl.Manager, which counts milliseconds
+	// internally and converts once at the stats boundary).
 	BusySeconds float64
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dm"
@@ -30,9 +31,11 @@ type Request struct {
 	Type     string
 	Session  *dm.Session
 	Params   idl.Args
-	Priority int    // higher runs earlier
+	Tier     Tier   // scheduling class (zero value = interactive)
+	Priority int    // higher runs earlier within its tier
 	Location string // restrict execution to managers at this location ("" = any)
 	NoCommit bool   // stop after delivery (preview)
+	NoMemo   bool   // bypass the result cache for this request
 }
 
 // Estimate is the result of the estimation phase: "a simple predictor to
@@ -48,7 +51,8 @@ type Estimate struct {
 }
 
 // Delivery carries the execution results to the commit phase and to the
-// user ("results are made available").
+// user ("results are made available"). Deliveries may be shared between
+// tickets through the result cache: treat them as immutable.
 type Delivery struct {
 	Files  []dm.StoredFile
 	Result idl.Args
@@ -79,6 +83,13 @@ const (
 	StatusCanceled  = "canceled"
 )
 
+// Pipeline stages a ticket passes through on the frontend's worker pool.
+// Farm execution happens between them, asynchronously, on the scheduler.
+const (
+	stagePrepare = iota // run Prepare, dispatch to the farm (or hit the cache)
+	stageFinish         // interpret the farm result: Deliver + Commit
+)
+
 // Ticket tracks an accepted request through its phases.
 type Ticket struct {
 	Request  *Request
@@ -90,6 +101,7 @@ type Ticket struct {
 	delivery *Delivery
 	entityID string
 	err      error
+	terminal bool
 
 	done   chan struct{}
 	ctx    context.Context
@@ -100,6 +112,16 @@ type Ticket struct {
 	finished  time.Time
 	seq       int64
 	index     int // heap bookkeeping
+
+	// Worker-pipeline state. stage and the exec results are only touched
+	// with the ticket off the queue (push/pop under f.mu sequence them).
+	stage   int
+	execOut idl.Args
+	execErr error
+
+	memoKey   string
+	memoEpoch string
+	memoOK    bool
 }
 
 // Status returns the ticket's current status and phase.
@@ -143,32 +165,45 @@ func (t *Ticket) SojournSeconds() float64 {
 // interrupted through their context and clean up the current phase.
 func (t *Ticket) Cancel() { t.cancel() }
 
-// ticketHeap orders by (priority desc, submission order).
-type ticketHeap []*Ticket
-
-func (h ticketHeap) Len() int { return len(h) }
-func (h ticketHeap) Less(i, j int) bool {
-	if h[i].Request.Priority != h[j].Request.Priority {
-		return h[i].Request.Priority > h[j].Request.Priority
-	}
-	return h[i].seq < h[j].seq
+// ticketHeap orders the frontend's worker queue. Tickets coming back from
+// the farm (stageFinish) run before fresh ones — finishing work frees
+// admission slots; then, when tiering is on, interactive before bulk;
+// then (priority desc, submission order).
+type ticketHeap struct {
+	ts     []*Ticket
+	tiered bool
 }
-func (h ticketHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h *ticketHeap) Len() int { return len(h.ts) }
+func (h *ticketHeap) Less(i, j int) bool {
+	a, b := h.ts[i], h.ts[j]
+	if a.stage != b.stage {
+		return a.stage > b.stage
+	}
+	if h.tiered && a.Request.Tier != b.Request.Tier {
+		return a.Request.Tier < b.Request.Tier
+	}
+	if a.Request.Priority != b.Request.Priority {
+		return a.Request.Priority > b.Request.Priority
+	}
+	return a.seq < b.seq
+}
+func (h *ticketHeap) Swap(i, j int) {
+	h.ts[i], h.ts[j] = h.ts[j], h.ts[i]
+	h.ts[i].index = i
+	h.ts[j].index = j
 }
 func (h *ticketHeap) Push(x interface{}) {
 	t := x.(*Ticket)
-	t.index = len(*h)
-	*h = append(*h, t)
+	t.index = len(h.ts)
+	h.ts = append(h.ts, t)
 }
 func (h *ticketHeap) Pop() interface{} {
-	old := *h
+	old := h.ts
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
-	*h = old[:n-1]
+	h.ts = old[:n-1]
 	return t
 }
 
@@ -183,22 +218,42 @@ type FrontendStats struct {
 	Queued    int
 }
 
+// FarmStats aggregates the whole processing farm for /stats: frontend
+// outcomes, scheduler behaviour (steals, preemptions, hedges), the result
+// cache, and the per-manager interpreter pools.
+type FarmStats struct {
+	Frontend FrontendStats
+	Sched    SchedStats
+	Memo     MemoStats
+	Managers []ManagerStats
+}
+
 // Frontend is the primary controller: it accepts requests, runs the
-// estimation phase inline, and schedules execution/delivery/commit on its
-// worker pool by priority. MaxInSystem bounds admitted-but-unfinished
-// requests (the §8 tests cap this at 20).
+// estimation phase inline, and pipelines admitted tickets through its
+// worker pool — Prepare and Deliver/Commit on the workers, execution on
+// the work-stealing farm scheduler, with memoized deliveries served
+// before any staging work. MaxInSystem bounds admitted-but-unfinished
+// requests (the §8 tests cap this at 20); a slice of those slots is
+// reserved for interactive requests so bulk reprocessing can never block
+// an interactive Submit at the admission gate.
 type Frontend struct {
 	dir         *Directory
+	sched       *Scheduler
 	strategies  map[string]Strategy
 	workers     int
 	maxInSystem int
 
-	mu       sync.Mutex
-	queue    ticketHeap
-	inSystem int
-	seq      int64
-	wake     *sync.Cond
-	closed   bool
+	mu           sync.Mutex
+	queue        ticketHeap
+	inSystem     int
+	bulkInSystem int
+	reserve      int // admission slots bulk may not occupy
+	seq          int64
+	wake         *sync.Cond
+	closed       bool
+
+	memo   *memoCache
+	memoOn atomic.Bool
 
 	stats struct {
 		submitted, committed, delivered, failed, canceled int64
@@ -217,12 +272,53 @@ func NewFrontend(dir *Directory, workers, maxInSystem int) *Frontend {
 	f := &Frontend{
 		dir: dir, strategies: make(map[string]Strategy),
 		workers: workers, maxInSystem: maxInSystem,
+		sched: NewScheduler(dir, DefaultHedgeConfig()),
+		memo:  newMemoCache(1024),
 	}
+	f.queue.tiered = true
+	f.reserve = interactiveReserve(maxInSystem)
+	f.memoOn.Store(true)
 	f.wake = sync.NewCond(&f.mu)
 	for i := 0; i < workers; i++ {
 		go f.worker()
 	}
 	return f
+}
+
+// interactiveReserve sizes the admission slots bulk work may not take:
+// a quarter of the gate, at least one — unless the gate is a single slot,
+// where reserving it would deadlock bulk entirely.
+func interactiveReserve(maxInSystem int) int {
+	if maxInSystem <= 1 {
+		return 0
+	}
+	if r := maxInSystem / 4; r > 1 {
+		return r
+	}
+	return 1
+}
+
+// SetMemoize toggles the result cache (on by default).
+func (f *Frontend) SetMemoize(on bool) { f.memoOn.Store(on) }
+
+// SetHedge replaces the farm's speculative re-dispatch policy.
+func (f *Frontend) SetHedge(cfg HedgeConfig) { f.sched.SetHedge(cfg) }
+
+// SetPreemption toggles priority tiering end to end: the scheduler's
+// tiered deques and the frontend's reserved admission slots. Off is the
+// pre-farm baseline (single shared FIFO, priority only).
+func (f *Frontend) SetPreemption(on bool) {
+	f.sched.SetPreemption(on)
+	f.mu.Lock()
+	f.queue.tiered = on
+	if on {
+		f.reserve = interactiveReserve(f.maxInSystem)
+	} else {
+		f.reserve = 0
+	}
+	heap.Init(&f.queue)
+	f.wake.Broadcast()
+	f.mu.Unlock()
 }
 
 // RegisterStrategy installs a request type. "Incorporating new processing
@@ -256,9 +352,39 @@ func (f *Frontend) EstimateOnly(req *Request) (*Estimate, error) {
 	return s.Estimate(req)
 }
 
+// admitLocked reports whether a request of the given tier may enter the
+// system now. Interactive requests see the full gate; bulk ones stop
+// short of the reserved slice, so an interactive Submit never blocks
+// behind bulk at the MaxInSystem gate.
+func (f *Frontend) admitLocked(tier Tier) bool {
+	if f.inSystem >= f.maxInSystem {
+		return false
+	}
+	if tier == TierBulk && f.bulkInSystem >= f.maxInSystem-f.reserve {
+		return false
+	}
+	return true
+}
+
+// release returns an admission slot.
+func (f *Frontend) release(tier Tier) {
+	f.mu.Lock()
+	f.releaseLocked(tier)
+	f.mu.Unlock()
+}
+
+func (f *Frontend) releaseLocked(tier Tier) {
+	f.inSystem--
+	if tier == TierBulk {
+		f.bulkInSystem--
+	}
+	f.wake.Broadcast()
+}
+
 // Submit admits a request: estimation runs inline, then the ticket queues
-// for execution. Submission blocks while the system is at its admission
-// limit, matching the closed-loop workload of the processing tests.
+// for the worker pipeline. Submission blocks while the request's tier is
+// at its admission limit, matching the closed-loop workload of the
+// processing tests.
 func (f *Frontend) Submit(req *Request) (*Ticket, error) {
 	f.mu.Lock()
 	s, ok := f.strategies[req.Type]
@@ -266,14 +392,17 @@ func (f *Frontend) Submit(req *Request) (*Ticket, error) {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("pl: unknown request type %q", req.Type)
 	}
-	for f.inSystem >= f.maxInSystem && !f.closed {
+	for !f.admitLocked(req.Tier) && !f.closed {
 		f.wake.Wait()
 	}
 	if f.closed {
 		f.mu.Unlock()
-		return nil, fmt.Errorf("pl: frontend is shut down")
+		return nil, ErrShutdown
 	}
 	f.inSystem++
+	if req.Tier == TierBulk {
+		f.bulkInSystem++
+	}
 	f.seq++
 	seq := f.seq
 	f.stats.submitted++
@@ -281,11 +410,11 @@ func (f *Frontend) Submit(req *Request) (*Ticket, error) {
 
 	est, err := s.Estimate(req)
 	if err != nil {
-		f.finish(nil)
+		f.release(req.Tier)
 		return nil, err
 	}
 	if !est.Feasible {
-		f.finish(nil)
+		f.release(req.Tier)
 		return nil, fmt.Errorf("pl: request infeasible: %s", est.Reason)
 	}
 
@@ -294,56 +423,95 @@ func (f *Frontend) Submit(req *Request) (*Ticket, error) {
 		Request: req, Estimate: est,
 		status: StatusQueued, phase: PhaseEstimation,
 		done: make(chan struct{}), ctx: ctx, cancel: cancel,
-		submitted: time.Now(), seq: seq,
+		submitted: time.Now(), seq: seq, index: -1,
 	}
-	t.index = -1
-	go func() { // cancellation of a still-queued ticket
-		select {
-		case <-t.done:
-			return
-		case <-ctx.Done():
-		}
-		f.mu.Lock()
-		t.mu.Lock()
-		if t.status == StatusQueued && t.index >= 0 && t.index < len(f.queue) && f.queue[t.index] == t {
-			heap.Remove(&f.queue, t.index)
-			t.index = -1
-			t.status = StatusCanceled
-			t.err = context.Canceled
-			t.finished = time.Now()
-			f.stats.canceled++
-			f.inSystem--
-			f.wake.Broadcast()
-			t.mu.Unlock()
-			f.mu.Unlock()
-			close(t.done)
-			return
-		}
-		t.mu.Unlock()
-		f.mu.Unlock()
-	}()
+	go f.watchCancel(t)
 
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.terminate(t, StatusFailed, ErrShutdown)
+		return nil, ErrShutdown
+	}
 	heap.Push(&f.queue, t)
 	f.wake.Broadcast()
 	f.mu.Unlock()
 	return t, nil
 }
 
-// finish releases an admission slot.
-func (f *Frontend) finish(_ *Ticket) {
+// watchCancel terminates a ticket whose context is canceled while it sits
+// in the worker queue (either stage). Tickets being actively processed
+// observe the context through the stage code instead.
+func (f *Frontend) watchCancel(t *Ticket) {
+	select {
+	case <-t.done:
+		return
+	case <-t.ctx.Done():
+	}
 	f.mu.Lock()
-	f.inSystem--
-	f.wake.Broadcast()
+	inQueue := t.index >= 0 && t.index < f.queue.Len() && f.queue.ts[t.index] == t
+	if inQueue {
+		heap.Remove(&f.queue, t.index)
+		t.index = -1
+	}
 	f.mu.Unlock()
+	if inQueue {
+		f.terminate(t, StatusCanceled, context.Canceled)
+	}
 }
 
-// Close drains the queue and stops accepting work.
+// terminate resolves a ticket exactly once: terminal status, outcome
+// counters, admission release, done broadcast. Every completion path —
+// worker stages, cancellation watcher, shutdown drain — funnels through
+// here, so racing resolvers cannot double-release an admission slot.
+func (f *Frontend) terminate(t *Ticket, status string, err error) {
+	t.mu.Lock()
+	if t.terminal {
+		t.mu.Unlock()
+		return
+	}
+	t.terminal = true
+	t.status = status
+	t.err = err
+	t.finished = time.Now()
+	t.mu.Unlock()
+
+	f.mu.Lock()
+	switch status {
+	case StatusCanceled:
+		f.stats.canceled++
+	case StatusFailed:
+		f.stats.failed++
+	case StatusCommitted:
+		f.stats.committed++
+	}
+	f.releaseLocked(t.Request.Tier)
+	f.mu.Unlock()
+	close(t.done)
+}
+
+// Close refuses new work, fails every queued ticket with ErrShutdown
+// (their Wait unblocks — a queued ticket can no longer hang on a shut
+// frontend), drains the farm scheduler, and lets the workers exit.
 func (f *Frontend) Close() {
 	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
 	f.closed = true
+	var orphans []*Ticket
+	for f.queue.Len() > 0 {
+		t := heap.Pop(&f.queue).(*Ticket)
+		t.index = -1
+		orphans = append(orphans, t)
+	}
 	f.wake.Broadcast()
 	f.mu.Unlock()
+	f.sched.Close()
+	for _, t := range orphans {
+		f.terminate(t, StatusFailed, ErrShutdown)
+	}
 }
 
 // Stats snapshots the counters.
@@ -357,146 +525,165 @@ func (f *Frontend) Stats() FrontendStats {
 		Failed:    f.stats.failed,
 		Canceled:  f.stats.canceled,
 		InSystem:  f.inSystem,
-		Queued:    len(f.queue),
+		Queued:    f.queue.Len(),
 	}
+}
+
+// FarmStats snapshots the whole farm.
+func (f *Frontend) FarmStats() FarmStats {
+	fs := FarmStats{
+		Frontend: f.Stats(),
+		Sched:    f.sched.Stats(),
+		Memo:     f.memo.stats(),
+	}
+	for _, info := range f.dir.Managers("") {
+		if m := info.Manager(); m != nil {
+			fs.Managers = append(fs.Managers, m.Stats())
+		}
+	}
+	return fs
 }
 
 func (f *Frontend) worker() {
 	for {
 		f.mu.Lock()
-		for len(f.queue) == 0 && !f.closed {
+		for f.queue.Len() == 0 && !f.closed {
 			f.wake.Wait()
 		}
-		if f.closed && len(f.queue) == 0 {
+		if f.queue.Len() == 0 {
 			f.mu.Unlock()
 			return
 		}
 		t := heap.Pop(&f.queue).(*Ticket)
 		t.index = -1
 		s := f.strategies[t.Request.Type]
-		t.mu.Lock()
-		if t.status == StatusCanceled {
-			t.mu.Unlock()
-			f.mu.Unlock()
-			continue
-		}
-		t.status = StatusRunning
-		t.started = time.Now()
-		t.mu.Unlock()
 		f.mu.Unlock()
 
-		f.run(t, s)
-		f.finish(t)
+		if t.stage == stageFinish {
+			f.finishExec(t, s)
+		} else {
+			f.prepare(t, s)
+		}
 	}
 }
 
-// run drives the execution, delivery and commit phases.
-func (f *Frontend) run(t *Ticket, s Strategy) {
-	fail := func(status string, err error) {
-		t.mu.Lock()
-		t.status = status
-		t.err = err
-		t.finished = time.Now()
-		t.mu.Unlock()
-		f.mu.Lock()
-		if status == StatusCanceled {
-			f.stats.canceled++
-		} else {
-			f.stats.failed++
-		}
-		f.mu.Unlock()
-		close(t.done)
-	}
-
-	// Execution.
-	t.mu.Lock()
-	t.phase = PhaseExecution
-	canceled := t.status == StatusCanceled
-	t.mu.Unlock()
-	if canceled {
-		fail(StatusCanceled, context.Canceled)
+// prepare runs the first worker stage: serve from the result cache if
+// possible, otherwise stage data (Strategy.Prepare) and hand the
+// invocation to the farm scheduler. The worker is free again the moment
+// dispatch returns; execDone requeues the ticket when the farm finishes.
+func (f *Frontend) prepare(t *Ticket, s Strategy) {
+	if err := t.ctx.Err(); err != nil {
+		f.terminate(t, StatusCanceled, err)
 		return
 	}
+	t.mu.Lock()
+	t.status = StatusRunning
+	t.phase = PhaseExecution
+	t.started = time.Now()
+	t.mu.Unlock()
+
+	// Result cache: key and epoch are computed before any staging work, so
+	// a hit skips Prepare entirely and a commit racing past this point
+	// makes the stored entry a future miss rather than a stale hit.
+	if f.memoOn.Load() && !t.Request.NoMemo {
+		if ck, ok := s.(CacheKeyer); ok {
+			if key, epoch, kOK := ck.CacheKey(t.Request); kOK {
+				t.memoKey, t.memoEpoch, t.memoOK = key, epoch, true
+				if del, hit := f.memo.get(key, epoch); hit {
+					f.deliver(t, s, del)
+					return
+				}
+			}
+		}
+	}
+
 	routine, args, err := s.Prepare(t.Request)
 	if err != nil {
-		fail(StatusFailed, err)
+		f.terminate(t, StatusFailed, err)
 		return
 	}
-	mgr := f.pickManager(t.Request.Location)
-	if mgr == nil {
-		fail(StatusFailed, fmt.Errorf("pl: no processing capacity at %q", t.Request.Location))
-		return
-	}
-	out, err := mgr.Invoke(t.ctx, routine, args)
+	err = f.sched.Go(t.ctx, TaskSpec{
+		Routine: routine, Args: args,
+		Tier: t.Request.Tier, Priority: t.Request.Priority,
+		Location:     t.Request.Location,
+		EstimateSecs: t.Estimate.Seconds,
+	}, func(out idl.Args, err error) { f.execDone(t, out, err) })
 	if err != nil {
+		f.terminate(t, StatusFailed, err)
+	}
+}
+
+// execDone receives the farm's result and requeues the ticket for its
+// finishing stage (Deliver/Commit) on the worker pool.
+func (f *Frontend) execDone(t *Ticket, out idl.Args, err error) {
+	if err != nil && t.ctx.Err() != nil {
+		f.terminate(t, StatusCanceled, err)
+		return
+	}
+	t.execOut, t.execErr = out, err
+	t.stage = stageFinish
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		f.terminate(t, StatusFailed, ErrShutdown)
+		return
+	}
+	heap.Push(&f.queue, t)
+	f.wake.Broadcast()
+	f.mu.Unlock()
+}
+
+// finishExec runs the second worker stage: interpret the farm result,
+// populate the cache, deliver and commit.
+func (f *Frontend) finishExec(t *Ticket, s Strategy) {
+	if t.execErr != nil {
 		if t.ctx.Err() != nil {
-			fail(StatusCanceled, err)
+			f.terminate(t, StatusCanceled, t.execErr)
 		} else {
-			fail(StatusFailed, err)
+			f.terminate(t, StatusFailed, t.execErr)
 		}
 		return
 	}
-
-	// Delivery.
 	t.mu.Lock()
 	t.phase = PhaseDelivery
 	t.mu.Unlock()
-	del, err := s.Deliver(t.Request, out)
+	del, err := s.Deliver(t.Request, t.execOut)
 	if err != nil {
-		fail(StatusFailed, err)
+		f.terminate(t, StatusFailed, err)
 		return
 	}
+	if t.memoOK && f.memoOn.Load() {
+		f.memo.put(t.memoKey, t.memoEpoch, del)
+	}
+	f.deliver(t, s, del)
+}
+
+// deliver runs the delivery and commit phases over a delivery object
+// (freshly computed or served from the cache).
+func (f *Frontend) deliver(t *Ticket, s Strategy, del *Delivery) {
 	t.mu.Lock()
 	t.delivery = del
 	t.status = StatusDelivered
+	t.phase = PhaseDelivery
 	t.mu.Unlock()
 	f.mu.Lock()
 	f.stats.delivered++
 	f.mu.Unlock()
 
 	if t.Request.NoCommit {
-		t.mu.Lock()
-		t.finished = time.Now()
-		t.mu.Unlock()
-		close(t.done)
+		f.terminate(t, StatusDelivered, nil)
 		return
 	}
-
-	// Commit.
 	t.mu.Lock()
 	t.phase = PhaseCommit
 	t.mu.Unlock()
 	id, err := s.Commit(t.Request, del)
 	if err != nil {
-		fail(StatusFailed, err)
+		f.terminate(t, StatusFailed, err)
 		return
 	}
 	t.mu.Lock()
 	t.entityID = id
-	t.status = StatusCommitted
-	t.finished = time.Now()
 	t.mu.Unlock()
-	f.mu.Lock()
-	f.stats.committed++
-	f.mu.Unlock()
-	close(t.done)
-}
-
-// pickManager selects the manager with the most idle capacity at the
-// requested location (round-robin on ties through sorted order).
-func (f *Frontend) pickManager(location string) *Manager {
-	infos := f.dir.Managers(location)
-	var best *Manager
-	bestScore := -1
-	for _, info := range infos {
-		m := info.Manager()
-		if m == nil {
-			continue
-		}
-		score := len(m.idle)
-		if score > bestScore {
-			best, bestScore = m, score
-		}
-	}
-	return best
+	f.terminate(t, StatusCommitted, nil)
 }

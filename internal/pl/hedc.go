@@ -328,6 +328,26 @@ func (a *AnalysisStrategy) Commit(req *Request, del *Delivery) (string, error) {
 	return id, nil
 }
 
+// CacheKey implements CacheKeyer. An analysis delivery is a pure function
+// of the decoded parameters and the raw_units/views catalog state: photon
+// items are write-once (recalibration bumps raw_units rows, never rewrites
+// item bytes), unit/view membership changes commit to those two tables, and
+// sessions carry no data visibility for raw telemetry — so those tables'
+// epochs are exactly the delivery's input version. Commits of results
+// (loc_*, ana, hle) deliberately do not participate: they cannot change
+// what a re-run would compute.
+func (a *AnalysisStrategy) CacheKey(req *Request) (string, string, bool) {
+	p, err := a.params(req)
+	if err != nil {
+		return "", "", false
+	}
+	key := fmt.Sprintf("%s|view=%t|ts=%g|te=%g|e=%g:%g|b=%d:%d|img=%d|px=%g|c=%g:%g|f=%g",
+		a.anaType, a.useView(req),
+		p.TStart, p.TStop, p.EMin, p.EMax, p.TimeBins, p.EnergyBins,
+		p.ImageSize, p.PixelSize, p.CenterX, p.CenterY, p.ApproxFrac)
+	return key, a.dm.DataEpoch(schema.TableRawUnits, schema.TableViews), true
+}
+
 func algorithmName(anaType string) string {
 	switch anaType {
 	case schema.AnaImaging:

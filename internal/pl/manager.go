@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,11 +29,15 @@ type Manager struct {
 	invocations atomic.Int64
 	timeouts    atomic.Int64
 	recoveries  atomic.Int64
-	busySecs    atomic.Int64 // milliseconds, stored as int for atomicity
+	// busyMillis accumulates interpreter-occupied wall time in
+	// milliseconds (an int so it can live in an atomic); it is converted
+	// to seconds exactly once, in Stats.
+	busyMillis atomic.Int64
 }
 
 // ManagerStats summarizes a manager's activity.
 type ManagerStats struct {
+	ID          string
 	Servers     int
 	Invocations int64
 	Timeouts    int64
@@ -120,14 +125,35 @@ func (m *Manager) Servers() int {
 	return len(m.servers)
 }
 
+// ServerIDs lists the pool's interpreter ids, sorted.
+func (m *Manager) ServerIDs() []string {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.servers))
+	for id := range m.servers {
+		out = append(out, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Server returns one interpreter by id (nil if unknown) — the seam fault
+// harnesses use to wedge or crash a specific interpreter.
+func (m *Manager) Server(id string) *idl.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.servers[id]
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
+		ID:          m.id,
 		Servers:     m.Servers(),
 		Invocations: m.invocations.Load(),
 		Timeouts:    m.timeouts.Load(),
 		Recoveries:  m.recoveries.Load(),
-		BusySeconds: float64(m.busySecs.Load()) / 1e3,
+		BusySeconds: float64(m.busyMillis.Load()) / 1e3,
 	}
 }
 
@@ -148,7 +174,7 @@ func (m *Manager) Invoke(ctx context.Context, routine string, args idl.Args) (id
 	callCtx, cancel := context.WithTimeout(ctx, m.timeout)
 	out, err := srv.Invoke(callCtx, routine, args)
 	cancel()
-	m.busySecs.Add(time.Since(start).Milliseconds())
+	m.busyMillis.Add(time.Since(start).Milliseconds())
 
 	switch {
 	case err == nil:

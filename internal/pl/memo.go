@@ -1,0 +1,90 @@
+package pl
+
+import "sync"
+
+// Result memoization for the processing farm. Repeated analyses of quiet
+// periods dominate scientific load (canned views, re-run reports), and an
+// analysis delivery is a pure function of its canonical parameters and
+// the state of the tables it reads — so a cached delivery keyed by
+// (routine, canonical params, data epoch) is valid exactly while those
+// tables' commit epochs are unchanged, the same invalidation contract as
+// the DM query cache (internal/dm/cache.go). No timers, no explicit
+// invalidation: a commit to an input table bumps its epoch and the next
+// lookup misses. The epoch is captured BEFORE any staging work, so a
+// commit racing a computation parks the entry under the older epoch —
+// conservative, never stale-serving.
+
+// CacheKeyer is implemented by strategies whose deliveries are memoizable:
+// CacheKey returns a canonical parameter key and the epoch tag of the data
+// the delivery depends on. ok=false opts the request out (e.g. params that
+// fail to decode — let Prepare produce the real error).
+type CacheKeyer interface {
+	CacheKey(req *Request) (key, epoch string, ok bool)
+}
+
+// MemoStats counts result-cache traffic.
+type MemoStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate is hits over attempted lookups (0 when none).
+func (m MemoStats) HitRate() float64 {
+	if n := m.Hits + m.Misses; n > 0 {
+		return float64(m.Hits) / float64(n)
+	}
+	return 0
+}
+
+type memoEntry struct {
+	epoch string
+	del   *Delivery
+}
+
+// memoCache maps canonical keys to deliveries tagged with the data epoch
+// they were computed against. Like the DM cache, capacity overflow drops
+// the whole map — epoch churn retires entries anyway; the cap only guards
+// against key-cardinality blowup.
+type memoCache struct {
+	mu           sync.Mutex
+	m            map[string]memoEntry
+	cap          int
+	hits, misses int64
+}
+
+func newMemoCache(capacity int) *memoCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &memoCache{m: make(map[string]memoEntry), cap: capacity}
+}
+
+// get returns the cached delivery if its epoch tag still matches.
+// Deliveries are SHARED between callers — immutable by contract.
+func (c *memoCache) get(key, epoch string) (*Delivery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok || e.epoch != epoch {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.del, true
+}
+
+func (c *memoCache) put(key, epoch string, del *Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		c.m = make(map[string]memoEntry)
+	}
+	c.m[key] = memoEntry{epoch: epoch, del: del}
+}
+
+func (c *memoCache) stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+}

@@ -574,6 +574,8 @@ func TestStatsPage(t *testing.T) {
 		"Web tier", "Data management", "meta engine",
 		"snapshots published", "query cache hit rate",
 		"Analytics (columnar)", "served vectorized",
+		"Processing farm", "local runs / steals", "preemptions",
+		"hedges won / lost", "result cache hits / misses", "manager mgr",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("stats page missing %q", want)

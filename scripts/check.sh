@@ -6,8 +6,11 @@
 # sharded schedules too; torture includes the lake journal/compaction/GC
 # crash sites and chaos the ten lake storm schedules), one iteration each
 # of the parallel query and ingest benchmarks (smoke-checks the concurrent
-# read and fast write paths), and short runs of the WAL, dbnet wire-decode,
-# columnar segment, shard map/merge and lake journal fuzz targets.
+# read and fast write paths), a miniature run of every processing-farm
+# phase (work stealing, preemption, hedging, epoch-keyed memoization with
+# its bit-identity oracle) under -race, and short runs of the WAL, dbnet
+# wire-decode, columnar segment, shard map/merge and lake journal fuzz
+# targets.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,9 @@ go test ./...
 
 echo "==> go test -race -short (race lane)"
 go test -race -short ./...
+
+echo "==> processing-farm smoke (stealing, preemption, hedging, memoization; -race)"
+go test -race -count=1 -run 'TestTablesScaleSmoke' ./internal/bench/
 
 echo "==> crash-recovery torture harness (-race)"
 go test -race -count=1 ./internal/torture/
