@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-ingest bench-chaos bench-analytics bench-fig5sharded bench-timetravel bench-tablesscale torture chaos fuzz check
+.PHONY: build test race bench bench-ingest bench-chaos bench-stampede bench-analytics bench-fig5sharded bench-timetravel bench-tablesscale torture chaos fuzz check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ bench-ingest:
 # records availability under chaos in BENCH_chaos.json.
 bench-chaos:
 	$(GO) run ./cmd/hedc-bench -exp chaos -json .
+
+# bench-stampede runs the flare-alert stampede A/B (fixed semaphore +
+# naive retries vs adaptive limiter + brownout ladder + hint-honoring
+# clients under the same open-loop 10x spike) and records
+# BENCH_stampede.json.
+bench-stampede:
+	$(GO) run ./cmd/hedc-bench -exp stampede -json .
 
 # bench-analytics measures vectorized columnar scans against the
 # row-at-a-time baseline on 1.2M synthetic events and records
@@ -69,6 +76,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadWal$$' -fuzztime 30s ./internal/minidb/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s ./internal/dbnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s ./internal/dbnet/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseResponse$$' -fuzztime 30s ./internal/dbnet/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSegment$$' -fuzztime 30s ./internal/colseg/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeShardMap$$' -fuzztime 30s ./internal/shard/
 	$(GO) test -run '^$$' -fuzz '^FuzzMergeReplies$$' -fuzztime 30s ./internal/shard/

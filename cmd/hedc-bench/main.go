@@ -30,8 +30,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|fig5sharded|table1|table2|table3|tables|tablesscale|approx|engine|chaos|analytics|timetravel")
-	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_fig5sharded.json / BENCH_tables.json / BENCH_tablesscale.json / BENCH_chaos.json / BENCH_analytics.json / BENCH_lake.json into (empty: no JSON)")
+	exp := flag.String("exp", "all", "experiment: all|fig4|fig5|fig5live|fig5sharded|table1|table2|table3|tables|tablesscale|approx|engine|chaos|stampede|analytics|timetravel")
+	jsonDir := flag.String("json", "", "directory to write BENCH_fig4.json / BENCH_fig5.json / BENCH_fig5sharded.json / BENCH_tables.json / BENCH_tablesscale.json / BENCH_chaos.json / BENCH_stampede.json / BENCH_analytics.json / BENCH_lake.json into (empty: no JSON)")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -42,6 +42,7 @@ func main() {
 	var shardedRes *bench.ShardedResult
 	var ingestRes []bench.IngestResult
 	var chaosRes *bench.ChaosResult
+	var stampedeRes *bench.StampedeResult
 	var anaRes *bench.AnalyticsResult
 	var ttRes *bench.TimeTravelResult
 	var farmRes *bench.TablesScaleResult
@@ -158,6 +159,19 @@ func main() {
 		fmt.Printf("every schedule held the invariants: bounded latency, no duplicate\n")
 		fmt.Printf("effects, typed failures only, convergence after heal\n\n")
 	}
+	if run("stampede") {
+		any = true
+		var err error
+		stampedeRes, err = bench.RunStampede(log.New(os.Stderr, "", 0).Printf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stampede:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatStampede(stampedeRes))
+		fmt.Printf("the same 10x open-loop spike: the fixed semaphore collapses into a\n")
+		fmt.Printf("retry storm while the adaptive limiter sheds typed hints, serves the\n")
+		fmt.Printf("crowd commit-behind, and stands back down when it leaves\n\n")
+	}
 	if run("analytics") {
 		any = true
 		var err error
@@ -187,7 +201,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonDir != "" {
-		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, shardedRes, ingestRes, chaosRes, anaRes, ttRes, farmRes); err != nil {
+		if err := writeBenchJSON(*jsonDir, fig4Pts, fig5Pts, livePts, shardedRes, ingestRes, chaosRes, stampedeRes, anaRes, ttRes, farmRes); err != nil {
 			fmt.Fprintln(os.Stderr, "json:", err)
 			os.Exit(1)
 		}
@@ -198,7 +212,7 @@ func main() {
 // as machine-readable files, so plots and regression checks don't have
 // to scrape the human tables. Figure 5 carries both curves: the
 // simulated sweep and, when fig5live ran, the measured one.
-func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, shardedRes *bench.ShardedResult, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, anaRes *bench.AnalyticsResult, ttRes *bench.TimeTravelResult, farmRes *bench.TablesScaleResult) error {
+func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.LivePoint, shardedRes *bench.ShardedResult, ingest []bench.IngestResult, chaosRes *bench.ChaosResult, stampedeRes *bench.StampedeResult, anaRes *bench.AnalyticsResult, ttRes *bench.TimeTravelResult, farmRes *bench.TablesScaleResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -258,6 +272,16 @@ func writeBenchJSON(dir string, fig4, fig5 []bench.BrowsePoint, live []bench.Liv
 			"experiment": "chaos",
 			"note":       "availability under enumerated network faults; db_loss_degraded records stale-cache browse + fail-fast writes with the database partitioned away",
 			"results":    chaosRes,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if stampedeRes != nil {
+		err := write("BENCH_stampede.json", map[string]any{
+			"experiment": "stampede",
+			"note":       "open-loop 10x flare-alert browse spike against a live cell: fixed admission semaphore + naive-retry clients vs adaptive limiter + brownout ladder + hint-honoring clients; goodput = requests answered within the 2s SLO",
+			"results":    stampedeRes,
 		})
 		if err != nil {
 			return err

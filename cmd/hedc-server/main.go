@@ -53,6 +53,7 @@ import (
 	"repro/internal/dbnet"
 	"repro/internal/dm"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/schema"
 	"repro/internal/shard"
 	"repro/internal/web"
@@ -73,6 +74,7 @@ func main() {
 		shardAddrs = flag.String("shard-addrs", "", "comma-separated dbnet addresses of the shard databases, index = shard id (shard-router mode)")
 		dbMaxOps   = flag.Float64("db-max-ops", 0, "database ops/sec ceiling, 0 = unlimited (db mode)")
 		replicas   = flag.String("replicas", "", "comma-separated replica /dm/ base URLs (gateway mode)")
+		adaptive   = flag.Bool("adaptive", false, "adaptive admission control: latency-gradient concurrency limit + brownout ladder (gateway mode)")
 		bootPw     = flag.String("bootstrap-password", "", "bootstrap the shared database with this admin password if empty (db mode)")
 		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:6060; empty: disabled)")
 	)
@@ -113,7 +115,7 @@ func main() {
 	case "shard-router":
 		err = runShardRouter(ctx, *data, *addr, *shardAddrs)
 	case "gateway":
-		err = runGateway(ctx, *addr, *replicas)
+		err = runGateway(ctx, *addr, *replicas, *adaptive)
 	default:
 		err = fmt.Errorf("unknown -mode %q (repo|db|replica|shard-router|gateway)", *mode)
 	}
@@ -333,10 +335,18 @@ func runShardRouter(ctx context.Context, data, addr, shardList string) error {
 // runGateway fronts a set of replicas with the cluster gateway:
 // health-checked, cache-affine load balancing with failover, exposed as
 // the same /dm/ protocol the replicas speak.
-func runGateway(ctx context.Context, addr, replicaList string) error {
-	gw := cluster.NewGateway(cluster.GatewayOptions{
+func runGateway(ctx context.Context, addr, replicaList string, adaptive bool) error {
+	opts := cluster.GatewayOptions{
 		Logger: log.New(os.Stderr, "gateway ", log.LstdFlags),
-	})
+	}
+	if adaptive {
+		// Zero-value configs take the package defaults; the flag just
+		// flips admission from the fixed semaphore to the AIMD limiter
+		// and starts the brownout ladder.
+		opts.AdaptiveLimit = &overload.Config{}
+		opts.Brownout = &overload.LadderConfig{}
+	}
+	gw := cluster.NewGateway(opts)
 	defer gw.Close()
 	n := 0
 	for _, u := range strings.Split(replicaList, ",") {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -359,7 +360,7 @@ func TestGatewayAdmissionControl(t *testing.T) {
 			switch {
 			case err == nil:
 				ok.Add(1)
-			case err == ErrOverloaded:
+			case errors.Is(err, ErrOverloaded):
 				shed.Add(1)
 			default:
 				t.Errorf("unexpected error: %v", err)

@@ -12,14 +12,17 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/dm"
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
-// ErrOverloaded is returned when admission control sheds a request: the
-// shared database is saturated and queueing longer would only grow the
+// ErrOverloaded is the sentinel a shed request matches via errors.Is: the
+// middle tier is saturated and queueing longer would only grow the
 // backlog (§7.3's ceiling made visible to the caller instead of as an
-// unbounded queue).
-var ErrOverloaded = fmt.Errorf("cluster: middle tier overloaded, request shed")
+// unbounded queue). The concrete error is always an *overload.Error
+// carrying a retry-after hint; this alias keeps every existing
+// errors.Is(err, cluster.ErrOverloaded) call site working.
+var ErrOverloaded = overload.ErrOverloaded
 
 // ErrNoReplicas is returned when no healthy replica is available.
 var ErrNoReplicas = fmt.Errorf("cluster: no healthy replicas")
@@ -31,12 +34,30 @@ type GatewayOptions struct {
 	// RetryBackoff is the pause before retrying a failed call on another
 	// replica (default 10ms, doubling per attempt).
 	RetryBackoff time.Duration
-	// MaxInflight caps concurrently admitted requests; 0 disables
-	// admission control.
+	// MaxInflight caps concurrently admitted requests with a FIXED
+	// semaphore; 0 disables admission control. Ignored when AdaptiveLimit
+	// is set. Kept as the baseline arm of the stampede A/B experiment.
 	MaxInflight int
 	// QueueTimeout bounds how long an admitted-pending request may wait
-	// for capacity before being shed (default 5s).
+	// for capacity before being shed (default 5s). Fixed-semaphore mode
+	// only; the adaptive limiter uses its own MaxWait.
 	QueueTimeout time.Duration
+	// ShedRetryAfter is the retry-after hint stamped on fixed-mode sheds,
+	// where no queue-delay signal exists to derive one (default 250ms).
+	ShedRetryAfter time.Duration
+	// AdaptiveLimit switches admission control to the latency-gradient
+	// limiter in internal/overload: the inflight cap breathes with
+	// measured latency (AIMD), queue sojourn is CoDel-bounded, and sheds
+	// carry a retry-after hint derived from observed queue delay. Nil
+	// keeps the fixed semaphore.
+	AdaptiveLimit *overload.Config
+	// Brownout tunes the pressure ladder that trades features for
+	// capacity while the limiter is saturated (nil = defaults). Only
+	// active alongside AdaptiveLimit.
+	Brownout *overload.LadderConfig
+	// BrownoutTick is how often the ladder samples limiter pressure
+	// (default 100ms).
+	BrownoutTick time.Duration
 	// AffinitySpill is how many in-flight requests beyond the least
 	// loaded replica the affinity choice may carry before the gateway
 	// spills to the least loaded one (default 8). Affinity keeps each
@@ -105,7 +126,12 @@ type Gateway struct {
 	pinMu sync.Mutex
 	pins  map[string]*member // session token -> replica holding the session
 
-	admit chan struct{} // admission semaphore (nil = unlimited)
+	admit chan struct{}     // fixed admission semaphore (nil = unlimited)
+	lim   *overload.Limiter // adaptive admission (nil = fixed/off)
+	lad   *overload.Ladder  // brownout ladder (nil unless adaptive)
+
+	hookMu sync.Mutex
+	hook   overload.StageActions // brownout side effects (SetBrownoutHook)
 
 	retry *retryBudget
 	stale *staleCache
@@ -116,6 +142,7 @@ type Gateway struct {
 	degradedServes atomic.Int64 // reads answered from the stale cache
 	demotions      atomic.Int64 // sessions demoted because their pin died
 	writesFailed   atomic.Int64 // mutations failed fast on DB unavailability
+	dbOverloads    atomic.Int64 // downstream (dm/db tier) overload refusals observed
 	writeEpoch     atomic.Uint64
 
 	stop chan struct{}
@@ -153,6 +180,12 @@ func NewGateway(opts GatewayOptions) *Gateway {
 	if opts.StaleCacheSize <= 0 {
 		opts.StaleCacheSize = 1024
 	}
+	if opts.ShedRetryAfter <= 0 {
+		opts.ShedRetryAfter = 250 * time.Millisecond
+	}
+	if opts.BrownoutTick <= 0 {
+		opts.BrownoutTick = 100 * time.Millisecond
+	}
 	g := &Gateway{
 		opts:  opts,
 		pins:  make(map[string]*member),
@@ -160,12 +193,76 @@ func NewGateway(opts GatewayOptions) *Gateway {
 		retry: newRetryBudget(opts.RetryRefillPerSec, opts.RetryBurst),
 		stale: newStaleCache(opts.StaleCacheSize),
 	}
-	if opts.MaxInflight > 0 {
+	if opts.AdaptiveLimit != nil {
+		cfg := *opts.AdaptiveLimit
+		if cfg.Tier == "" {
+			cfg.Tier = "gateway"
+		}
+		g.lim = overload.NewLimiter(cfg)
+		g.lad = overload.NewLadder(opts.Brownout)
+		g.wg.Add(1)
+		go g.brownoutLoop()
+	} else if opts.MaxInflight > 0 {
 		g.admit = make(chan struct{}, opts.MaxInflight)
 	}
 	g.wg.Add(1)
 	go g.healthLoop()
 	return g
+}
+
+// SetBrownoutHook installs the side effects the brownout ladder drives as
+// it climbs and descends: typically the processing farm's hedging switch,
+// the replicas' stale-read switch, and the farm's bulk-shed switch. The
+// hook is applied idempotently on each stage transition.
+func (g *Gateway) SetBrownoutHook(a overload.StageActions) {
+	g.hookMu.Lock()
+	g.hook = a
+	g.hookMu.Unlock()
+}
+
+// BrownoutStage reports the ladder's current rung (StageNormal when the
+// gateway runs without adaptive admission).
+func (g *Gateway) BrownoutStage() overload.Stage {
+	if g.lad == nil {
+		return overload.StageNormal
+	}
+	return g.lad.Stage()
+}
+
+// brownoutLoop samples limiter pressure on a fixed tick and walks the
+// ladder one rung at a time, applying the installed hook on transitions.
+func (g *Gateway) brownoutLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.BrownoutTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case now := <-ticker.C:
+			from := g.lad.Stage()
+			to := g.lad.Observe(now, g.lim.Pressure())
+			if to == from {
+				continue
+			}
+			g.logf("cluster: brownout %v -> %v (pressure %.2f)", from, to, g.lim.Pressure())
+			g.hookMu.Lock()
+			hook := g.hook
+			g.hookMu.Unlock()
+			hook.Apply(from, to)
+		}
+	}
+}
+
+// priorityOf maps a request to its admission class: mutations and
+// authenticated calls are interactive (someone is waiting, or data is at
+// stake); anonymous reads are browse — the class a flare-alert stampede
+// arrives in, and the first to shed.
+func priorityOf(token string, mutation bool) overload.Priority {
+	if mutation || token != "" {
+		return overload.Interactive
+	}
+	return overload.Browse
 }
 
 // AddReplica registers a replica endpoint under a unique name.
@@ -237,10 +334,50 @@ type Status struct {
 	WritesFailedFast int64   // mutations failed fast on DB unavailability
 	WriteEpoch       uint64  // writes accepted through this gateway
 	StaleEntries     int     // anonymous results held for degraded serving
+	Overload         OverloadStatus
+}
+
+// OverloadStatus is the admission-control and brownout snapshot for
+// /stats: what the adaptive limiter currently allows, what it is
+// shedding, and which rung of the brownout ladder the cluster stands on.
+type OverloadStatus struct {
+	Adaptive    bool          // true when the latency-gradient limiter is active
+	Limit       int           // current concurrency limit (0 = unlimited/fixed)
+	Inflight    int           // admitted and executing now
+	Queued      int           // waiting for a permit
+	QueueDelay  time.Duration // recent average wait for a permit
+	Baseline    time.Duration // the limiter's floor-p50 latency estimate
+	Pressure    float64       // 0..1 signal the brownout ladder observes
+	Sheds       int64         // requests refused by the limiter
+	ShedByPri   [3]int64      // sheds by class: interactive, browse, bulk
+	Backoffs    int64         // multiplicative limit decreases
+	DBOverloads int64         // downstream tiers' overload refusals observed
+	Stage       string        // brownout rung ("normal", "no-hedge", ...)
+	Transitions int64         // lifetime brownout rung changes
 }
 
 // Status reports every resilience counter in one consistent-enough view.
 func (g *Gateway) Status() Status {
+	ov := OverloadStatus{
+		DBOverloads: g.dbOverloads.Load(),
+		Stage:       g.BrownoutStage().String(),
+	}
+	if g.lim != nil {
+		st := g.lim.Stats()
+		ov.Adaptive = true
+		ov.Limit = st.Limit
+		ov.Inflight = st.Inflight
+		ov.Queued = st.Queued
+		ov.QueueDelay = st.QueueDelay
+		ov.Baseline = st.Baseline
+		ov.Pressure = st.Pressure
+		ov.Sheds = st.Sheds
+		ov.ShedByPri = [3]int64(st.ShedByPri)
+		ov.Backoffs = st.Backoffs
+		ov.Transitions = g.lad.Transitions()
+	} else {
+		ov.Sheds = g.shed.Load()
+	}
 	return Status{
 		Members:          g.Members(),
 		Shed:             g.shed.Load(),
@@ -253,6 +390,7 @@ func (g *Gateway) Status() Status {
 		WritesFailedFast: g.writesFailed.Load(),
 		WriteEpoch:       g.writeEpoch.Load(),
 		StaleEntries:     g.stale.len(),
+		Overload:         ov,
 	}
 }
 
@@ -381,7 +519,17 @@ func (g *Gateway) pick(candidates []*member, affinity string) *member {
 // DB-unavailability) pass straight through: no sibling replica can
 // answer what the shared database cannot.
 func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) error) error {
-	if g.admit != nil {
+	switch {
+	case g.lim != nil:
+		// Adaptive admission: the limiter decides, carrying its own
+		// priority queueing, CoDel sojourn bound, and retry-after hints.
+		permit, aerr := g.lim.Acquire(priorityOf(token, mutation))
+		if aerr != nil {
+			g.shed.Add(1)
+			return aerr
+		}
+		defer permit.Release()
+	case g.admit != nil:
 		select {
 		case g.admit <- struct{}{}:
 		default:
@@ -390,7 +538,7 @@ func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) 
 			// authenticated work and mutations may queue for their slot.
 			if token == "" && !mutation {
 				g.shed.Add(1)
-				return ErrOverloaded
+				return &overload.Error{Tier: "gateway", RetryAfter: g.opts.ShedRetryAfter}
 			}
 			timer := time.NewTimer(g.opts.QueueTimeout)
 			select {
@@ -398,13 +546,23 @@ func (g *Gateway) do(affinity, token string, mutation bool, fn func(api dm.API) 
 				timer.Stop()
 			case <-timer.C:
 				g.shed.Add(1)
-				return ErrOverloaded
+				return &overload.Error{Tier: "gateway", RetryAfter: g.opts.ShedRetryAfter}
 			}
 		}
 		defer func() { <-g.admit }()
 	}
 
 	err := g.route(affinity, token, mutation, fn)
+	if err != nil && overload.IsOverload(err) {
+		// A downstream tier (replica admission or the database socket)
+		// pushed back. Count it and fold it into the limiter as one
+		// multiplicative decrease: end-to-end backpressure means the
+		// gateway stops offering load the tiers below are refusing.
+		g.dbOverloads.Add(1)
+		if g.lim != nil {
+			g.lim.Backpressure()
+		}
+	}
 	if mutation {
 		if err == nil {
 			g.writeEpoch.Add(1)
@@ -546,12 +704,19 @@ func (g *Gateway) noteFailure(m *member) {
 	g.unpinMember(m)
 }
 
-// canDegrade reports whether a read failure means "the live serving path
-// is gone" — no replicas, transport failure everywhere, or the shared
-// database partitioned away — which is when a stale cached answer beats
-// no answer. Overload shedding and application rejections never qualify.
+// canDegrade reports whether a read failure may be answered from the
+// stale cache instead. Two regimes qualify: the live path is GONE (no
+// replicas, transport failure everywhere, the shared database partitioned
+// away), or the live path is DROWNING and the brownout ladder has climbed
+// to its stale-reads rung — at which point a cached answer for an
+// anonymous browse is exactly the load-shedding the ladder asked for.
+// Below that rung, overload sheds pass through untouched: the caller
+// should back off, and serving cache would hide early saturation.
 func (g *Gateway) canDegrade(err error) bool {
-	return errors.Is(err, ErrNoReplicas) || dm.IsUnreachable(err) || dm.IsDBUnavailable(err)
+	if errors.Is(err, ErrNoReplicas) || dm.IsUnreachable(err) || dm.IsDBUnavailable(err) {
+		return true
+	}
+	return overload.IsOverload(err) && g.BrownoutStage() >= overload.StageStaleReads
 }
 
 // --- dm.API ---

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/dbnet"
 	"repro/internal/dm"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
@@ -292,8 +294,11 @@ func TestGatewayPrioritySheds(t *testing.T) {
 	// Anonymous: shed at once, far faster than QueueTimeout.
 	start := time.Now()
 	_, err = tc.gw.CountHLEs("", "10.3.0.2", dm.HLEFilter{Kind: "burst"})
-	if err != ErrOverloaded {
+	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("anonymous read under full house: %v, want ErrOverloaded", err)
+	}
+	if ra, ok := overload.RetryAfterOf(err); !ok || ra <= 0 {
+		t.Fatalf("fixed-mode shed carries no retry-after hint: %v", err)
 	}
 	if d := time.Since(start); d > 500*time.Millisecond {
 		t.Fatalf("anonymous shed took %v — it queued instead of shedding", d)

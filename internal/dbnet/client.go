@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/colseg"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 )
 
 // ClientOptions configures a remote engine client.
@@ -188,6 +189,18 @@ func parseResponse(resp []byte, budget time.Duration) (*bytes.Reader, error) {
 		return nil, &remoteError{msg: msg}
 	case statusDeadline:
 		return nil, &DeadlineError{Budget: budget}
+	case statusOverload:
+		ms, err := minidb.WireUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("dbnet: mangled overload response: %w", err)
+		}
+		if ms > uint64(time.Hour/time.Millisecond) {
+			ms = uint64(time.Hour / time.Millisecond)
+		}
+		return nil, &overload.Error{
+			Tier:       "db",
+			RetryAfter: time.Duration(ms) * time.Millisecond,
+		}
 	default:
 		return nil, fmt.Errorf("dbnet: unknown response status %d", resp[0])
 	}
@@ -225,7 +238,7 @@ func (c *Client) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader) 
 	}
 	r, err := parseResponse(resp, c.opts.CallTimeout)
 	if err != nil {
-		if IsRemote(err) || IsDeadline(err) {
+		if IsRemote(err) || IsDeadline(err) || overload.IsOverload(err) {
 			c.put(wc) // the connection itself is fine
 		} else {
 			wc.c.Close()
@@ -528,7 +541,11 @@ func (t *remoteTx) call(op byte, enc func(*bytes.Buffer), dec func(*bytes.Reader
 			t.done = true
 			return err
 		}
-		return err // application error: the transaction remains usable
+		// Application errors — including overload refusals, which execute
+		// nothing and leave the transaction open server-side — keep the
+		// transaction usable; the caller decides whether to back off,
+		// retry the operation, or roll back.
+		return err
 	}
 	if dec != nil {
 		if err := dec(r); err != nil {

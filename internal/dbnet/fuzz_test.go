@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
@@ -100,7 +101,7 @@ func FuzzDispatch(f *testing.F) {
 			t.Fatal("empty response frame")
 		}
 		status := resp.Bytes()[0]
-		if status != statusOK && status != statusErr && status != statusDeadline {
+		if status != statusOK && status != statusErr && status != statusDeadline && status != statusOverload {
 			t.Fatalf("unknown response status %d", status)
 		}
 		// The response must itself be frameable and parseable by the client.
@@ -111,8 +112,56 @@ func FuzzDispatch(f *testing.F) {
 			t.Fatalf("response does not frame: %v", err)
 		}
 		if _, err := parseResponse(payload, time.Second); err != nil {
-			if !IsRemote(err) && !IsDeadline(err) {
+			if !IsRemote(err) && !IsDeadline(err) && !overload.IsOverload(err) {
 				t.Fatalf("client cannot parse server response: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParseResponse feeds raw response frames to the client-side parser
+// — status bytes a hostile or damaged server could send, with the new
+// statusOverload retry-after body front and center. The parser must
+// never panic; every overload status must either produce a typed
+// *overload.Error with a sane retry-after or a decode error, never a
+// silent success and never an unbounded hint.
+func FuzzParseResponse(f *testing.F) {
+	resp := func(status byte, body func(*bytes.Buffer)) []byte {
+		var b bytes.Buffer
+		b.WriteByte(status)
+		if body != nil {
+			body(&b)
+		}
+		return b.Bytes()
+	}
+	f.Add(resp(statusOK, nil))
+	f.Add(resp(statusErr, func(b *bytes.Buffer) { minidb.WirePutString(b, "no such table") }))
+	f.Add(resp(statusDeadline, nil))
+	f.Add(overloadFrame(250 * time.Millisecond).Bytes())
+	f.Add(overloadFrame(0).Bytes())                    // hint floor: encodes as 1ms
+	f.Add(resp(statusOverload, nil))                   // missing retry-after body
+	f.Add(resp(statusOverload, func(b *bytes.Buffer) { // absurd hint: must clamp
+		minidb.WirePutUvarint(b, 1<<50)
+	}))
+	f.Add(resp(statusOverload, func(b *bytes.Buffer) { b.WriteByte(0x80) })) // unterminated uvarint
+	f.Add([]byte{})                                                          // empty response
+	f.Add([]byte{0xFF})                                                      // unknown status
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := parseResponse(data, time.Second)
+		if err == nil {
+			if len(data) == 0 || data[0] != statusOK {
+				t.Fatalf("non-OK response %v parsed without error", data)
+			}
+			_ = r
+			return
+		}
+		if overload.IsOverload(err) {
+			if len(data) == 0 || data[0] != statusOverload {
+				t.Fatalf("overload error from status %v", data[0])
+			}
+			ra, ok := overload.RetryAfterOf(err)
+			if !ok || ra <= 0 || ra > time.Hour {
+				t.Fatalf("overload retry-after out of bounds: %v", ra)
 			}
 		}
 	})

@@ -68,6 +68,13 @@ const (
 	// propagated deadline would have expired before its reply departed.
 	// No capacity was consumed and the connection remains healthy.
 	statusDeadline byte = 2
+	// statusOverload: the server refused service because the capacity
+	// station's projected queue delay exceeded its configured bound —
+	// the request was doomed to wait, so it is turned away at the socket
+	// with a hint. Body: [uvarint retryAfterMillis], the projected delay
+	// until the backlog the request saw has drained. No capacity was
+	// consumed and the connection remains healthy.
+	statusOverload byte = 3
 )
 
 // DefaultMaxFrame bounds a single frame; metadata rows are small, so

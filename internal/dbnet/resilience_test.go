@@ -1,6 +1,7 @@
 package dbnet
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
@@ -123,6 +125,107 @@ func TestDeadlineRefusalKeepsConnection(t *testing.T) {
 	if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
 		t.Fatalf("call after refusal failed: %v", err)
 	}
+}
+
+// TestOverloadRefusal: with MaxQueueDelay set and the station backed up
+// past it, requests are turned away at the socket with a typed overload
+// error carrying a retry-after hint — without consuming capacity and
+// without costing the connection.
+func TestOverloadRefusal(t *testing.T) {
+	srv := newResilienceServer(t, Options{
+		MaxOpsPerSec:  1000,
+		MaxQueueDelay: 100 * time.Millisecond,
+	})
+	cl, err := Dial(ClientOptions{Addr: srv.Addr(), CallTimeout: 5 * time.Second, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Synthetic backlog: the station's next free slot is 1s out, far past
+	// the 100ms queue-delay bound. The generous 5s call budget means the
+	// deadline check would NOT refuse this — only overload control does.
+	srv.station.mu.Lock()
+	srv.station.next = time.Now().Add(time.Second)
+	srv.station.mu.Unlock()
+
+	_, err = cl.Query(minidb.Query{Table: "hle"})
+	if err == nil {
+		t.Fatal("query through a saturated station succeeded")
+	}
+	if !errors.Is(err, overload.ErrOverloaded) {
+		t.Fatalf("error %v does not match overload.ErrOverloaded", err)
+	}
+	if !overload.IsOverload(err) {
+		t.Fatalf("error %v lacks the Overloaded marker", err)
+	}
+	ra, ok := overload.RetryAfterOf(err)
+	if !ok || ra <= 0 {
+		t.Fatalf("overload error carries no retry-after hint: %v", err)
+	}
+	// The hint is the projected wait: roughly the 1s backlog.
+	if ra < 500*time.Millisecond || ra > 2*time.Second {
+		t.Fatalf("retry-after = %v, want ≈1s projected backlog", ra)
+	}
+	if got := srv.OverloadRefusals(); got != 1 {
+		t.Fatalf("server counted %d overload refusals, want 1", got)
+	}
+
+	// No capacity consumed: the backlog horizon did not move.
+	srv.station.mu.Lock()
+	next := srv.station.next
+	srv.station.next = time.Time{}
+	srv.station.mu.Unlock()
+	if next.After(time.Now().Add(1100 * time.Millisecond)) {
+		t.Fatalf("refusal consumed station capacity: next = %v out", time.Until(next))
+	}
+
+	// The connection survives: the very next call on the same pool slot
+	// succeeds once the backlog clears.
+	if _, err := cl.Query(minidb.Query{Table: "hle"}); err != nil {
+		t.Fatalf("call after overload refusal failed: %v", err)
+	}
+}
+
+// TestOverloadSparesCommits: a transaction's commit is never
+// overload-refused — the work is already done, and throwing it away is
+// the worst possible goodput trade. Mid-transaction reads ARE refusable,
+// and a refusal leaves the transaction usable.
+func TestOverloadSparesCommits(t *testing.T) {
+	srv := newResilienceServer(t, Options{
+		MaxOpsPerSec:  1000,
+		MaxQueueDelay: 50 * time.Millisecond,
+	})
+	cl, err := Dial(ClientOptions{Addr: srv.Addr(), CallTimeout: 5 * time.Second, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx := cl.BeginTx()
+
+	backlog := func(d time.Duration) {
+		srv.station.mu.Lock()
+		srv.station.next = time.Now().Add(d)
+		srv.station.mu.Unlock()
+	}
+
+	// A read inside the tx is refused under backlog, and the tx survives.
+	backlog(time.Second)
+	if _, err := tx.Query(minidb.Query{Table: "hle"}); !overload.IsOverload(err) {
+		t.Fatalf("in-tx query under backlog: err = %v, want overload", err)
+	}
+	backlog(0)
+	if _, err := tx.Query(minidb.Query{Table: "hle"}); err != nil {
+		t.Fatalf("tx poisoned by overload refusal: %v", err)
+	}
+
+	// Commit under the same backlog is admitted, not refused.
+	backlog(time.Second)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit was refused under backlog: %v", err)
+	}
+	backlog(0)
 }
 
 // TestUnavailableTyped: transport failures surface as UnavailableError
@@ -261,10 +364,10 @@ func TestStationRefusalConsumesNoCapacity(t *testing.T) {
 	st := newSerialStation(100) // 10ms service
 	deadline := time.Now().Add(time.Millisecond)
 	for i := 0; i < 50; i++ {
-		st.visit(deadline) // most of these refuse
+		st.visit(deadline, 0) // most of these refuse
 	}
 	start := time.Now()
-	if !st.visit(time.Now().Add(time.Second)) {
+	if v, _ := st.visit(time.Now().Add(time.Second), 0); v != visitOK {
 		t.Fatal("well-budgeted visit refused")
 	}
 	if el := time.Since(start); el > 500*time.Millisecond {

@@ -24,6 +24,14 @@ type Options struct {
 	// queries/second ceiling HEDC measured against its DBMS (§7.3).
 	// Zero means unlimited.
 	MaxOpsPerSec float64
+	// MaxQueueDelay bounds the capacity station's projected queue wait:
+	// a request that would sit longer than this before service is
+	// refused at the socket with statusOverload and a retry-after hint,
+	// instead of deepening a backlog nobody can drain. Zero disables
+	// (requests queue without bound, the pre-overload-control behavior).
+	// Commits are exempt — refusing a commit throws away a transaction's
+	// completed work, the worst possible goodput trade.
+	MaxQueueDelay time.Duration
 	// TxnIdleTimeout bounds how long an interactive transaction may sit
 	// idle holding the writer lock before the server rolls it back and
 	// drops the connection. Default 10s.
@@ -54,6 +62,7 @@ type Server struct {
 	txns     atomic.Int64 // interactive transactions begun
 	timeouts atomic.Int64 // transactions reaped by the idle timeout
 	refused  atomic.Int64 // requests refused because their deadline would expire in queue
+	sheds    atomic.Int64 // requests refused because the queue delay bound was exceeded
 }
 
 // Listen starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -102,6 +111,10 @@ func (s *Server) TxnTimeouts() int64 { return s.timeouts.Load() }
 // DeadlineRefusals returns requests turned away because their propagated
 // deadline would have expired before the capacity station could serve them.
 func (s *Server) DeadlineRefusals() int64 { return s.refused.Load() }
+
+// OverloadRefusals returns requests turned away with statusOverload
+// because the station's projected queue delay exceeded MaxQueueDelay.
+func (s *Server) OverloadRefusals() int64 { return s.sheds.Load() }
 
 // Close stops accepting, closes every live connection, and waits for the
 // handlers to drain. The engine itself is not closed.
@@ -233,6 +246,22 @@ func deadlineFrame() *bytes.Buffer {
 	return b
 }
 
+// overloadFrame is the backpressure refusal: the station's projected
+// queue wait exceeded the configured bound. The body carries the
+// projected delay in milliseconds as the retry-after hint — coming back
+// sooner than the backlog the request just saw can drain is guaranteed
+// to be refused again.
+func overloadFrame(retryAfter time.Duration) *bytes.Buffer {
+	b := getFrameBuf()
+	b.WriteByte(statusOverload)
+	ms := uint64(retryAfter / time.Millisecond)
+	if ms == 0 {
+		ms = 1
+	}
+	minidb.WirePutUvarint(b, ms)
+	return b
+}
+
 // dispatch decodes and executes one request. It returns the response
 // frame (a pooled buffer the caller must return via putFrameBuf) and the
 // connection's transaction state after the request. deadline is the
@@ -337,8 +366,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		var res *minidb.Result
 		if tx != nil {
@@ -360,8 +389,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		var row minidb.Row
 		if tx != nil {
@@ -383,8 +412,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		var id int64
 		if tx != nil {
@@ -410,8 +439,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		if tx != nil {
 			err = tx.Update(table, rowid, row)
@@ -432,8 +461,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		if tx != nil {
 			err = tx.Delete(table, rowid)
@@ -468,8 +497,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 			}
 			batch.Insert(table, row)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		ids, err := s.db.Apply(&batch)
 		if err != nil {
@@ -485,8 +514,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		ids, err := s.db.Apply(batch)
 		if err != nil {
@@ -502,8 +531,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		// One aggregate scan is one operation against the capacity
 		// station — that asymmetry (a full-table aggregate for the price
 		// of one op) is exactly what the columnar path buys.
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		var res *colseg.Result
 		if s.opts.Analytics != nil {
@@ -525,8 +554,8 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if err != nil {
 			return fail(err)
 		}
-		if !s.charge(deadline) {
-			return deadlineFrame(), txOut
+		if f := s.admit(deadline, true); f != nil {
+			return f, txOut
 		}
 		n, err := s.db.ViewCount(name, key)
 		if err != nil {
@@ -548,13 +577,16 @@ func (s *Server) dispatch(op byte, r *bytes.Reader, tx minidb.Tx, deadline time.
 		if tx == nil {
 			return fail(fmt.Errorf("dbnet: commit outside transaction"))
 		}
-		if !s.charge(deadline) {
+		if f := s.admit(deadline, false); f != nil {
 			// The committing client has already given up; holding the
 			// writer lock for a reply nobody reads would starve everyone
 			// else. Roll back — the client's transaction handle poisons
 			// itself on the deadline status, so both sides agree it died.
+			// (Overload never refuses a commit — admit's overloadable
+			// flag is off — because the transaction's work is already
+			// done and refusing it is the worst goodput trade possible.)
 			tx.Rollback()
-			return deadlineFrame(), nil
+			return f, nil
 		}
 		txOut = nil
 		if err := tx.Commit(); err != nil {
@@ -603,17 +635,28 @@ func wireRowIDs(r *bytes.Reader) ([]int64, error) {
 	return ids, nil
 }
 
-// charge accounts one operation against the shared capacity station.
-// It reports false — refusing the operation, consuming no capacity —
-// when the client's deadline would expire before the station could
-// serve it: work for a caller that already gave up is pure waste.
-func (s *Server) charge(deadline time.Time) bool {
-	if !s.station.visit(deadline) {
+// admit accounts one operation against the shared capacity station. It
+// returns nil when the operation was served; otherwise a refusal frame —
+// statusDeadline when the client's deadline would expire before service
+// (work for a caller that already gave up is pure waste), statusOverload
+// when the projected queue wait exceeds MaxQueueDelay (work the backlog
+// dooms is refused at the socket with a retry-after hint). overloadable
+// gates the latter: commits never refuse on overload, only on deadline.
+func (s *Server) admit(deadline time.Time, overloadable bool) *bytes.Buffer {
+	maxQueue := time.Duration(0)
+	if overloadable {
+		maxQueue = s.opts.MaxQueueDelay
+	}
+	switch verdict, wait := s.station.visit(deadline, maxQueue); verdict {
+	case visitDeadline:
 		s.refused.Add(1)
-		return false
+		return deadlineFrame()
+	case visitOverload:
+		s.sheds.Add(1)
+		return overloadFrame(wait)
 	}
 	s.ops.Add(1)
-	return true
+	return nil
 }
 
 // serialStation models the database tier as a single serial service
@@ -635,31 +678,46 @@ func newSerialStation(ratePerSec float64) *serialStation {
 	return st
 }
 
+// visitVerdict is the station's admission decision.
+type visitVerdict int
+
+const (
+	visitOK       visitVerdict = iota
+	visitDeadline              // the caller's deadline would expire before departure
+	visitOverload              // the projected queue wait exceeds maxQueue
+)
+
 // visit occupies the station for one service time, sleeping (outside the
-// lock) until this operation's departure instant. A non-zero deadline
-// that would pass before departure makes visit refuse — returning false
-// without advancing the queue, so a doomed request costs the station
-// nothing.
-func (st *serialStation) visit(deadline time.Time) bool {
+// lock) until this operation's departure instant. Refusals consume no
+// capacity and never advance the queue: a non-zero deadline that would
+// pass before departure yields visitDeadline; a non-zero maxQueue that
+// the projected wait-for-service exceeds yields visitOverload along
+// with that projected wait (the retry-after hint — the backlog cannot
+// drain sooner).
+func (st *serialStation) visit(deadline time.Time, maxQueue time.Duration) (visitVerdict, time.Duration) {
 	now := time.Now()
 	if !deadline.IsZero() && now.After(deadline) {
-		return false
+		return visitDeadline, 0
 	}
 	if st.service == 0 {
-		return true
+		return visitOK, 0
 	}
 	st.mu.Lock()
 	start := st.next
 	if start.Before(now) {
 		start = now
 	}
+	if wait := start.Sub(now); maxQueue > 0 && wait > maxQueue {
+		st.mu.Unlock()
+		return visitOverload, wait
+	}
 	depart := start.Add(st.service)
 	if !deadline.IsZero() && depart.After(deadline) {
 		st.mu.Unlock()
-		return false
+		return visitDeadline, 0
 	}
 	st.next = depart
 	st.mu.Unlock()
 	time.Sleep(time.Until(depart))
-	return true
+	return visitOK, 0
 }

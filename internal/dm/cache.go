@@ -49,6 +49,20 @@ func (c *queryCache) get(key string, epoch uint64) (any, bool) {
 	return e.val, true
 }
 
+// getStale returns whatever entry sits under key regardless of its epoch
+// — the brownout ladder's stale-read rung. The caller decides whether a
+// commit-behind answer is acceptable; under overload it usually is, and
+// every stale serve is one less query against a tier that is drowning.
+func (c *queryCache) getStale(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
 func (c *queryCache) put(key string, epoch uint64, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -85,6 +99,16 @@ func (d *DM) cachedQuery(q minidb.Query) (*minidb.Result, error) {
 	if v, ok := d.cache.get(key, epoch); ok {
 		d.stats.QueryCacheHits.Add(1)
 		return v.(*minidb.Result), nil
+	}
+	// Brownout rung 2: under sustained overload the ladder flips this on,
+	// and a fresh-epoch miss falls back to whatever epoch the cache still
+	// holds. Serving a commit-behind result costs staleness; querying a
+	// drowning database tier costs everyone's latency.
+	if d.serveStale.Load() {
+		if v, ok := d.cache.getStale(key); ok {
+			d.stats.StaleServes.Add(1)
+			return v.(*minidb.Result), nil
+		}
 	}
 	d.stats.QueryCacheMisses.Add(1)
 	res, err := d.query(q)

@@ -68,6 +68,55 @@ func TestCountCacheHitAndInvalidation(t *testing.T) {
 	}
 }
 
+// TestStaleServeUnderBrownout: with SetServeStale on, a count whose
+// epoch-fresh entry was invalidated by a commit is answered from the
+// stale entry — commit-behind, engine untouched — and turning the knob
+// back off restores epoch-strict behaviour.
+func TestStaleServeUnderBrownout(t *testing.T) {
+	d := newTestDM(t)
+	alice := newScientist(t, d, "alice")
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.CreateHLE(alice, &schema.HLE{
+			KindHint: "flare", TStop: float64(i + 1), Version: 1, CalibVersion: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := HLEFilter{Kind: "flare"}
+	if n, err := d.CountHLEs(alice, f); err != nil || n != 3 {
+		t.Fatalf("warm count = %d (%v), want 3", n, err)
+	}
+
+	// A commit bumps the epoch: the cached count of 3 is now stale.
+	if _, err := d.CreateHLE(alice, &schema.HLE{
+		KindHint: "flare", TStop: 9, Version: 1, CalibVersion: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d.SetServeStale(true)
+	q0 := d.meta.Stats().Queries
+	n, err := d.CountHLEs(alice, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("stale serve returned %d, want the commit-behind 3", n)
+	}
+	if got := d.meta.Stats().Queries - q0; got != 0 {
+		t.Fatalf("stale serve issued %d engine queries, want 0", got)
+	}
+	if s := d.stats.StaleServes.Load(); s != 1 {
+		t.Fatalf("StaleServes = %d, want 1", s)
+	}
+
+	d.SetServeStale(false)
+	if n, err := d.CountHLEs(alice, f); err != nil || n != 4 {
+		t.Fatalf("fresh count after brownout = %d (%v), want 4", n, err)
+	}
+}
+
 // TestCacheFingerprintDistinguishesQueries: different filters and different
 // sessions (whose visibility clause differs) must not share entries.
 func TestCacheFingerprintDistinguishesQueries(t *testing.T) {

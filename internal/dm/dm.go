@@ -76,6 +76,9 @@ type Stats struct {
 	// database engine.
 	QueryCacheHits   atomic.Int64
 	QueryCacheMisses atomic.Int64
+	// StaleServes counts reads answered from a stale-epoch cache entry
+	// while the brownout ladder has stale serving enabled (SetServeStale).
+	StaleServes atomic.Int64
 	// Analytics path (analytics.go): vectorized runs served by a columnar
 	// runner vs row-at-a-time fallbacks, plus cache hits by epoch.
 	AnalyticsQueries   atomic.Int64
@@ -83,13 +86,13 @@ type Stats struct {
 	AnalyticsRowFall   atomic.Int64
 	AnalyticsCacheHits atomic.Int64
 	// Time-travel reads (asof.go): sessions pinned to a journal commit.
-	AsOfOpens    atomic.Int64
-	AsOfReads    atomic.Int64
-	AccessDenied atomic.Int64
-	RedirectsOut       atomic.Int64 // calls shipped to a remote DM
-	RedirectsIn        atomic.Int64 // calls served on behalf of a remote caller
-	EventsDetected     atomic.Int64
-	UnitsLoaded        atomic.Int64
+	AsOfOpens      atomic.Int64
+	AsOfReads      atomic.Int64
+	AccessDenied   atomic.Int64
+	RedirectsOut   atomic.Int64 // calls shipped to a remote DM
+	RedirectsIn    atomic.Int64 // calls served on behalf of a remote caller
+	EventsDetected atomic.Int64
+	UnitsLoaded    atomic.Int64
 }
 
 // DM is one Data Management node.
@@ -115,8 +118,22 @@ type DM struct {
 	viewOnce sync.Once
 	viewErr  error
 
+	// serveStale is the brownout ladder's stale-read rung: when set,
+	// cachedQuery may answer from a stale-epoch entry instead of querying
+	// the database tier.
+	serveStale atomic.Bool
+
 	stats Stats
 }
+
+// SetServeStale switches stale-epoch cache serving on or off. The
+// cluster's brownout ladder drives this: rung 2 trades read freshness for
+// load on the shared database tier, and flips back off once pressure
+// subsides.
+func (d *DM) SetServeStale(on bool) { d.serveStale.Store(on) }
+
+// ServeStale reports whether stale-epoch cache serving is active.
+func (d *DM) ServeStale() bool { return d.serveStale.Load() }
 
 type dbPools struct {
 	query  *minidb.Pool

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
@@ -34,8 +35,16 @@ type rpcReply struct {
 	// answering, so the caller can distinguish "this replica's database
 	// path is dead" (true) from "this replica rejected the request"
 	// (false) without parsing error strings.
-	Unavailable bool            `json:"unavailable,omitempty"`
-	Result      json.RawMessage `json:"result,omitempty"`
+	Unavailable bool `json:"unavailable,omitempty"`
+	// Overloaded flags a load-shed refusal — from this replica's own
+	// admission control or relayed from the database tier's socket-level
+	// pushback. RetryAfterMS carries the shed's backoff hint so upstream
+	// tiers can pace retries instead of stampeding. Overload is not a
+	// replica-health signal: failing over a shed request to a sibling
+	// only moves the stampede around.
+	Overloaded   bool            `json:"overloaded,omitempty"`
+	RetryAfterMS int64           `json:"retry_after_ms,omitempty"`
+	Result       json.RawMessage `json:"result,omitempty"`
 }
 
 // Server exposes a DM node's API over HTTP under prefix (default "/dm/").
@@ -89,6 +98,12 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		reply.Error = err.Error()
 		reply.Denied = IsDenied(err)
 		reply.Unavailable = IsDBUnavailable(err)
+		if overload.IsOverload(err) {
+			reply.Overloaded = true
+			if ra, ok := overload.RetryAfterOf(err); ok {
+				reply.RetryAfterMS = int64(ra / time.Millisecond)
+			}
+		}
 	} else {
 		raw, merr := json.Marshal(result)
 		if merr != nil {
@@ -283,6 +298,12 @@ func (r *Remote) call(method, token, ip string, args, result interface{}) error 
 		}
 		if reply.Unavailable {
 			return &DBUnavailableError{Err: fmt.Errorf("%s", reply.Error)}
+		}
+		if reply.Overloaded {
+			return &overload.Error{
+				Tier:       "dm",
+				RetryAfter: time.Duration(reply.RetryAfterMS) * time.Millisecond,
+			}
 		}
 		return fmt.Errorf("%s", reply.Error)
 	}

@@ -1,0 +1,161 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Brownout ladder: under sustained pressure the system degrades result
+// quality one deliberate step at a time instead of degrading latency
+// for everyone. Each stage subsumes the ones below it. Hysteresis
+// (enter thresholds above exit thresholds, plus a dwell time between
+// transitions) keeps the ladder from flapping on a noisy pressure
+// signal.
+
+// Stage is one rung of the brownout ladder.
+type Stage int32
+
+const (
+	// StageNormal: full service.
+	StageNormal Stage = iota
+	// StageNoHedge: speculative re-dispatch off — hedges are duplicate
+	// work, the cheapest thing to stop buying.
+	StageNoHedge
+	// StageStaleReads: epoch-mismatched cached reads are served instead
+	// of hitting the saturated database tier. Slightly old answers beat
+	// shed requests; the archive is append-mostly, so stale is wrong
+	// only in what it omits.
+	StageStaleReads
+	// StageShedBulk: the processing farm refuses bulk-tier admissions
+	// outright, reserving everything for interactive work.
+	StageShedBulk
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageNormal:
+		return "normal"
+	case StageNoHedge:
+		return "no-hedge"
+	case StageStaleReads:
+		return "stale-reads"
+	case StageShedBulk:
+		return "shed-bulk"
+	}
+	return "unknown"
+}
+
+// LadderConfig tunes the hysteresis ladder. Enter[i] is the pressure at
+// which stage i engages; Exit[i] the pressure below which it releases.
+// Enter must exceed Exit per stage or the ladder oscillates.
+type LadderConfig struct {
+	Enter [4]float64
+	Exit  [4]float64
+	// Dwell is the minimum time between transitions — pressure must hold
+	// across at least one full dwell to move another rung (default 500ms).
+	Dwell time.Duration
+}
+
+// DefaultLadderConfig returns the production thresholds.
+func DefaultLadderConfig() LadderConfig {
+	return LadderConfig{
+		Enter: [4]float64{0, 0.30, 0.55, 0.80},
+		Exit:  [4]float64{0, 0.10, 0.25, 0.45},
+		Dwell: 500 * time.Millisecond,
+	}
+}
+
+// Ladder tracks the current brownout stage from a pressure signal.
+type Ladder struct {
+	cfg LadderConfig
+
+	mu          sync.Mutex
+	stage       Stage
+	lastChange  time.Time
+	transitions int64
+}
+
+// NewLadder builds a ladder; nil cfg takes DefaultLadderConfig.
+func NewLadder(cfg *LadderConfig) *Ladder {
+	c := DefaultLadderConfig()
+	if cfg != nil {
+		c = *cfg
+		def := DefaultLadderConfig()
+		if c.Dwell <= 0 {
+			c.Dwell = def.Dwell
+		}
+		if c.Enter == [4]float64{} {
+			// All-zero enter thresholds would climb a rung per dwell on any
+			// nonzero pressure: an unset matrix takes the defaults.
+			c.Enter = def.Enter
+		}
+		if c.Exit == [4]float64{} {
+			c.Exit = def.Exit
+		}
+	}
+	return &Ladder{cfg: c}
+}
+
+// Observe feeds one pressure sample and returns the (possibly moved)
+// stage. The ladder moves at most one rung per dwell interval, in
+// either direction.
+func (b *Ladder) Observe(now time.Time, pressure float64) Stage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.lastChange.IsZero() && now.Sub(b.lastChange) < b.cfg.Dwell {
+		return b.stage
+	}
+	switch {
+	case b.stage < StageShedBulk && pressure >= b.cfg.Enter[b.stage+1]:
+		b.stage++
+		b.lastChange = now
+		b.transitions++
+	case b.stage > StageNormal && pressure <= b.cfg.Exit[b.stage]:
+		b.stage--
+		b.lastChange = now
+		b.transitions++
+	}
+	return b.stage
+}
+
+// Stage returns the current rung without observing.
+func (b *Ladder) Stage() Stage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stage
+}
+
+// Transitions counts rung changes (for /stats and tests).
+func (b *Ladder) Transitions() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.transitions
+}
+
+// StageActions binds the ladder's rungs to the knobs the embedding code
+// owns: the farm's hedging, the DM's stale-read mode, the farm's bulk
+// gate. Nil fields are skipped. Apply is idempotent per stage — it sets
+// every knob to the target stage's state, so missed intermediate
+// transitions cannot leave a knob behind.
+type StageActions struct {
+	SetHedge     func(on bool) // hedging enabled (true below StageNoHedge)
+	SetStale     func(on bool) // serve stale-epoch reads (true at StageStaleReads+)
+	SetShedBulk  func(on bool) // refuse bulk admissions (true at StageShedBulk)
+	OnTransition func(from, to Stage)
+}
+
+// Apply drives every knob to the target stage.
+func (a StageActions) Apply(from, to Stage) {
+	if a.SetHedge != nil {
+		a.SetHedge(to < StageNoHedge)
+	}
+	if a.SetStale != nil {
+		a.SetStale(to >= StageStaleReads)
+	}
+	if a.SetShedBulk != nil {
+		a.SetShedBulk(to >= StageShedBulk)
+	}
+	if a.OnTransition != nil {
+		a.OnTransition(from, to)
+	}
+}

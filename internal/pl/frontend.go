@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dm"
 	"repro/internal/idl"
+	"repro/internal/overload"
 )
 
 // Phase names of the request model (§5.1). Phases must run in order; not
@@ -214,8 +215,11 @@ type FrontendStats struct {
 	Delivered int64
 	Failed    int64
 	Canceled  int64
-	InSystem  int
-	Queued    int
+	// BulkShed counts bulk submissions refused at the door while the
+	// brownout ladder's shed-bulk rung was active (SetShedBulk).
+	BulkShed int64
+	InSystem int
+	Queued   int
 }
 
 // FarmStats aggregates the whole processing farm for /stats: frontend
@@ -255,8 +259,12 @@ type Frontend struct {
 	memo   *memoCache
 	memoOn atomic.Bool
 
+	// shedBulk is the brownout ladder's deepest rung: refuse bulk
+	// reprocessing at the door so interactive work keeps the farm.
+	shedBulk atomic.Bool
+
 	stats struct {
-		submitted, committed, delivered, failed, canceled int64
+		submitted, committed, delivered, failed, canceled, bulkShed int64
 	}
 }
 
@@ -300,6 +308,15 @@ func interactiveReserve(maxInSystem int) int {
 
 // SetMemoize toggles the result cache (on by default).
 func (f *Frontend) SetMemoize(on bool) { f.memoOn.Store(on) }
+
+// SetShedBulk toggles door-level refusal of bulk submissions. The
+// cluster's brownout ladder drives this at its deepest rung: a shed bulk
+// request fails fast with a typed overload error instead of competing
+// with interactive work for admission slots and farm capacity.
+func (f *Frontend) SetShedBulk(on bool) { f.shedBulk.Store(on) }
+
+// SheddingBulk reports whether bulk-tier shedding is active.
+func (f *Frontend) SheddingBulk() bool { return f.shedBulk.Load() }
 
 // SetHedge replaces the farm's speculative re-dispatch policy.
 func (f *Frontend) SetHedge(cfg HedgeConfig) { f.sched.SetHedge(cfg) }
@@ -391,6 +408,13 @@ func (f *Frontend) Submit(req *Request) (*Ticket, error) {
 	if !ok {
 		f.mu.Unlock()
 		return nil, fmt.Errorf("pl: unknown request type %q", req.Type)
+	}
+	if req.Tier == TierBulk && f.shedBulk.Load() {
+		f.stats.bulkShed++
+		f.mu.Unlock()
+		// The hint spans a couple of ladder dwell periods: retrying any
+		// sooner cannot observe a rung change.
+		return nil, &overload.Error{Tier: "pl", RetryAfter: time.Second}
 	}
 	for !f.admitLocked(req.Tier) && !f.closed {
 		f.wake.Wait()
@@ -524,6 +548,7 @@ func (f *Frontend) Stats() FrontendStats {
 		Delivered: f.stats.delivered,
 		Failed:    f.stats.failed,
 		Canceled:  f.stats.canceled,
+		BulkShed:  f.stats.bulkShed,
 		InSystem:  f.inSystem,
 		Queued:    f.queue.Len(),
 	}

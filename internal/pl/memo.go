@@ -24,9 +24,10 @@ type CacheKeyer interface {
 
 // MemoStats counts result-cache traffic.
 type MemoStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
 }
 
 // HitRate is hits over attempted lookups (0 when none).
@@ -37,54 +38,95 @@ func (m MemoStats) HitRate() float64 {
 	return 0
 }
 
-type memoEntry struct {
+// memoSlot is one CLOCK ring position: the entry plus its reference bit.
+type memoSlot struct {
+	key   string
 	epoch string
 	del   *Delivery
+	ref   bool
 }
 
 // memoCache maps canonical keys to deliveries tagged with the data epoch
-// they were computed against. Like the DM cache, capacity overflow drops
-// the whole map — epoch churn retires entries anyway; the cap only guards
-// against key-cardinality blowup.
+// they were computed against. Capacity overflow evicts ONE entry by the
+// CLOCK (second-chance) rule: the hand sweeps the ring, spares each
+// recently-hit entry once by clearing its reference bit, and replaces the
+// first entry found cold. A stampede of one-shot keys therefore recycles
+// the same cold slots while the hot working set — exactly the entries a
+// flare-alert crowd keeps re-reading — survives, which the old
+// drop-the-whole-map policy destroyed at the worst possible moment.
 type memoCache struct {
 	mu           sync.Mutex
-	m            map[string]memoEntry
+	index        map[string]int // key -> ring position
+	ring         []memoSlot
+	hand         int
 	cap          int
 	hits, misses int64
+	evictions    int64
 }
 
 func newMemoCache(capacity int) *memoCache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &memoCache{m: make(map[string]memoEntry), cap: capacity}
+	return &memoCache{
+		index: make(map[string]int, capacity),
+		ring:  make([]memoSlot, 0, capacity),
+		cap:   capacity,
+	}
 }
 
-// get returns the cached delivery if its epoch tag still matches.
-// Deliveries are SHARED between callers — immutable by contract.
+// get returns the cached delivery if its epoch tag still matches, marking
+// the entry recently-used for the eviction sweep. Deliveries are SHARED
+// between callers — immutable by contract.
 func (c *memoCache) get(key, epoch string) (*Delivery, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.m[key]
-	if !ok || e.epoch != epoch {
+	i, ok := c.index[key]
+	if !ok || c.ring[i].epoch != epoch {
 		c.misses++
 		return nil, false
 	}
+	c.ring[i].ref = true
 	c.hits++
-	return e.del, true
+	return c.ring[i].del, true
 }
 
 func (c *memoCache) put(key, epoch string, del *Delivery) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.m) >= c.cap {
-		c.m = make(map[string]memoEntry)
+	if i, ok := c.index[key]; ok {
+		// Same parameters, fresh epoch: overwrite in place. The slot keeps
+		// its ring position and earns a reference — it is demonstrably live.
+		c.ring[i].epoch = epoch
+		c.ring[i].del = del
+		c.ring[i].ref = true
+		return
 	}
-	c.m[key] = memoEntry{epoch: epoch, del: del}
+	if len(c.ring) < c.cap {
+		c.index[key] = len(c.ring)
+		c.ring = append(c.ring, memoSlot{key: key, epoch: epoch, del: del})
+		return
+	}
+	// Full: sweep the hand until a cold slot turns up. Terminates within
+	// two laps — the first lap clears every reference bit at worst.
+	for {
+		s := &c.ring[c.hand]
+		if s.ref {
+			s.ref = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.index, s.key)
+		c.evictions++
+		*s = memoSlot{key: key, epoch: epoch, del: del}
+		c.index[key] = c.hand
+		c.hand = (c.hand + 1) % len(c.ring)
+		return
+	}
 }
 
 func (c *memoCache) stats() MemoStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+	return MemoStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.index)}
 }

@@ -255,7 +255,11 @@ func (r *Router) snapshotRouting() (*Map, map[int]*node) {
 
 // isShardFailure classifies an error as "this shard cannot serve" —
 // transport loss or a propagated-deadline expiry, the same taxonomy the
-// gateway uses for replicas.
+// gateway uses for replicas. Overload refusals are deliberately NOT
+// shard failures: a shard shedding load is alive and telling callers to
+// back off, so the typed overload error (with its retry-after hint)
+// passes through unwrapped, the breaker does not count it, and the
+// scatter-gather layer never converts it into DBUnavailable.
 func isShardFailure(err error) bool {
 	return dbnet.IsUnavailable(err) || dbnet.IsDeadline(err)
 }

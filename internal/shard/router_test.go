@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dbnet"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/schema"
 )
 
@@ -324,6 +325,95 @@ func TestRouterShardUnavailableTyped(t *testing.T) {
 			t.Fatal("router never recovered after heal")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// sheddingEngine wraps an engine and refuses every query with a typed
+// overload error while tripped — the shape dbnet's statusOverload decode
+// produces when the database tier pushes back at the socket.
+type sheddingEngine struct {
+	minidb.Engine
+	tripped atomic.Bool
+}
+
+func (s *sheddingEngine) Query(q minidb.Query) (*minidb.Result, error) {
+	if s.tripped.Load() {
+		return nil, &overload.Error{Tier: "db", RetryAfter: 300 * time.Millisecond}
+	}
+	return s.Engine.Query(q)
+}
+
+// TestRouterOverloadPassthrough: a shard that sheds load is alive, not
+// failed. Its typed overload error must pass through the scatter-gather
+// router unwrapped — retry-after hint intact, never converted into the
+// DBUnavailable taxonomy — and must not count against the shard's
+// circuit breaker or failure stats.
+func TestRouterOverloadPassthrough(t *testing.T) {
+	dbs := openShardDBs(t, 2)
+	shedding := &sheddingEngine{Engine: dbs[1]}
+	r, err := NewRouter(Options{
+		Shards:           map[int]minidb.Engine{0: dbs[0], 1: shedding},
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var sickKey string
+	for i := 0; sickKey == ""; i++ {
+		key := fmt.Sprintf("hle-%05d", i)
+		if r.Map().ReadOwner(SlotOf(minidb.S(key))) == 1 {
+			sickKey = key
+		}
+	}
+	shedding.tripped.Store(true)
+
+	check := func(what string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s through a shedding shard succeeded", what)
+		}
+		if !errors.Is(err, overload.ErrOverloaded) {
+			t.Fatalf("%s: err %v does not match the overload sentinel", what, err)
+		}
+		ra, ok := overload.RetryAfterOf(err)
+		if !ok || ra != 300*time.Millisecond {
+			t.Fatalf("%s: retry-after hint lost in the router: %v", what, err)
+		}
+		if _, isShard := IsShardUnavailable(err); isShard {
+			t.Fatalf("%s: overload wrapped as ShardUnavailableError: %v", what, err)
+		}
+		var marker interface{ DBUnavailable() bool }
+		if errors.As(err, &marker) && marker.DBUnavailable() {
+			t.Fatalf("%s: overload gained the DBUnavailable marker: %v", what, err)
+		}
+	}
+
+	// Single-shard route and scatter-gather both pass the typed error up.
+	_, err = r.Query(minidb.Query{Table: schema.TableHLE,
+		Where: []minidb.Pred{{Col: "hle_id", Op: minidb.OpEq, Val: minidb.S(sickKey)}}})
+	check("point query", err)
+	for i := 0; i < 4; i++ {
+		_, err = r.Query(minidb.Query{Table: schema.TableHLE, Count: true})
+		check("scatter query", err)
+	}
+
+	// Repeated sheds are not failures: the breaker stays closed and the
+	// shard-failure counter does not move.
+	st := r.Status()
+	if st.Shards[1].Circuit != "closed" {
+		t.Fatalf("breaker opened on overload refusals: %+v", st.Shards[1])
+	}
+	if st.ShardFailures != 0 {
+		t.Fatalf("overload counted as %d shard failures", st.ShardFailures)
+	}
+
+	// The moment the shard stops shedding, service resumes — no cooldown
+	// to wait out, because no breaker ever opened.
+	shedding.tripped.Store(false)
+	if _, err := r.Query(minidb.Query{Table: schema.TableHLE, Count: true}); err != nil {
+		t.Fatalf("query after shed cleared: %v", err)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dm"
 	"repro/internal/minidb"
+	"repro/internal/overload"
 	"repro/internal/pl"
 	"repro/internal/schema"
 	"repro/internal/shard"
@@ -606,6 +607,39 @@ func TestStatsClusterSection(t *testing.T) {
 	for _, want := range []string{
 		"Cluster gateway", "replica replica-0", "circuit closed",
 		"retry budget tokens", "degraded reads served", "writes failed fast",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("stats page missing %q", want)
+		}
+	}
+}
+
+// TestStatsOverloadSection: the same page surfaces the admission
+// limiter's posture — mode, limit, pressure, brownout rung, shed
+// accounting — when the gateway runs the adaptive stack.
+func TestStatsOverloadSection(t *testing.T) {
+	r := newWebRig(t)
+	gw := cluster.NewGateway(cluster.GatewayOptions{
+		HealthInterval: time.Minute,
+		AdaptiveLimit:  &overload.Config{Initial: 8, Min: 2, Max: 16},
+	})
+	defer gw.Close()
+	gw.AddReplica("replica-0", dm.Local{DM: r.dm})
+	s := New(Config{API: dm.Local{DM: r.dm}, LocalDM: r.dm, Cluster: gw, Node: "gw-test"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"Overload", "adaptive (latency-gradient AIMD)", "concurrency limit",
+		"pressure", "brownout stage", "normal", "downstream overload refusals",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Fatalf("stats page missing %q", want)

@@ -8,8 +8,10 @@
 # of the parallel query and ingest benchmarks (smoke-checks the concurrent
 # read and fast write paths), a miniature run of every processing-farm
 # phase (work stealing, preemption, hedging, epoch-keyed memoization with
-# its bit-identity oracle) under -race, and short runs of the WAL, dbnet
-# wire-decode, columnar segment, shard map/merge and lake journal fuzz
+# its bit-identity oracle) under -race, a short-mode stampede smoke (the
+# adaptive overload stack under a 10x open-loop spike), and short runs of
+# the WAL, dbnet wire-decode (including the statusOverload response
+# parser), columnar segment, shard map/merge and lake journal fuzz
 # targets.
 set -eu
 cd "$(dirname "$0")/.."
@@ -39,6 +41,9 @@ go test -race -count=1 ./internal/lake/
 echo "==> network chaos harness (-race)"
 go test -race -count=1 ./internal/chaos/
 
+echo "==> stampede smoke (adaptive overload control under a 10x spike; -race)"
+go test -race -short -count=1 -run 'TestStampede' ./internal/chaos/
+
 echo "==> parallel query benchmark (1 iteration)"
 go test -run '^$' -bench BenchmarkQueryParallel -benchtime=1x .
 
@@ -55,6 +60,7 @@ for spec in \
 	"./internal/minidb/ FuzzReadWal" \
 	"./internal/dbnet/ FuzzReadFrame" \
 	"./internal/dbnet/ FuzzDispatch" \
+	"./internal/dbnet/ FuzzParseResponse" \
 	"./internal/colseg/ FuzzDecodeSegment" \
 	"./internal/shard/ FuzzDecodeShardMap" \
 	"./internal/shard/ FuzzMergeReplies" \
